@@ -1,0 +1,24 @@
+"""E1 / Fig. 2 -- SJ-Tree decomposition of the news query.
+
+Regenerates the paper's running example: the "three articles share a keyword
+and a location" query is decomposed into search primitives, and the table
+shows how many partial matches accumulate at each SJ-Tree level while the
+news stream plays.
+"""
+
+from repro.harness.experiments import experiment_fig2_news_decomposition
+
+
+def test_fig2_news_decomposition(run_experiment):
+    result = run_experiment(
+        experiment_fig2_news_decomposition,
+        "Fig. 2 -- SJ-Tree decomposition of the common keyword+location query",
+    )
+    # shape checks: three 2-edge primitives, every planted burst detected,
+    # and every node's live collection is bounded by what was ever inserted
+    assert result["primitives"] == 3
+    assert result["complete_matches"] >= result["planted_bursts"]
+    for row in result["rows"]:
+        assert row["matches_stored"] <= row["matches_inserted"]
+    kinds = {row["kind"] for row in result["rows"]}
+    assert {"leaf", "join", "root"} <= kinds

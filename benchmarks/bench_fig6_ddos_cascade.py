@@ -1,0 +1,20 @@
+"""E4 / Fig. 6 -- cascading Smurf DDoS across subnetworks.
+
+Regenerates the Fig. 6 grid: a Smurf attack is injected against one subnet
+after another; the Smurf query's events, keyed by the amplifier subnet, must
+light up in the same order and shortly after each injection.
+"""
+
+from repro.harness.experiments import experiment_fig6_ddos_cascade
+
+
+def test_fig6_ddos_cascade(run_experiment):
+    result = run_experiment(
+        experiment_fig6_ddos_cascade,
+        "Fig. 6 -- Smurf DDoS cascade across subnetworks (grid view)",
+    )
+    print()
+    print(result["grid"])
+    assert result["subnets_detected"] == result["subnets_attacked"]
+    assert result["cascade_order_preserved"]
+    assert all(row["detection_lag"] < 10.0 for row in result["rows"])

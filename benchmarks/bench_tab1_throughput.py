@@ -1,0 +1,21 @@
+"""E6 / demo-setup throughput claim (section 6.1).
+
+The paper's demo runs on CAIDA traffic at 50-100 million records per hour on
+a 48-core machine.  This benchmark reproduces the *shape* of that claim on
+the pure-Python engine: sustained edges/second and per-edge latency
+percentiles as the stream grows, which should stay roughly flat because the
+incremental work per edge is local.
+"""
+
+from repro.harness.experiments import experiment_tab1_throughput
+
+
+def test_tab1_throughput(run_experiment):
+    result = run_experiment(
+        experiment_tab1_throughput,
+        "Table 1 -- streaming throughput and per-edge latency vs stream size",
+    )
+    assert result["rate_stays_flat"]
+    for row in result["rows"]:
+        assert row["edges_per_s"] > 0
+        assert row["latency_p99_ms"] >= row["latency_p50_ms"]

@@ -1,0 +1,25 @@
+"""E9 -- summarization cost and selectivity-estimate accuracy (section 4.3).
+
+The planner depends on statistics collected continuously from the stream.
+This benchmark measures (a) the per-edge cost of maintaining them, with and
+without the triad census, across three workload families, and (b) how close
+the resulting selectivity estimates come to the observed primitive
+cardinalities on the news workload.
+"""
+
+from repro.harness.experiments import experiment_tab4_summarization
+
+
+def test_tab4_summarization(run_experiment):
+    result = run_experiment(
+        experiment_tab4_summarization,
+        "Table 4 -- summarization cost and estimate accuracy",
+    )
+    assert result["estimates_within_10x"]
+    by_key = {(row["workload"], row["triads"]): row for row in result["rows"]}
+    for workload in {row["workload"] for row in result["rows"]}:
+        with_triads = by_key[(workload, True)]
+        without = by_key[(workload, False)]
+        # the triad census costs something but not orders of magnitude
+        assert with_triads["seconds"] >= without["seconds"] * 0.5
+        assert with_triads["triad_patterns"] > 0

@@ -1,0 +1,21 @@
+"""E10 -- time-window semantics (section 2.1).
+
+The query definition bounds every reported match's temporal extent by tW.
+This benchmark plants fast and slow instances of the same pattern and sweeps
+the window: the number of reported events must grow monotonically with tW,
+no reported span may ever reach tW, and the slow instances only appear once
+the window is large enough to admit them.
+"""
+
+from repro.harness.experiments import experiment_tab5_window_sweep
+
+
+def test_tab5_window_sweep(run_experiment):
+    result = run_experiment(
+        experiment_tab5_window_sweep,
+        "Table 5 -- matches vs time-window size with fast and slow planted patterns",
+    )
+    assert result["events_monotone_in_window"]
+    assert result["all_spans_below_window"]
+    events = [row["events"] for row in result["rows"]]
+    assert events[-1] > events[0]

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Cyber-security monitoring example (paper section 5.1, Figs. 3, 6 and 7).
+
+A network operations team wants to be alerted the moment the traffic graph
+contains the footprint of a Smurf DDoS, a worm spreading, a port scan or a
+data exfiltration.  This example:
+
+1. generates synthetic background traffic (the CAIDA substitute),
+2. injects one instance of each attack at a known time,
+3. registers the four cyber queries from :mod:`repro.queries.cyber`,
+4. streams everything through the engine and prints each alert as it fires,
+5. finishes with a per-subnet grid view of the Smurf detections (the Fig. 6
+   style cascade view) and the engine's own metrics.
+
+Run with::
+
+    python examples/cyber_monitoring.py
+"""
+
+from repro.core import EngineConfig, StreamWorksEngine
+from repro.queries.cyber import (
+    data_exfiltration_query,
+    port_scan_query,
+    smurf_ddos_query,
+    worm_propagation_query,
+)
+from repro.streaming import merge_streams
+from repro.viz import EventGrid, render_sjtree, subnet_of_vertex
+from repro.workloads import AttackInjector, NetflowConfig, NetflowGenerator
+
+
+def build_traffic():
+    """Background traffic plus one planted instance of each attack."""
+    generator = NetflowGenerator(NetflowConfig(host_count=180, subnet_count=6, seed=7))
+    background = generator.stream(3000)
+    duration = generator.duration_for(3000)
+    injector = AttackInjector(generator, seed=8)
+
+    attacks = {
+        "smurf_ddos": injector.smurf_ddos(duration * 0.25, reflector_count=5),
+        "worm_propagation": injector.worm_propagation(duration * 0.45),
+        "port_scan": injector.port_scan(duration * 0.65),
+        "data_exfiltration": injector.data_exfiltration(duration * 0.80),
+    }
+    stream = merge_streams(background, *attacks.values(), name="cyber_traffic")
+    injected_at = {name: min(edge.timestamp for edge in edges) for name, edges in attacks.items()}
+    return stream, injected_at
+
+
+def main():
+    stream, injected_at = build_traffic()
+
+    engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True, track_triads=False))
+    engine.register_query(smurf_ddos_query(3), name="smurf_ddos", window=10.0)
+    engine.register_query(worm_propagation_query(), name="worm_propagation", window=30.0)
+    engine.register_query(port_scan_query(3), name="port_scan", window=5.0)
+    engine.register_query(data_exfiltration_query(), name="data_exfiltration", window=30.0)
+
+    print("Registered cyber queries; SJ-Tree of the Smurf pattern:")
+    print(render_sjtree(engine.queries["smurf_ddos"].matcher.tree, show_matches=False))
+    print()
+
+    alerted = set()
+    for record in stream:
+        for event in engine.process_record(record):
+            if event.query_name not in alerted:
+                alerted.add(event.query_name)
+                print(
+                    f"ALERT {event.query_name:<20} first detected at t={event.detected_at:8.2f}s "
+                    f"(injected at t={injected_at[event.query_name]:8.2f}s, "
+                    f"detection latency {event.detection_latency:5.2f}s)"
+                )
+
+    print()
+    print("Events per query:", engine.match_counts())
+
+    grid = EventGrid(
+        bucket_seconds=10.0,
+        key_function=lambda event: subnet_of_vertex(event.match.vertex_map.get("broadcast", "")),
+    )
+    grid.add_all(engine.events("smurf_ddos"))
+    print()
+    print("Smurf detections by amplifier subnet and time bucket (Fig. 6 style):")
+    print(grid.render())
+
+    print()
+    metrics = engine.metrics()
+    print(f"Processed {metrics['edges_processed']} edges "
+          f"at {metrics['throughput']['rate_per_s']:.0f} edges/s; "
+          f"p99 per-edge latency {metrics['latency']['p99'] * 1000:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Baseline engines the SJ-Tree incremental algorithm is compared against.
+
+* :class:`RepeatedSearchEngine` -- re-run a full subgraph search per batch
+  (the Fan et al. style strategy discussed in related work).
+* :class:`NaiveIncrementalEngine` -- anchored whole-query search per edge
+  without decomposition (the "simplistic approach" of paper section 3.1).
+"""
+
+from .naive_incremental import NaiveIncrementalEngine
+from .repeated_search import RepeatedSearchEngine
+
+__all__ = ["NaiveIncrementalEngine", "RepeatedSearchEngine"]

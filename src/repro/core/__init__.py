@@ -1,0 +1,41 @@
+"""The paper's primary contribution: SJ-Tree based incremental graph search.
+
+Contents:
+
+* :class:`SJTree` -- the Subgraph Join Tree (Definition 4.1.1).
+* :mod:`~repro.core.decomposition` -- query decomposition strategies.
+* :class:`QueryPlanner` -- statistics-driven plan construction (section 4.1).
+* :class:`LocalSearcher` -- primitive search around new edges (section 4.1).
+* :class:`ContinuousQueryMatcher` -- the incremental execution loop (4.2).
+* :class:`StreamWorksEngine` -- the multi-query system façade.
+"""
+
+from .decomposition import Decomposition, DecompositionError, Strategy, decompose
+from .engine import EngineConfig, RegisteredQuery, StreamWorksEngine
+from .join import joined_span, try_join
+from .local_search import LocalSearcher, find_primitive_matches
+from .matcher import ContinuousQueryMatcher, MatcherStats
+from .planner import PlannerConfig, QueryPlan, QueryPlanner
+from .sjtree import SJTree, SJTreeInvariantError, SJTreeNode
+
+__all__ = [
+    "ContinuousQueryMatcher",
+    "Decomposition",
+    "DecompositionError",
+    "EngineConfig",
+    "LocalSearcher",
+    "MatcherStats",
+    "PlannerConfig",
+    "QueryPlan",
+    "QueryPlanner",
+    "RegisteredQuery",
+    "SJTree",
+    "SJTreeInvariantError",
+    "SJTreeNode",
+    "Strategy",
+    "StreamWorksEngine",
+    "decompose",
+    "find_primitive_matches",
+    "joined_span",
+    "try_join",
+]

@@ -1,0 +1,411 @@
+"""The StreamWorks engine: register continuous graph queries, feed the stream.
+
+This is the system façade a user of the reproduction interacts with (the
+role played by the C++ query engine plus UI in the demo).  It owns
+
+* the shared :class:`~repro.graph.dynamic_graph.DynamicGraph` window store,
+* the :class:`~repro.stats.summarizer.StreamSummarizer` that keeps the
+  planning statistics fresh (paper section 4.3),
+* one :class:`~repro.core.matcher.ContinuousQueryMatcher` per registered
+  query, built by the :class:`~repro.core.planner.QueryPlanner`,
+* event delivery (sinks / callbacks) and engine-level metrics.
+
+Typical use::
+
+    engine = StreamWorksEngine(default_window=300.0)
+    engine.register_query(smurf_query, name="smurf")
+    for record in stream:
+        events = engine.process_record(record)
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..graph.dynamic_graph import DynamicGraph
+from ..graph.types import Edge, Timestamp, VertexId
+from ..graph.window import TimeWindow
+from ..query.query_graph import QueryGraph
+from ..stats.summarizer import StreamSummarizer
+from ..streaming.edge_stream import StreamEdge
+from ..streaming.events import CallbackSink, CollectingSink, EventSink, MatchEvent, MultiSink
+from ..streaming.metrics import LatencyRecorder, ThroughputMeter
+from .decomposition import Decomposition, Strategy
+from .matcher import ContinuousQueryMatcher
+from .planner import PlannerConfig, QueryPlan, QueryPlanner
+
+__all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine"]
+
+
+class EngineConfig:
+    """Engine-level tunables."""
+
+    def __init__(
+        self,
+        default_window: Optional[float] = None,
+        collect_statistics: bool = True,
+        track_triads: bool = True,
+        triad_sample_cap: Optional[int] = 32,
+        dedupe_structural: bool = False,
+        store_complete_matches: bool = True,
+        plan_strategy: str = Strategy.SELECTIVITY,
+        primitive_size: int = 2,
+        record_latency: bool = True,
+        auto_replan_interval: Optional[int] = None,
+    ):
+        self.default_window = default_window
+        self.collect_statistics = collect_statistics
+        self.track_triads = track_triads
+        self.triad_sample_cap = triad_sample_cap
+        self.dedupe_structural = dedupe_structural
+        self.store_complete_matches = store_complete_matches
+        self.plan_strategy = plan_strategy
+        self.primitive_size = primitive_size
+        self.record_latency = record_latency
+        #: Re-plan every registered query after this many ingested edges, using
+        #: the statistics collected so far.  ``None`` (default) disables the
+        #: behaviour.  This implements the paper's stated future work of
+        #: "continuously collecting the statistics information from the data
+        #: stream and updating the query decomposition and search strategy".
+        if auto_replan_interval is not None and auto_replan_interval <= 0:
+            raise ValueError("auto_replan_interval must be positive or None")
+        self.auto_replan_interval = auto_replan_interval
+
+
+class RegisteredQuery:
+    """Book-keeping for one continuous query registered with the engine."""
+
+    def __init__(
+        self,
+        name: str,
+        query: QueryGraph,
+        window: TimeWindow,
+        plan: QueryPlan,
+        matcher: ContinuousQueryMatcher,
+    ):
+        self.name = name
+        self.query = query
+        self.window = window
+        self.plan = plan
+        self.matcher = matcher
+        self.match_count = 0
+
+    def describe(self) -> str:
+        """Return a one-paragraph description of the registration."""
+        return (
+            f"Query {self.name!r}: {self.query.edge_count()} edges, window={self.window}, "
+            f"strategy={self.plan.strategy}, primitives={self.plan.primitive_count()}, "
+            f"matches so far={self.match_count}"
+        )
+
+
+class StreamWorksEngine:
+    """Continuous multi-query subgraph matching over a dynamic graph stream."""
+
+    def __init__(
+        self,
+        default_window: Optional[float] = None,
+        config: Optional[EngineConfig] = None,
+    ):
+        if config is None:
+            config = EngineConfig(default_window=default_window)
+        elif default_window is not None:
+            config.default_window = default_window
+        self.config = config
+        retention = TimeWindow(config.default_window) if config.default_window else TimeWindow(None)
+        self.graph = DynamicGraph(window=retention)
+        self.summarizer: Optional[StreamSummarizer] = None
+        if config.collect_statistics:
+            self.summarizer = StreamSummarizer(
+                track_triads=config.track_triads,
+                triad_sample_cap=config.triad_sample_cap,
+            )
+        self.queries: Dict[str, RegisteredQuery] = {}
+        self.collector = CollectingSink()
+        self._sinks = MultiSink([self.collector])
+        self._sequence = 0
+        self.edges_processed = 0
+        self.throughput = ThroughputMeter()
+        self.latency = LatencyRecorder()
+
+    # ------------------------------------------------------------------
+    # query registration
+    # ------------------------------------------------------------------
+    def register_query(
+        self,
+        query: QueryGraph,
+        name: Optional[str] = None,
+        window: Optional[float] = None,
+        strategy: Optional[str] = None,
+        decomposition: Optional[Decomposition] = None,
+        on_match: Optional[callable] = None,
+        dedupe_structural: Optional[bool] = None,
+    ) -> RegisteredQuery:
+        """Register a continuous query and return its handle.
+
+        Parameters
+        ----------
+        query:
+            The query graph.
+        name:
+            Unique name (defaults to the query graph's name).
+        window:
+            Query time window ``tW`` in stream-time units; falls back to the
+            engine's default window; ``None`` means unbounded.
+        strategy:
+            Decomposition strategy override (see :class:`Strategy`).
+        decomposition:
+            Fully manual decomposition; overrides ``strategy``.
+        on_match:
+            Optional callback invoked with each :class:`MatchEvent`.
+        dedupe_structural:
+            Override the engine-level structural-deduplication setting for
+            this query.
+        """
+        query_name = name or query.name
+        if query_name in self.queries:
+            raise ValueError(f"a query named {query_name!r} is already registered")
+        window_duration = window if window is not None else self.config.default_window
+        query_window = TimeWindow(window_duration) if window_duration is not None else TimeWindow(None)
+
+        planner = QueryPlanner(
+            summary=self.summarizer.summary() if self.summarizer else None,
+            config=PlannerConfig(
+                strategy=strategy or self.config.plan_strategy,
+                primitive_size=self.config.primitive_size,
+            ),
+        )
+        if decomposition is not None:
+            plan = planner.plan(query, primitives=decomposition.primitives)
+        else:
+            plan = planner.plan(query, strategy=strategy)
+
+        matcher = ContinuousQueryMatcher(
+            query=query,
+            decomposition=plan.decomposition,
+            graph=self.graph,
+            window=query_window,
+            dedupe_structural=(
+                dedupe_structural
+                if dedupe_structural is not None
+                else self.config.dedupe_structural
+            ),
+            store_complete_matches=self.config.store_complete_matches,
+        )
+        registration = RegisteredQuery(query_name, query, query_window, plan, matcher)
+        self.queries[query_name] = registration
+        if on_match is not None:
+            self._sinks.add(CallbackSink(on_match))
+        self._update_retention()
+        return registration
+
+    def unregister_query(self, name: str) -> None:
+        """Remove a registered query (its partial matches are discarded)."""
+        if name not in self.queries:
+            raise KeyError(name)
+        del self.queries[name]
+        self._update_retention()
+
+    def add_sink(self, sink: EventSink) -> None:
+        """Attach an additional event sink."""
+        self._sinks.add(sink)
+
+    def replan_query(self, name: str, strategy: Optional[str] = None) -> RegisteredQuery:
+        """Re-plan a registered query using the statistics collected so far.
+
+        The paper leaves "updating the query decomposition and search
+        strategy" from continuously collected statistics as future work; this
+        method implements the mechanism.  The query's SJ-Tree is rebuilt from
+        the new plan, which necessarily **discards in-flight partial
+        matches** -- matches whose edges all arrive after the re-plan are
+        unaffected, but an event that was mid-assembly at the moment of
+        re-planning will only be detected if its remaining edges alone can
+        complete it.  Already-reported matches stay reported (and are not
+        re-reported thanks to the matcher's duplicate suppression carrying
+        over).
+        """
+        if name not in self.queries:
+            raise KeyError(name)
+        registration = self.queries[name]
+        planner = QueryPlanner(
+            summary=self.summarizer.summary() if self.summarizer else None,
+            config=PlannerConfig(
+                strategy=strategy or self.config.plan_strategy,
+                primitive_size=self.config.primitive_size,
+            ),
+        )
+        new_plan = planner.plan(registration.query, strategy=strategy)
+        old_matcher = registration.matcher
+        new_matcher = ContinuousQueryMatcher(
+            query=registration.query,
+            decomposition=new_plan.decomposition,
+            graph=self.graph,
+            window=registration.window,
+            dedupe_structural=old_matcher.dedupe_structural,
+            store_complete_matches=old_matcher.store_complete_matches,
+        )
+        # carry the duplicate-suppression memory so re-planning never causes
+        # an already-delivered event to be delivered again
+        new_matcher._reported_identities = old_matcher._reported_identities
+        new_matcher._reported_edge_sets = old_matcher._reported_edge_sets
+        registration.plan = new_plan
+        registration.matcher = new_matcher
+        return registration
+
+    def replan_all(self, strategy: Optional[str] = None) -> None:
+        """Re-plan every registered query (see :meth:`replan_query`)."""
+        for name in list(self.queries):
+            self.replan_query(name, strategy=strategy)
+
+    def _update_retention(self) -> None:
+        """Keep the graph retention window at least as long as every query window."""
+        durations = [q.window.duration for q in self.queries.values() if q.window.bounded]
+        if self.config.default_window is not None:
+            durations.append(float(self.config.default_window))
+        if not durations:
+            self.graph.window = TimeWindow(None)
+        else:
+            self.graph.window = TimeWindow(max(durations))
+
+    # ------------------------------------------------------------------
+    # stream processing
+    # ------------------------------------------------------------------
+    def process_edge(
+        self,
+        source: VertexId,
+        target: VertexId,
+        label: str,
+        timestamp: Timestamp,
+        attrs: Optional[Mapping[str, Any]] = None,
+        source_label: str = "node",
+        target_label: str = "node",
+        source_attrs: Optional[Mapping[str, Any]] = None,
+        target_attrs: Optional[Mapping[str, Any]] = None,
+    ) -> List[MatchEvent]:
+        """Ingest one raw edge and run every registered query against it."""
+        stopwatch_start = None
+        if self.config.record_latency:
+            from time import perf_counter
+
+            stopwatch_start = perf_counter()
+        self.throughput.start()
+        edge = self.graph.ingest(
+            source,
+            target,
+            label,
+            timestamp,
+            attrs,
+            source_label=source_label,
+            target_label=target_label,
+            source_attrs=source_attrs,
+            target_attrs=target_attrs,
+        )
+        if self.summarizer is not None:
+            self.summarizer.observe(self.graph, edge)
+        events: List[MatchEvent] = []
+        for registration in self.queries.values():
+            for match in registration.matcher.process_edge(edge):
+                event = MatchEvent(
+                    query_name=registration.name,
+                    match=match,
+                    detected_at=edge.timestamp,
+                    sequence=self._sequence,
+                )
+                self._sequence += 1
+                registration.match_count += 1
+                self._sinks.deliver(event)
+                events.append(event)
+        self.edges_processed += 1
+        if (
+            self.config.auto_replan_interval is not None
+            and self.edges_processed % self.config.auto_replan_interval == 0
+        ):
+            self.replan_all()
+        self.throughput.add(1)
+        self.throughput.stop()
+        if stopwatch_start is not None:
+            from time import perf_counter
+
+            self.latency.record(perf_counter() - stopwatch_start)
+        return events
+
+    def process_record(self, record: StreamEdge) -> List[MatchEvent]:
+        """Ingest one :class:`StreamEdge` record."""
+        return self.process_edge(
+            record.source,
+            record.target,
+            record.label,
+            record.timestamp,
+            record.attrs,
+            source_label=record.source_label,
+            target_label=record.target_label,
+            source_attrs=record.source_attrs,
+            target_attrs=record.target_attrs,
+        )
+
+    def process_batch(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
+        """Ingest a batch of records; returns all events raised by the batch."""
+        events: List[MatchEvent] = []
+        for record in records:
+            events.extend(self.process_record(record))
+        return events
+
+    def process_stream(self, stream: Iterable[StreamEdge]) -> List[MatchEvent]:
+        """Ingest an entire stream; returns all events (also kept in ``collector``)."""
+        events: List[MatchEvent] = []
+        for record in stream:
+            events.extend(self.process_record(record))
+        return events
+
+    # ------------------------------------------------------------------
+    # results and introspection
+    # ------------------------------------------------------------------
+    def events(self, query_name: Optional[str] = None) -> List[MatchEvent]:
+        """Return collected events, optionally filtered by query name."""
+        if query_name is None:
+            return list(self.collector.events)
+        return self.collector.for_query(query_name)
+
+    def match_counts(self) -> Dict[str, int]:
+        """Return ``{query name: complete matches so far}``."""
+        return {name: registration.match_count for name, registration in self.queries.items()}
+
+    def statistics_summary(self):
+        """Return the current :class:`GraphSummary` (``None`` when statistics are off)."""
+        if self.summarizer is None:
+            return None
+        return self.summarizer.summary()
+
+    def metrics(self) -> Dict[str, Any]:
+        """Return engine metrics: throughput, latency percentiles, store sizes."""
+        result: Dict[str, Any] = {
+            "edges_processed": self.edges_processed,
+            "events_emitted": self._sequence,
+            "graph_vertices": self.graph.vertex_count(),
+            "graph_edges": self.graph.edge_count(),
+            "edges_evicted": self.graph.edges_evicted,
+            "throughput": self.throughput.summary(),
+            "latency": self.latency.summary(),
+            "queries": {
+                name: registration.matcher.stats.to_dict()
+                for name, registration in self.queries.items()
+            },
+            "stored_partial_matches": {
+                name: registration.matcher.stored_partial_matches()
+                for name, registration in self.queries.items()
+            },
+        }
+        return result
+
+    def describe(self) -> str:
+        """Return a human-readable status report of the engine."""
+        lines = [
+            f"StreamWorksEngine: {len(self.queries)} queries, "
+            f"{self.edges_processed} edges processed, {self._sequence} events emitted",
+            f"  graph: {self.graph.vertex_count()} vertices / {self.graph.edge_count()} edges "
+            f"(retention {self.graph.window})",
+        ]
+        for registration in self.queries.values():
+            lines.append("  " + registration.describe())
+        return "\n".join(lines)

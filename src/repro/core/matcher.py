@@ -1,0 +1,230 @@
+"""The incremental continuous-query matcher (paper section 4.2).
+
+One :class:`ContinuousQueryMatcher` serves one registered query.  Its life
+cycle per incoming edge is exactly the paper's description of query
+execution:
+
+1. *Local search* -- for every SJ-Tree leaf, search the neighbourhood of the
+   new edge for embeddings of that leaf's primitive that use the new edge.
+2. *Leaf insertion* -- each embedding found is inserted into the leaf's match
+   collection (keyed by the parent's cut vertices).
+3. *Upward joins* -- the new match is probed against the sibling node's
+   collection; every successful combination is inserted one level up, and
+   the process repeats until either no join succeeds or the root is reached.
+4. *Completion* -- a match inserted at the root is a complete match of the
+   query and is returned to the engine (which wraps it in a
+   :class:`~repro.streaming.events.MatchEvent`).
+
+Partial matches are expired once their earliest edge has aged out of the
+query window (they can never complete any more), which keeps both memory and
+join fan-out bounded on long streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..graph.types import Edge
+from ..graph.window import TimeWindow
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+from .decomposition import Decomposition
+from .join import try_join
+from .local_search import LocalSearcher
+from .sjtree import SJTree, SJTreeNode
+
+__all__ = ["MatcherStats", "ContinuousQueryMatcher"]
+
+
+class MatcherStats:
+    """Counters describing the work performed by one matcher."""
+
+    def __init__(self) -> None:
+        self.edges_processed = 0
+        self.leaf_matches_found = 0
+        self.joins_attempted = 0
+        self.joins_succeeded = 0
+        self.complete_matches = 0
+        self.duplicate_matches_suppressed = 0
+        self.partial_matches_expired = 0
+        self.peak_stored_matches = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dict."""
+        return {
+            "edges_processed": self.edges_processed,
+            "leaf_matches_found": self.leaf_matches_found,
+            "joins_attempted": self.joins_attempted,
+            "joins_succeeded": self.joins_succeeded,
+            "complete_matches": self.complete_matches,
+            "duplicate_matches_suppressed": self.duplicate_matches_suppressed,
+            "partial_matches_expired": self.partial_matches_expired,
+            "peak_stored_matches": self.peak_stored_matches,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatcherStats({self.to_dict()})"
+
+
+class ContinuousQueryMatcher:
+    """Incremental matcher for one query over one dynamic graph.
+
+    Parameters
+    ----------
+    query:
+        The registered query graph.
+    decomposition:
+        The decomposition produced by the planner; its order defines the
+        SJ-Tree join order.
+    graph:
+        The shared dynamic graph store (edges must be ingested into it
+        *before* being passed to :meth:`process_edge`).
+    window:
+        The query's time window ``tW``.
+    dedupe_structural:
+        When ``True``, complete matches that bind the same set of data edges
+        as an already-reported match are suppressed.  Queries with automorphic
+        patterns (e.g. "three articles share a keyword") otherwise report
+        every permutation of the interchangeable variables as a separate
+        match; event-oriented users generally want one event per edge set.
+    store_complete_matches:
+        Keep complete matches in the root's collection (Property 3 applied to
+        the root).  Disable to save memory on very high match-rate streams.
+    """
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        decomposition: Decomposition,
+        graph,
+        window: Optional[TimeWindow] = None,
+        dedupe_structural: bool = False,
+        store_complete_matches: bool = True,
+    ):
+        self.query = query
+        self.decomposition = decomposition
+        self.graph = graph
+        self.window = window if window is not None else TimeWindow(None)
+        self.dedupe_structural = dedupe_structural
+        self.store_complete_matches = store_complete_matches
+        self.tree: SJTree = decomposition.build_tree()
+        self.tree.validate()
+        self.local_searcher = LocalSearcher(graph, self.window)
+        self.stats = MatcherStats()
+        self._reported_edge_sets: Set[frozenset] = set()
+        self._reported_identities: Set[tuple] = set()
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def process_edge(self, edge: Edge) -> List[Match]:
+        """Process one newly-ingested edge; return the new complete matches."""
+        self.stats.edges_processed += 1
+        if self.window.bounded:
+            self.stats.partial_matches_expired += self.tree.expire_matches(
+                self.window, edge.timestamp
+            )
+        new_matches: List[Match] = []
+        for leaf in self.tree.leaves():
+            primitive_matches = self.local_searcher.find(leaf.subgraph, edge)
+            self.stats.leaf_matches_found += len(primitive_matches)
+            for match in primitive_matches:
+                self._insert(leaf, match, new_matches)
+        stored = self.tree.total_stored_matches()
+        if stored > self.stats.peak_stored_matches:
+            self.stats.peak_stored_matches = stored
+        return new_matches
+
+    def process_edges(self, edges) -> List[Match]:
+        """Process a batch of edges (already ingested) and return all new matches."""
+        results: List[Match] = []
+        for edge in edges:
+            results.extend(self.process_edge(edge))
+        return results
+
+    # ------------------------------------------------------------------
+    # insertion / join cascade
+    # ------------------------------------------------------------------
+    def _insert(self, node: SJTreeNode, match: Match, out: List[Match]) -> None:
+        if node.is_root and not node.is_leaf:
+            self._emit(node, match, out)
+            return
+        if node.is_root and node.is_leaf:
+            # single-primitive query: the leaf *is* the root
+            self._emit(node, match, out)
+            return
+        if not node.store_match(match):
+            self.stats.duplicate_matches_suppressed += 1
+            return
+        parent = self.tree.parent(node)
+        sibling = self.tree.sibling(node)
+        if parent is None or sibling is None:  # pragma: no cover - defensive
+            return
+        key = match.projection_key(parent.cut_vertices)
+        for candidate in sibling.matches_for_key(key):
+            self.stats.joins_attempted += 1
+            joined = try_join(match, candidate, self.window)
+            if joined is None:
+                continue
+            self.stats.joins_succeeded += 1
+            self._insert(parent, joined, out)
+
+    def _emit(self, root: SJTreeNode, match: Match, out: List[Match]) -> None:
+        if self.window.bounded and not self.window.admits_span(match.span):
+            return
+        identity = match.identity()
+        if identity in self._reported_identities:
+            self.stats.duplicate_matches_suppressed += 1
+            return
+        if self.dedupe_structural:
+            edge_set = match.structural_identity()
+            if edge_set in self._reported_edge_sets:
+                self.stats.duplicate_matches_suppressed += 1
+                return
+            self._reported_edge_sets.add(edge_set)
+        self._reported_identities.add(identity)
+        if self.store_complete_matches:
+            root.store_match(match)
+        self.stats.complete_matches += 1
+        out.append(match)
+
+    # ------------------------------------------------------------------
+    # introspection used by experiments / visualisation
+    # ------------------------------------------------------------------
+    def stored_partial_matches(self) -> int:
+        """Return the number of partial matches currently stored in the SJ-Tree."""
+        return self.tree.total_stored_matches()
+
+    def matched_edge_fraction(self) -> float:
+        """Return the largest fraction of query edges covered by any stored match.
+
+        This is the Fig. 7 progress measure: "the fraction of query graph
+        being matched as measured by the number of edges".
+        """
+        total = self.query.edge_count()
+        if total == 0:
+            return 0.0
+        best = 0
+        for node in self.tree.nodes.values():
+            if node.match_count() > 0:
+                best = max(best, node.subgraph.edge_count())
+        return best / total
+
+    def node_progress(self) -> Dict[int, Dict[str, float]]:
+        """Return per-node progress: stored matches and edge-coverage fraction."""
+        total = max(1, self.query.edge_count())
+        return {
+            node.id: {
+                "matches": float(node.match_count()),
+                "edge_fraction": node.subgraph.edge_count() / total,
+                "is_leaf": float(node.is_leaf),
+            }
+            for node in self.tree.nodes.values()
+        }
+
+    def reset(self) -> None:
+        """Drop all partial matches and reported-match memory (keeps the plan)."""
+        self.tree.clear_matches()
+        self._reported_edge_sets.clear()
+        self._reported_identities.clear()
+        self.stats = MatcherStats()

@@ -1,0 +1,374 @@
+"""The Subgraph Join Tree (SJ-Tree), the paper's central data structure.
+
+Definition 4.1.1 of the paper: an SJ-Tree ``T`` is a binary tree whose nodes
+each correspond to a subgraph of the query graph, with
+
+* **Property 1** -- the root's subgraph is the query graph itself;
+* **Property 2** -- every internal node's subgraph is the join (vertex union
+  + edge union) of its children's subgraphs;
+* **Property 3** -- every node maintains a collection of matching data
+  subgraphs (partial matches) for its query subgraph;
+* **Property 4** -- every internal node stores a *cut subgraph*: the
+  intersection of its children's subgraphs.  With an edge-disjoint
+  decomposition the cut consists of the shared query vertices, and it is the
+  join key on which child matches are combined.
+
+The leaves carry the *search primitives* produced by query decomposition;
+only leaves are searched against the stream (via local search around each
+new edge), and partial matches climb the tree through joins.
+
+Match collections are hash-indexed by the projection of the match onto the
+parent's cut vertices so that the sibling probe during a join is a dictionary
+lookup, not a scan.  Each node also keeps an expiry queue so partial matches
+older than the query window can be swept out cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph.window import ExpiryQueue, TimeWindow
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+
+__all__ = ["SJTreeNode", "SJTree", "SJTreeInvariantError"]
+
+MatchKey = Tuple
+
+
+class SJTreeInvariantError(AssertionError):
+    """Raised by :meth:`SJTree.validate` when a structural property is violated."""
+
+
+class SJTreeNode:
+    """One node of an SJ-Tree: a query subgraph plus its match collection."""
+
+    def __init__(self, node_id: int, subgraph: QueryGraph):
+        self.id = node_id
+        self.subgraph = subgraph
+        self.parent_id: Optional[int] = None
+        self.left_id: Optional[int] = None
+        self.right_id: Optional[int] = None
+        #: Cut vertices shared by the two children (internal nodes only,
+        #: Property 4).  Sorted so projection keys are canonical.
+        self.cut_vertices: Tuple[str, ...] = ()
+        #: Vertices on which *this* node's matches are keyed, i.e. the cut of
+        #: the parent node.  Empty for the root.
+        self.key_vertices: Tuple[str, ...] = ()
+        # key -> {match identity -> Match}
+        self._matches: Dict[MatchKey, Dict[Tuple, Match]] = {}
+        self._expiry: ExpiryQueue[Tuple[MatchKey, Tuple]] = ExpiryQueue()
+        self._match_count = 0
+        self.total_inserted = 0
+        self.total_expired = 0
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """Return ``True`` when the node has no children."""
+        return self.left_id is None and self.right_id is None
+
+    @property
+    def is_root(self) -> bool:
+        """Return ``True`` when the node has no parent."""
+        return self.parent_id is None
+
+    # ------------------------------------------------------------------
+    # match collection (Property 3)
+    # ------------------------------------------------------------------
+    def match_key(self, match: Match) -> MatchKey:
+        """Return the join key of a match: its projection onto the key vertices."""
+        return match.projection_key(self.key_vertices)
+
+    def store_match(self, match: Match) -> bool:
+        """Insert a partial match; returns ``False`` when it was already stored."""
+        key = self.match_key(match)
+        bucket = self._matches.setdefault(key, {})
+        identity = match.identity()
+        if identity in bucket:
+            return False
+        bucket[identity] = match
+        self._expiry.push(match.earliest, (key, identity))
+        self._match_count += 1
+        self.total_inserted += 1
+        return True
+
+    def has_match(self, match: Match) -> bool:
+        """Return ``True`` when an identical match is already stored."""
+        bucket = self._matches.get(self.match_key(match))
+        return bool(bucket) and match.identity() in bucket
+
+    def matches_for_key(self, key: MatchKey) -> List[Match]:
+        """Return the stored matches whose projection equals ``key``."""
+        bucket = self._matches.get(key)
+        if not bucket:
+            return []
+        return list(bucket.values())
+
+    def all_matches(self) -> Iterator[Match]:
+        """Iterate over every stored match."""
+        for bucket in self._matches.values():
+            yield from bucket.values()
+
+    def match_count(self) -> int:
+        """Return the number of currently stored matches."""
+        return self._match_count
+
+    def expire_matches(self, window: TimeWindow, now: float) -> int:
+        """Drop matches that can no longer participate in a new in-window match.
+
+        A partial match with earliest edge timestamp ``t`` is dead once
+        ``now - t`` is no longer admissible: any future edge only increases
+        the span.  Returns the number of matches dropped.
+        """
+        if not window.bounded:
+            return 0
+        threshold = window.expiry_threshold(now)
+        dropped = 0
+        for key, identity in self._expiry.pop_expired(threshold, inclusive=window.strict):
+            bucket = self._matches.get(key)
+            if not bucket:
+                continue
+            if identity in bucket:
+                del bucket[identity]
+                dropped += 1
+                self._match_count -= 1
+                self.total_expired += 1
+            if not bucket:
+                del self._matches[key]
+        return dropped
+
+    def drop_matches_with_edge(self, edge_id: int) -> int:
+        """Remove every stored match that binds the given data edge id.
+
+        Used when the caller wants eager consistency with graph-store
+        eviction (e.g. deletion semantics rather than window expiry).
+        Returns the number of matches dropped.
+        """
+        dropped = 0
+        for key in list(self._matches.keys()):
+            bucket = self._matches[key]
+            stale = [identity for identity, match in bucket.items() if match.uses_data_edge(edge_id)]
+            for identity in stale:
+                del bucket[identity]
+                dropped += 1
+                self._match_count -= 1
+            if not bucket:
+                del self._matches[key]
+        return dropped
+
+    def clear_matches(self) -> None:
+        """Remove every stored match (used by tests and by plan switching)."""
+        self._matches.clear()
+        self._expiry = ExpiryQueue()
+        self._match_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else ("root" if self.is_root else "internal")
+        return (
+            f"SJTreeNode(id={self.id}, {kind}, edges={sorted(self.subgraph.edge_ids())}, "
+            f"matches={self._match_count})"
+        )
+
+
+class SJTree:
+    """A binary join tree over an edge-disjoint decomposition of a query graph.
+
+    Parameters
+    ----------
+    query:
+        The full query graph (becomes the root's subgraph, Property 1).
+    leaf_subgraphs:
+        The ordered search primitives.  Order matters: with ``shape="left_deep"``
+        the first two primitives join first, then each subsequent primitive
+        joins the accumulated partial match (the paper's recommended layout,
+        with the most selective primitive first).
+    shape:
+        ``"left_deep"`` (default) or ``"balanced"``.
+    """
+
+    LEFT_DEEP = "left_deep"
+    BALANCED = "balanced"
+
+    def __init__(
+        self,
+        query: QueryGraph,
+        leaf_subgraphs: Sequence[QueryGraph],
+        shape: str = LEFT_DEEP,
+    ):
+        if not leaf_subgraphs:
+            raise ValueError("an SJ-Tree needs at least one leaf primitive")
+        if shape not in (self.LEFT_DEEP, self.BALANCED):
+            raise ValueError(f"unknown SJ-Tree shape {shape!r}")
+        self.query = query
+        self.shape = shape
+        self.nodes: Dict[int, SJTreeNode] = {}
+        self.leaf_ids: List[int] = []
+        self.root_id: int = -1
+        self._next_id = 0
+        self._build(list(leaf_subgraphs), shape)
+        self._assign_key_vertices()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_node(self, subgraph: QueryGraph) -> SJTreeNode:
+        node = SJTreeNode(self._next_id, subgraph)
+        self.nodes[node.id] = node
+        self._next_id += 1
+        return node
+
+    def _join_nodes(self, left: SJTreeNode, right: SJTreeNode) -> SJTreeNode:
+        parent = self._new_node(left.subgraph.union(right.subgraph))
+        parent.left_id = left.id
+        parent.right_id = right.id
+        left.parent_id = parent.id
+        right.parent_id = parent.id
+        parent.cut_vertices = tuple(
+            sorted(left.subgraph.vertex_intersection(right.subgraph))
+        )
+        return parent
+
+    def _build(self, leaf_subgraphs: List[QueryGraph], shape: str) -> None:
+        leaves = [self._new_node(subgraph) for subgraph in leaf_subgraphs]
+        self.leaf_ids = [leaf.id for leaf in leaves]
+        if len(leaves) == 1:
+            self.root_id = leaves[0].id
+            return
+        if shape == self.LEFT_DEEP:
+            current = leaves[0]
+            for leaf in leaves[1:]:
+                current = self._join_nodes(current, leaf)
+            self.root_id = current.id
+        else:  # balanced
+            level: List[SJTreeNode] = leaves
+            while len(level) > 1:
+                next_level: List[SJTreeNode] = []
+                for i in range(0, len(level) - 1, 2):
+                    next_level.append(self._join_nodes(level[i], level[i + 1]))
+                if len(level) % 2 == 1:
+                    next_level.append(level[-1])
+                level = next_level
+            self.root_id = level[0].id
+
+    def _assign_key_vertices(self) -> None:
+        for node in self.nodes.values():
+            if node.parent_id is None:
+                node.key_vertices = ()
+            else:
+                node.key_vertices = self.nodes[node.parent_id].cut_vertices
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> SJTreeNode:
+        """Return the root node."""
+        return self.nodes[self.root_id]
+
+    def node(self, node_id: int) -> SJTreeNode:
+        """Return a node by id."""
+        return self.nodes[node_id]
+
+    def leaves(self) -> List[SJTreeNode]:
+        """Return the leaf nodes in decomposition order."""
+        return [self.nodes[node_id] for node_id in self.leaf_ids]
+
+    def parent(self, node: SJTreeNode) -> Optional[SJTreeNode]:
+        """Return the parent node or ``None`` for the root."""
+        if node.parent_id is None:
+            return None
+        return self.nodes[node.parent_id]
+
+    def sibling(self, node: SJTreeNode) -> Optional[SJTreeNode]:
+        """Return the sibling node or ``None`` for the root."""
+        parent = self.parent(node)
+        if parent is None:
+            return None
+        sibling_id = parent.right_id if parent.left_id == node.id else parent.left_id
+        return self.nodes[sibling_id] if sibling_id is not None else None
+
+    def internal_nodes(self) -> List[SJTreeNode]:
+        """Return the non-leaf nodes (including the root when it has children)."""
+        return [node for node in self.nodes.values() if not node.is_leaf]
+
+    def depth(self) -> int:
+        """Return the number of levels in the tree (single node -> 1)."""
+
+        def node_depth(node_id: int) -> int:
+            node = self.nodes[node_id]
+            if node.is_leaf:
+                return 1
+            children = [c for c in (node.left_id, node.right_id) if c is not None]
+            return 1 + max(node_depth(child) for child in children)
+
+        return node_depth(self.root_id)
+
+    def total_stored_matches(self) -> int:
+        """Return the total number of partial matches currently stored in all nodes."""
+        return sum(node.match_count() for node in self.nodes.values())
+
+    def match_counts_by_node(self) -> Dict[int, int]:
+        """Return ``{node id: stored match count}`` (a Fig. 7-style progress snapshot)."""
+        return {node.id: node.match_count() for node in self.nodes.values()}
+
+    def clear_matches(self) -> None:
+        """Drop every stored partial match (query structure is kept)."""
+        for node in self.nodes.values():
+            node.clear_matches()
+
+    # ------------------------------------------------------------------
+    # invariants (Properties 1, 2, 4 and decomposition sanity)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Verify the structural SJ-Tree properties; raise :class:`SJTreeInvariantError` otherwise."""
+        root = self.root
+        if not root.subgraph.same_structure(self.query):
+            raise SJTreeInvariantError(
+                "Property 1 violated: root subgraph differs from the query graph"
+            )
+        for node in self.nodes.values():
+            if node.is_leaf:
+                continue
+            if node.left_id is None or node.right_id is None:
+                raise SJTreeInvariantError(
+                    f"internal node {node.id} must have exactly two children"
+                )
+            left = self.nodes[node.left_id]
+            right = self.nodes[node.right_id]
+            joined = left.subgraph.union(right.subgraph)
+            if not node.subgraph.same_structure(joined):
+                raise SJTreeInvariantError(
+                    f"Property 2 violated at node {node.id}: subgraph is not the "
+                    "join of its children"
+                )
+            expected_cut = tuple(sorted(left.subgraph.vertex_intersection(right.subgraph)))
+            if node.cut_vertices != expected_cut:
+                raise SJTreeInvariantError(
+                    f"Property 4 violated at node {node.id}: cut vertices "
+                    f"{node.cut_vertices} != {expected_cut}"
+                )
+        # leaves must partition the query edges (edge-disjoint cover)
+        covered: Set[int] = set()
+        for leaf in self.leaves():
+            leaf_edges = leaf.subgraph.edge_ids()
+            if covered & leaf_edges:
+                raise SJTreeInvariantError("leaf primitives overlap on query edges")
+            covered |= leaf_edges
+        if covered != self.query.edge_ids():
+            raise SJTreeInvariantError("leaf primitives do not cover every query edge")
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def expire_matches(self, window: TimeWindow, now: float) -> int:
+        """Expire partial matches in every node; return the total dropped."""
+        return sum(node.expire_matches(window, now) for node in self.nodes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SJTree(query={self.query.name!r}, leaves={len(self.leaf_ids)}, "
+            f"shape={self.shape!r}, stored={self.total_stored_matches()})"
+        )

@@ -1,0 +1,178 @@
+"""Adjacency indexes for label-aware neighbourhood lookups.
+
+StreamWorks performs a *local search* around every incoming edge (paper
+section 4.1): given a new edge, the engine looks for nearby edges whose type
+matches the next query edge of a search primitive.  To keep that lookup
+proportional to the size of the local neighbourhood -- and never a scan of the
+whole graph -- the graph store maintains an :class:`AdjacencyIndex` keyed by
+``(vertex, direction, edge label)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .types import Direction, Edge, EdgeId, VertexId
+
+__all__ = ["AdjacencyIndex"]
+
+
+class AdjacencyIndex:
+    """Index of incident edge ids per vertex, direction and edge label.
+
+    The index stores only edge identifiers; the caller resolves them through
+    the owning graph.  Removal is supported so that the sliding-window store
+    can evict expired edges.
+    """
+
+    def __init__(self) -> None:
+        # vertex -> direction -> label -> set of edge ids
+        self._by_vertex: Dict[VertexId, Dict[str, Dict[str, Set[EdgeId]]]] = {}
+        # vertex -> total incident edge count (in + out, self loops count twice)
+        self._degree: Dict[VertexId, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, edge: Edge) -> None:
+        """Register ``edge`` under both of its endpoints."""
+        self._slot(edge.source, Direction.OUT, edge.label).add(edge.id)
+        self._slot(edge.target, Direction.IN, edge.label).add(edge.id)
+        self._degree[edge.source] += 1
+        self._degree[edge.target] += 1
+
+    def remove_edge(self, edge: Edge) -> None:
+        """Remove ``edge`` from the index; missing entries are ignored."""
+        self._discard(edge.source, Direction.OUT, edge.label, edge.id)
+        self._discard(edge.target, Direction.IN, edge.label, edge.id)
+        for endpoint in (edge.source, edge.target):
+            if endpoint in self._degree:
+                self._degree[endpoint] -= 1
+                if self._degree[endpoint] <= 0:
+                    del self._degree[endpoint]
+
+    def remove_vertex(self, vertex_id: VertexId) -> None:
+        """Drop all index entries rooted at ``vertex_id``.
+
+        The caller is responsible for removing the corresponding entries from
+        the opposite endpoints (normally by removing the edges first).
+        """
+        self._by_vertex.pop(vertex_id, None)
+        self._degree.pop(vertex_id, None)
+
+    def clear(self) -> None:
+        """Remove every entry from the index."""
+        self._by_vertex.clear()
+        self._degree.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def incident_edge_ids(
+        self,
+        vertex_id: VertexId,
+        direction: str = Direction.BOTH,
+        label: Optional[str] = None,
+    ) -> Iterator[EdgeId]:
+        """Yield ids of edges incident to ``vertex_id``.
+
+        Parameters
+        ----------
+        vertex_id:
+            The anchor vertex.
+        direction:
+            ``Direction.OUT`` for edges leaving the vertex, ``Direction.IN``
+            for edges entering it, ``Direction.BOTH`` for either.
+        label:
+            When given, only edges with this label are returned.
+        """
+        per_direction = self._by_vertex.get(vertex_id)
+        if not per_direction:
+            return
+        if direction == Direction.BOTH:
+            directions: Tuple[str, ...] = (Direction.OUT, Direction.IN)
+        else:
+            directions = (direction,)
+        for d in directions:
+            per_label = per_direction.get(d)
+            if not per_label:
+                continue
+            if label is None:
+                for edge_ids in per_label.values():
+                    yield from edge_ids
+            else:
+                yield from per_label.get(label, ())
+
+    def degree(self, vertex_id: VertexId) -> int:
+        """Return the total number of incident edges (in + out)."""
+        return self._degree.get(vertex_id, 0)
+
+    def out_degree(self, vertex_id: VertexId) -> int:
+        """Return the number of outgoing edges."""
+        return self._count(vertex_id, Direction.OUT)
+
+    def in_degree(self, vertex_id: VertexId) -> int:
+        """Return the number of incoming edges."""
+        return self._count(vertex_id, Direction.IN)
+
+    def labels_at(self, vertex_id: VertexId, direction: str = Direction.BOTH) -> Set[str]:
+        """Return the set of edge labels incident to ``vertex_id``."""
+        per_direction = self._by_vertex.get(vertex_id)
+        if not per_direction:
+            return set()
+        if direction == Direction.BOTH:
+            directions: Tuple[str, ...] = (Direction.OUT, Direction.IN)
+        else:
+            directions = (direction,)
+        labels: Set[str] = set()
+        for d in directions:
+            per_label = per_direction.get(d)
+            if per_label:
+                labels.update(key for key, ids in per_label.items() if ids)
+        return labels
+
+    def vertices(self) -> Iterable[VertexId]:
+        """Return the vertices currently known to the index."""
+        return self._by_vertex.keys()
+
+    def __contains__(self, vertex_id: VertexId) -> bool:
+        return vertex_id in self._by_vertex
+
+    def __len__(self) -> int:
+        return len(self._by_vertex)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _slot(self, vertex_id: VertexId, direction: str, label: str) -> Set[EdgeId]:
+        per_direction = self._by_vertex.setdefault(vertex_id, {})
+        per_label = per_direction.setdefault(direction, {})
+        return per_label.setdefault(label, set())
+
+    def _discard(self, vertex_id: VertexId, direction: str, label: str, edge_id: EdgeId) -> None:
+        per_direction = self._by_vertex.get(vertex_id)
+        if not per_direction:
+            return
+        per_label = per_direction.get(direction)
+        if not per_label:
+            return
+        edge_ids = per_label.get(label)
+        if not edge_ids:
+            return
+        edge_ids.discard(edge_id)
+        if not edge_ids:
+            del per_label[label]
+        if not per_label:
+            del per_direction[direction]
+        if not per_direction:
+            del self._by_vertex[vertex_id]
+
+    def _count(self, vertex_id: VertexId, direction: str) -> int:
+        per_direction = self._by_vertex.get(vertex_id)
+        if not per_direction:
+            return 0
+        per_label = per_direction.get(direction)
+        if not per_label:
+            return 0
+        return sum(len(ids) for ids in per_label.values())

@@ -1,0 +1,243 @@
+"""Dynamic (streaming, windowed) multi-relational graph store.
+
+A :class:`DynamicGraph` wraps a :class:`~repro.graph.property_graph.PropertyGraph`
+and adds the temporal behaviour StreamWorks relies on:
+
+* edges arrive from a stream in (approximately) timestamp order and carry the
+  current *stream time* forward;
+* edges older than the retention window are evicted so memory stays bounded;
+* vertices that lose their last incident edge are optionally evicted too.
+
+The retention window defaults to the query window ``tW`` -- an edge that has
+aged out of the query window can never contribute to a new match, so keeping
+it would only slow the local searches down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Mapping, Optional
+
+from .property_graph import PropertyGraph
+from .types import Direction, Edge, EdgeId, Timestamp, Vertex, VertexId
+from .window import ExpiryQueue, TimeWindow
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """A sliding-window view over a stream of timestamped edges.
+
+    Parameters
+    ----------
+    window:
+        Retention window.  ``None`` keeps the full history (useful for the
+        repeated-search baseline and for tests).
+    evict_isolated_vertices:
+        When ``True`` (default) vertices with no remaining incident edges are
+        removed during eviction.
+    out_of_order_tolerance:
+        Maximum allowed lateness (in time units) for an incoming edge.  Edges
+        older than ``current_time - tolerance`` are rejected with
+        ``ValueError`` to protect the monotone-eviction invariant; ``None``
+        accepts any lateness (the stream time never moves backwards).
+    """
+
+    def __init__(
+        self,
+        window: Optional[TimeWindow] = None,
+        evict_isolated_vertices: bool = True,
+        out_of_order_tolerance: Optional[float] = None,
+    ) -> None:
+        self.graph = PropertyGraph()
+        self.window = window if window is not None else TimeWindow(None)
+        self.evict_isolated_vertices = evict_isolated_vertices
+        self.out_of_order_tolerance = out_of_order_tolerance
+        self._expiry: ExpiryQueue[EdgeId] = ExpiryQueue()
+        self._current_time: float = float("-inf")
+        self._edges_ingested = 0
+        self._edges_evicted = 0
+        self._eviction_listeners: List[Callable[[Edge], None]] = []
+
+    # ------------------------------------------------------------------
+    # stream time
+    # ------------------------------------------------------------------
+    @property
+    def current_time(self) -> float:
+        """Return the largest timestamp ingested so far (``-inf`` when empty)."""
+        return self._current_time
+
+    @property
+    def edges_ingested(self) -> int:
+        """Total number of edges ever ingested."""
+        return self._edges_ingested
+
+    @property
+    def edges_evicted(self) -> int:
+        """Total number of edges evicted by the window."""
+        return self._edges_evicted
+
+    def add_eviction_listener(self, listener: Callable[[Edge], None]) -> None:
+        """Register a callback invoked with every evicted edge.
+
+        The continuous-query matcher uses this to drop partial matches that
+        reference evicted edges.
+        """
+        self._eviction_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        source: VertexId,
+        target: VertexId,
+        label: str,
+        timestamp: Timestamp,
+        attrs: Optional[Mapping[str, Any]] = None,
+        source_label: str = "node",
+        target_label: str = "node",
+        source_attrs: Optional[Mapping[str, Any]] = None,
+        target_attrs: Optional[Mapping[str, Any]] = None,
+    ) -> Edge:
+        """Ingest a single raw edge and return the stored :class:`Edge`.
+
+        Advances stream time, stores the edge, then evicts anything that has
+        fallen out of the retention window.  ``source_attrs`` / ``target_attrs``
+        are merged into the endpoint vertices (created if missing), which is
+        how streams convey vertex attributes such as a keyword's topic label.
+        """
+        timestamp = float(timestamp)
+        if source_attrs:
+            self.graph.add_vertex(source, source_label, source_attrs)
+        if target_attrs:
+            self.graph.add_vertex(target, target_label, target_attrs)
+        if self.out_of_order_tolerance is not None and self._current_time != float("-inf"):
+            if timestamp < self._current_time - self.out_of_order_tolerance:
+                raise ValueError(
+                    f"edge timestamp {timestamp} is older than the allowed lateness "
+                    f"({self._current_time} - {self.out_of_order_tolerance})"
+                )
+        edge = self.graph.add_edge(
+            source,
+            target,
+            label,
+            timestamp,
+            attrs,
+            source_label=source_label,
+            target_label=target_label,
+        )
+        self._edges_ingested += 1
+        if timestamp > self._current_time:
+            self._current_time = timestamp
+        self._expiry.push(timestamp, edge.id)
+        self.evict_expired()
+        return edge
+
+    def ingest_edge(self, edge: Edge, source_label: str = "node", target_label: str = "node") -> Edge:
+        """Ingest a pre-built :class:`Edge` (its id may be reassigned)."""
+        return self.ingest(
+            edge.source,
+            edge.target,
+            edge.label,
+            edge.timestamp,
+            edge.attrs,
+            source_label=source_label,
+            target_label=target_label,
+        )
+
+    def ingest_many(self, edges: Iterable[Edge]) -> List[Edge]:
+        """Ingest a batch of pre-built edges, returning the stored copies."""
+        return [self.ingest_edge(edge) for edge in edges]
+
+    def add_vertex(
+        self, vertex_id: VertexId, label: str, attrs: Optional[Mapping[str, Any]] = None
+    ) -> Vertex:
+        """Add (or update) a vertex out of band of the edge stream."""
+        return self.graph.add_vertex(vertex_id, label, attrs)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def evict_expired(self, now: Optional[Timestamp] = None) -> List[Edge]:
+        """Evict edges older than the retention window and return them."""
+        if not self.window.bounded:
+            return []
+        if now is None:
+            now = self._current_time
+        threshold = self.window.expiry_threshold(now)
+        evicted: List[Edge] = []
+        # strict window: an edge exactly at the threshold has span == tW which
+        # is inadmissible, so it is evicted when ``strict`` is set.
+        for edge_id in self._expiry.pop_expired(threshold, inclusive=self.window.strict):
+            if not self.graph.has_edge(edge_id):
+                continue
+            edge = self.graph.remove_edge(edge_id)
+            evicted.append(edge)
+            self._edges_evicted += 1
+            if self.evict_isolated_vertices:
+                for endpoint in edge.endpoints:
+                    if self.graph.has_vertex(endpoint) and self.graph.degree(endpoint) == 0:
+                        self.graph.remove_vertex(endpoint)
+        if evicted:
+            for listener in self._eviction_listeners:
+                for edge in evicted:
+                    listener(edge)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # read API (delegation to the underlying property graph)
+    # ------------------------------------------------------------------
+    def has_vertex(self, vertex_id: VertexId) -> bool:
+        """Return ``True`` when the vertex is currently retained."""
+        return self.graph.has_vertex(vertex_id)
+
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        """Return a retained vertex."""
+        return self.graph.vertex(vertex_id)
+
+    def has_edge(self, edge_id: EdgeId) -> bool:
+        """Return ``True`` when the edge is currently retained."""
+        return self.graph.has_edge(edge_id)
+
+    def edge(self, edge_id: EdgeId) -> Edge:
+        """Return a retained edge."""
+        return self.graph.edge(edge_id)
+
+    def edges(self, label: Optional[str] = None) -> Iterator[Edge]:
+        """Iterate over retained edges."""
+        return self.graph.edges(label)
+
+    def vertices(self, label: Optional[str] = None) -> Iterator[Vertex]:
+        """Iterate over retained vertices."""
+        return self.graph.vertices(label)
+
+    def incident_edges(
+        self,
+        vertex_id: VertexId,
+        direction: str = Direction.BOTH,
+        label: Optional[str] = None,
+    ) -> Iterator[Edge]:
+        """Iterate over retained edges incident to a vertex."""
+        return self.graph.incident_edges(vertex_id, direction, label)
+
+    def degree(self, vertex_id: VertexId) -> int:
+        """Return the retained degree of a vertex."""
+        return self.graph.degree(vertex_id)
+
+    def vertex_count(self, label: Optional[str] = None) -> int:
+        """Return the number of retained vertices."""
+        return self.graph.vertex_count(label)
+
+    def edge_count(self, label: Optional[str] = None) -> int:
+        """Return the number of retained edges."""
+        return self.graph.edge_count(label)
+
+    def snapshot(self) -> PropertyGraph:
+        """Return an independent copy of the currently retained graph."""
+        return self.graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicGraph(|V|={self.vertex_count()}, |E|={self.edge_count()}, "
+            f"t={self._current_time}, window={self.window})"
+        )

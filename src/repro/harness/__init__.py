@@ -1,0 +1,16 @@
+"""Experiment harness: per-figure/table reproduction functions, reporting, CLI."""
+
+from .experiments import ALL_EXPERIMENTS
+from .reporting import format_report, format_table, monotonic_non_decreasing, save_json, speedup
+from .runner import main, run_experiments
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "format_report",
+    "format_table",
+    "main",
+    "monotonic_non_decreasing",
+    "run_experiments",
+    "save_json",
+    "speedup",
+]

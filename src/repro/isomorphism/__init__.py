@@ -1,0 +1,31 @@
+"""Subgraph isomorphism substrate: match objects and backtracking search.
+
+The :class:`SubgraphMatcher` is the static search engine used as the
+repeated-search baseline, as the seeded local-search primitive inside the
+SJ-Tree, and as the correctness oracle in the tests.
+"""
+
+from .candidates import (
+    count_label_candidates,
+    edge_orientations,
+    edge_satisfies,
+    vertex_candidates,
+    vertex_satisfies,
+)
+from .filters import degree_feasible, label_feasible, prefilter_candidates
+from .match import Match, MatchConflictError
+from .vf2 import SubgraphMatcher
+
+__all__ = [
+    "Match",
+    "MatchConflictError",
+    "SubgraphMatcher",
+    "count_label_candidates",
+    "degree_feasible",
+    "edge_orientations",
+    "edge_satisfies",
+    "label_feasible",
+    "prefilter_candidates",
+    "vertex_candidates",
+    "vertex_satisfies",
+]

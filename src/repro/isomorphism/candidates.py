@@ -1,0 +1,87 @@
+"""Candidate enumeration and compatibility checks shared by the matchers.
+
+These helpers answer the two questions that dominate subgraph matching cost:
+
+* "which data vertices could play the role of this query vertex?"
+* "does this data edge satisfy this query edge (label, direction, predicates,
+  endpoint constraints)?"
+
+Both the full backtracking matcher (:mod:`repro.isomorphism.vf2`) and the
+SJ-Tree local search (:mod:`repro.core.local_search`) are built on them so
+the two code paths cannot drift apart semantically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..graph.types import Edge, VertexId
+from ..query.query_graph import QueryEdge, QueryGraph, QueryVertex
+
+__all__ = [
+    "vertex_satisfies",
+    "edge_satisfies",
+    "edge_orientations",
+    "vertex_candidates",
+    "count_label_candidates",
+]
+
+
+def vertex_satisfies(graph, data_vertex_id: VertexId, query_vertex: QueryVertex) -> bool:
+    """Return ``True`` when the stored data vertex satisfies a query vertex.
+
+    ``graph`` may be a :class:`PropertyGraph` or :class:`DynamicGraph`; only
+    ``has_vertex``/``vertex`` are used.
+    """
+    if not graph.has_vertex(data_vertex_id):
+        return False
+    vertex = graph.vertex(data_vertex_id)
+    return query_vertex.matches_vertex(vertex.label, vertex.attrs)
+
+
+def edge_satisfies(edge: Edge, query_edge: QueryEdge) -> bool:
+    """Return ``True`` when a data edge's label/attrs satisfy the query edge.
+
+    Endpoint and direction checks are handled separately (see
+    :func:`edge_orientations`) because they depend on which query endpoints
+    are already bound.
+    """
+    return query_edge.matches_edge_label(edge.label, edge.attrs)
+
+
+def edge_orientations(edge: Edge, query_edge: QueryEdge) -> Iterator[Tuple[VertexId, VertexId]]:
+    """Yield admissible ``(data vertex for source var, data vertex for target var)`` pairs.
+
+    For a directed query edge only the aligned orientation is yielded.  For an
+    undirected query edge both orientations are yielded (unless the edge is a
+    self loop, in which case they coincide).
+    """
+    yield (edge.source, edge.target)
+    if not query_edge.directed and edge.source != edge.target:
+        yield (edge.target, edge.source)
+
+
+def vertex_candidates(graph, query_vertex: QueryVertex) -> Iterator[VertexId]:
+    """Yield ids of data vertices satisfying a query vertex's label and predicate.
+
+    Used by the static matcher to pick start points; label-indexed when the
+    query vertex carries a label, otherwise a full scan.
+    """
+    if query_vertex.label is not None:
+        source = graph.vertices(query_vertex.label)
+    else:
+        source = graph.vertices()
+    for vertex in source:
+        if query_vertex.predicate(vertex.attrs):
+            yield vertex.id
+
+
+def count_label_candidates(graph, query_graph: QueryGraph, query_edge: QueryEdge) -> int:
+    """Return the number of data edges whose label matches ``query_edge``.
+
+    A cheap upper bound on the number of candidate bindings for the edge;
+    used to pick a low-fan-out starting edge for backtracking search.
+    """
+    if query_edge.label is None:
+        return graph.edge_count()
+    return graph.edge_count(query_edge.label)

@@ -1,0 +1,96 @@
+"""Pruning filters for static subgraph search.
+
+These filters implement the classic cheap feasibility checks used before and
+during backtracking search.  They are deliberately conservative (never reject
+a data vertex that could participate in some embedding of the *currently
+stored* graph) so they can be switched on for the repeated-search baseline
+without changing its results.
+
+Note that the filters reason about the graph *as stored right now*; the
+incremental engine cannot use the degree filter on partial matches because a
+vertex's future degree is unknown, which is precisely why the SJ-Tree only
+runs local searches for fully-present primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..graph.types import Direction, VertexId
+from ..query.query_graph import QueryGraph, QueryVertex
+
+__all__ = ["degree_feasible", "label_feasible", "prefilter_candidates"]
+
+
+def degree_feasible(graph, data_vertex_id: VertexId, query: QueryGraph, query_vertex: QueryVertex) -> bool:
+    """Return ``True`` when the data vertex has enough incident edges.
+
+    A data vertex can only host a query vertex if its in/out degree is at
+    least the query vertex's in/out degree requirement.
+    """
+    required_out = sum(1 for edge in query.incident_edges(query_vertex.name) if edge.source == query_vertex.name and edge.directed)
+    required_in = sum(1 for edge in query.incident_edges(query_vertex.name) if edge.target == query_vertex.name and edge.directed)
+    required_any = sum(1 for edge in query.incident_edges(query_vertex.name) if not edge.directed)
+    out_degree = graph.out_degree(data_vertex_id) if hasattr(graph, "out_degree") else graph.graph.out_degree(data_vertex_id)
+    in_degree = graph.in_degree(data_vertex_id) if hasattr(graph, "in_degree") else graph.graph.in_degree(data_vertex_id)
+    if out_degree < required_out:
+        return False
+    if in_degree < required_in:
+        return False
+    return (out_degree + in_degree) >= (required_out + required_in + required_any)
+
+
+def label_feasible(graph, data_vertex_id: VertexId, query: QueryGraph, query_vertex: QueryVertex) -> bool:
+    """Return ``True`` when the incident edge labels required by the query are present.
+
+    For every distinct edge label required at the query vertex, the data
+    vertex must have at least one incident edge with that label (orientation
+    respected for directed query edges).
+    """
+    store = graph.graph if hasattr(graph, "graph") else graph
+    for query_edge in query.incident_edges(query_vertex.name):
+        if query_edge.label is None:
+            continue
+        if query_edge.directed:
+            direction = Direction.OUT if query_edge.source == query_vertex.name else Direction.IN
+        else:
+            direction = Direction.BOTH
+        found = False
+        for _ in store.incident_edges(data_vertex_id, direction, query_edge.label):
+            found = True
+            break
+        if not found:
+            return False
+    return True
+
+
+def prefilter_candidates(
+    graph,
+    query: QueryGraph,
+    use_degree: bool = True,
+    use_labels: bool = True,
+) -> Dict[str, Set[VertexId]]:
+    """Return candidate data vertices per query vertex after cheap filtering.
+
+    The result maps each query vertex name to the set of data vertex ids that
+    pass the label/predicate, degree and incident-label filters.  An empty
+    candidate set for any query vertex proves the query has no match in the
+    current graph -- the repeated-search baseline uses this as an early exit.
+    """
+    candidates: Dict[str, Set[VertexId]] = {}
+    for query_vertex in query.vertices():
+        feasible: Set[VertexId] = set()
+        if query_vertex.label is not None:
+            pool: Iterable = graph.vertices(query_vertex.label)
+        else:
+            pool = graph.vertices()
+        for vertex in pool:
+            if not query_vertex.predicate(vertex.attrs):
+                continue
+            if use_degree and not degree_feasible(graph, vertex.id, query, query_vertex):
+                continue
+            if use_labels and not label_feasible(graph, vertex.id, query, query_vertex):
+                continue
+            feasible.add(vertex.id)
+        candidates[query_vertex.name] = feasible
+    return candidates

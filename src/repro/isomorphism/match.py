@@ -1,0 +1,249 @@
+"""Match objects: bindings of query vertices/edges to data vertices/edges.
+
+A :class:`Match` is the unit of work everywhere in StreamWorks: the local
+search produces matches of leaf primitives, SJ-Tree nodes store partial
+matches, joins merge compatible matches, and the engine emits complete
+matches.  A match records
+
+* the vertex binding (query variable -> data vertex id),
+* the edge binding (query edge id -> data :class:`Edge` object), and
+* its temporal extent (earliest/latest bound edge timestamp).
+
+Matches are value objects: merging two matches produces a new one.  Edge
+objects (not just ids) are stored so that a partial match keeps its
+timestamps even after the underlying edge is evicted from the window store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..graph.types import Edge, EdgeId, VertexId
+
+__all__ = ["Match", "MatchConflictError"]
+
+
+class MatchConflictError(ValueError):
+    """Raised when merging two matches whose bindings disagree."""
+
+
+class Match:
+    """A (partial or complete) binding of a query subgraph into the data graph."""
+
+    __slots__ = ("vertex_map", "edge_map", "earliest", "latest")
+
+    def __init__(
+        self,
+        vertex_map: Optional[Mapping[str, VertexId]] = None,
+        edge_map: Optional[Mapping[int, Edge]] = None,
+    ):
+        self.vertex_map: Dict[str, VertexId] = dict(vertex_map or {})
+        self.edge_map: Dict[int, Edge] = dict(edge_map or {})
+        timestamps = [edge.timestamp for edge in self.edge_map.values()]
+        self.earliest: float = min(timestamps) if timestamps else float("inf")
+        self.latest: float = max(timestamps) if timestamps else float("-inf")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> float:
+        """Return the temporal extent τ of the match (0 for empty matches)."""
+        if not self.edge_map:
+            return 0.0
+        return self.latest - self.earliest
+
+    @property
+    def size(self) -> int:
+        """Return the number of bound query edges."""
+        return len(self.edge_map)
+
+    def vertex_binding(self, query_vertex: str) -> Optional[VertexId]:
+        """Return the data vertex bound to ``query_vertex`` (``None`` if unbound)."""
+        return self.vertex_map.get(query_vertex)
+
+    def edge_binding(self, query_edge_id: int) -> Optional[Edge]:
+        """Return the data edge bound to the query edge id (``None`` if unbound)."""
+        return self.edge_map.get(query_edge_id)
+
+    def bound_vertices(self) -> Iterable[str]:
+        """Return the bound query vertex names."""
+        return self.vertex_map.keys()
+
+    def bound_edges(self) -> Iterable[int]:
+        """Return the bound query edge ids."""
+        return self.edge_map.keys()
+
+    def data_vertex_ids(self) -> FrozenSet[VertexId]:
+        """Return the set of data vertex ids used by the match."""
+        return frozenset(self.vertex_map.values())
+
+    def data_edge_ids(self) -> FrozenSet[EdgeId]:
+        """Return the set of data edge ids used by the match."""
+        return frozenset(edge.id for edge in self.edge_map.values())
+
+    def uses_data_edge(self, edge_id: EdgeId) -> bool:
+        """Return ``True`` when the match binds the given data edge id."""
+        return any(edge.id == edge_id for edge in self.edge_map.values())
+
+    def is_injective(self) -> bool:
+        """Return ``True`` when distinct query vertices map to distinct data vertices."""
+        return len(set(self.vertex_map.values())) == len(self.vertex_map)
+
+    # ------------------------------------------------------------------
+    # extension and merging
+    # ------------------------------------------------------------------
+    def with_binding(
+        self,
+        query_edge_id: int,
+        data_edge: Edge,
+        vertex_bindings: Mapping[str, VertexId],
+    ) -> "Match":
+        """Return a new match extended with one edge binding and its vertex bindings.
+
+        Raises
+        ------
+        MatchConflictError
+            If any of the new vertex bindings contradicts an existing one, or
+            if injectivity would be violated, or if the data edge is already
+            bound to a different query edge.
+        """
+        new_vertex_map = dict(self.vertex_map)
+        bound_data_vertices = set(self.vertex_map.values())
+        for query_vertex, data_vertex in vertex_bindings.items():
+            existing = new_vertex_map.get(query_vertex)
+            if existing is not None:
+                if existing != data_vertex:
+                    raise MatchConflictError(
+                        f"query vertex {query_vertex!r} already bound to {existing!r}, "
+                        f"cannot rebind to {data_vertex!r}"
+                    )
+                continue
+            if data_vertex in bound_data_vertices:
+                raise MatchConflictError(
+                    f"data vertex {data_vertex!r} already used by another query vertex"
+                )
+            new_vertex_map[query_vertex] = data_vertex
+            bound_data_vertices.add(data_vertex)
+        if query_edge_id in self.edge_map:
+            raise MatchConflictError(f"query edge {query_edge_id} is already bound")
+        for bound in self.edge_map.values():
+            if bound.id == data_edge.id:
+                raise MatchConflictError(
+                    f"data edge {data_edge.id} already bound to another query edge"
+                )
+        new_edge_map = dict(self.edge_map)
+        new_edge_map[query_edge_id] = data_edge
+        return Match(new_vertex_map, new_edge_map)
+
+    def is_compatible(self, other: "Match") -> bool:
+        """Return ``True`` when two matches can be merged into a valid larger match.
+
+        Compatibility requires:
+
+        * query vertices bound in both matches map to the same data vertex;
+        * query vertices bound in only one of the matches do not collide with
+          data vertices used by the other (injectivity of the merged map);
+        * query edges bound in both matches map to the same data edge;
+        * data edges are not shared across *different* query edges.
+        """
+        # shared query vertices must agree
+        for query_vertex, data_vertex in self.vertex_map.items():
+            other_binding = other.vertex_map.get(query_vertex)
+            if other_binding is not None and other_binding != data_vertex:
+                return False
+        # injectivity of the merged vertex map
+        self_only = {
+            qv: dv for qv, dv in self.vertex_map.items() if qv not in other.vertex_map
+        }
+        other_only = {
+            qv: dv for qv, dv in other.vertex_map.items() if qv not in self.vertex_map
+        }
+        other_values = set(other.vertex_map.values())
+        for data_vertex in self_only.values():
+            if data_vertex in other_values:
+                return False
+        self_values = set(self.vertex_map.values())
+        for data_vertex in other_only.values():
+            if data_vertex in self_values:
+                return False
+        if len(set(self_only.values())) != len(self_only):
+            return False
+        if len(set(other_only.values())) != len(other_only):
+            return False
+        # shared query edges must agree; distinct query edges need distinct data edges
+        for query_edge_id, data_edge in self.edge_map.items():
+            other_edge = other.edge_map.get(query_edge_id)
+            if other_edge is not None and other_edge.id != data_edge.id:
+                return False
+        self_edge_ids = {
+            edge.id for qe, edge in self.edge_map.items() if qe not in other.edge_map
+        }
+        other_edge_ids = {
+            edge.id for qe, edge in other.edge_map.items() if qe not in self.edge_map
+        }
+        if self_edge_ids & other_edge_ids:
+            return False
+        return True
+
+    def merge(self, other: "Match") -> "Match":
+        """Merge two compatible matches into a larger one.
+
+        Raises
+        ------
+        MatchConflictError
+            When :meth:`is_compatible` is ``False``.
+        """
+        if not self.is_compatible(other):
+            raise MatchConflictError("matches are not compatible")
+        vertex_map = dict(self.vertex_map)
+        vertex_map.update(other.vertex_map)
+        edge_map = dict(self.edge_map)
+        edge_map.update(other.edge_map)
+        return Match(vertex_map, edge_map)
+
+    # ------------------------------------------------------------------
+    # keys, identity and presentation
+    # ------------------------------------------------------------------
+    def projection_key(self, query_vertices: Sequence[str]) -> Tuple[VertexId, ...]:
+        """Return the tuple of data vertices bound to the given query vertices.
+
+        This is the join key used by SJ-Tree match collections: sibling
+        matches can only combine when they agree on the cut vertices, so
+        collections are hashed by this projection.
+        Unbound variables appear as ``None``.
+        """
+        return tuple(self.vertex_map.get(name) for name in query_vertices)
+
+    def identity(self) -> Tuple[FrozenSet[Tuple[str, VertexId]], FrozenSet[Tuple[int, EdgeId]]]:
+        """Return a hashable identity for duplicate detection."""
+        return (
+            frozenset(self.vertex_map.items()),
+            frozenset((qe, edge.id) for qe, edge in self.edge_map.items()),
+        )
+
+    def structural_identity(self) -> FrozenSet[EdgeId]:
+        """Return the set of data edge ids -- identity up to query automorphisms."""
+        return self.data_edge_ids()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self.identity() == other.identity()
+
+    def __hash__(self) -> int:
+        return hash(self.identity())
+
+    def __len__(self) -> int:
+        return len(self.edge_map)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        vertices = ", ".join(f"{qv}={dv!r}" for qv, dv in sorted(self.vertex_map.items(), key=lambda kv: kv[0]))
+        return f"Match({{{vertices}}}, edges={sorted(e.id for e in self.edge_map.values())})"
+
+    def describe(self) -> str:
+        """Return a one-line human readable description."""
+        vertices = ", ".join(
+            f"{qv}->{dv}" for qv, dv in sorted(self.vertex_map.items(), key=lambda kv: kv[0])
+        )
+        return f"[{vertices}] span={self.span:.3f}"

@@ -1,0 +1,244 @@
+"""Backtracking subgraph-isomorphism matcher.
+
+This is the static search substrate: a VF2-style backtracking enumerator of
+all isomorphic embeddings of a query graph inside a data graph.  It serves
+three roles in the reproduction:
+
+* the *repeated search* baseline (re-run the full search per batch, the
+  strategy the paper contrasts its incremental algorithm with);
+* the *local search* at SJ-Tree leaves -- searching for a small primitive in
+  the neighbourhood of a new edge is just a seeded run of the same
+  enumerator;
+* the *test oracle* -- the incremental engine's cumulative results are
+  checked against this matcher in the integration tests.
+
+The matcher proceeds edge-at-a-time rather than vertex-at-a-time: dynamic
+graphs are multigraphs (many parallel flows between the same two hosts) and
+distinct parallel edges give distinct matches with different temporal
+extents, so edges are the right unit of binding.  An optional
+:class:`~repro.graph.window.TimeWindow` prunes partial bindings whose span
+already exceeds the query window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph.types import Direction, Edge, VertexId
+from ..graph.window import TimeWindow
+from ..query.query_graph import QueryEdge, QueryGraph
+from .candidates import (
+    count_label_candidates,
+    edge_orientations,
+    edge_satisfies,
+    vertex_satisfies,
+)
+from .match import Match, MatchConflictError
+
+__all__ = ["SubgraphMatcher"]
+
+
+class SubgraphMatcher:
+    """Enumerate embeddings of query graphs in a (possibly windowed) data graph.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graph.property_graph.PropertyGraph` or
+        :class:`~repro.graph.dynamic_graph.DynamicGraph`; only the shared read
+        API is used.
+    window:
+        Optional time window; matches whose temporal extent is inadmissible
+        are pruned during search.
+    """
+
+    def __init__(self, graph, window: Optional[TimeWindow] = None):
+        self.graph = graph
+        self.window = window if window is not None else TimeWindow(None)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def find_matches(
+        self,
+        query: QueryGraph,
+        seed: Optional[Match] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Match]:
+        """Yield matches of ``query``, optionally extending a partial ``seed``.
+
+        Parameters
+        ----------
+        query:
+            The pattern to search for.
+        seed:
+            A partial match whose bindings are kept fixed; only the remaining
+            query edges are searched.  This is how the SJ-Tree local search
+            anchors the primitive on a newly arrived edge.
+        limit:
+            Stop after this many matches (``None`` = enumerate all).
+        """
+        match = seed if seed is not None else Match()
+        if self.window.bounded and match.edge_map and not self.window.admits_span(match.span):
+            return
+        order = self._edge_order(query, match)
+        count = 0
+        for result in self._extend(query, order, 0, match):
+            yield result
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    def find_all(
+        self,
+        query: QueryGraph,
+        seed: Optional[Match] = None,
+        limit: Optional[int] = None,
+    ) -> List[Match]:
+        """Return :meth:`find_matches` as a list."""
+        return list(self.find_matches(query, seed=seed, limit=limit))
+
+    def count_matches(self, query: QueryGraph, seed: Optional[Match] = None) -> int:
+        """Return the number of embeddings (enumerating them all)."""
+        return sum(1 for _ in self.find_matches(query, seed=seed))
+
+    def exists(self, query: QueryGraph, seed: Optional[Match] = None) -> bool:
+        """Return ``True`` when at least one embedding exists."""
+        for _ in self.find_matches(query, seed=seed, limit=1):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # search order
+    # ------------------------------------------------------------------
+    def _edge_order(self, query: QueryGraph, seed: Match) -> List[QueryEdge]:
+        """Return the unbound query edges in a connectivity-aware order.
+
+        The first edge is the one with the fewest label candidates in the
+        data graph (cheap selectivity proxy); subsequent edges are chosen so
+        that they touch an already-bound query vertex whenever possible,
+        keeping candidate enumeration local.
+        """
+        unbound = [edge for edge in query.edges() if edge.id not in seed.edge_map]
+        if not unbound:
+            return []
+        bound_vertices: Set[str] = set(seed.vertex_map.keys())
+        for edge_id in seed.edge_map:
+            if query.has_edge(edge_id):
+                bound_vertices.update(query.edge(edge_id).endpoints)
+
+        remaining = {edge.id: edge for edge in unbound}
+        order: List[QueryEdge] = []
+
+        def candidate_cost(edge: QueryEdge) -> Tuple[int, int]:
+            touches = edge.source in bound_vertices or edge.target in bound_vertices
+            return (0 if touches else 1, count_label_candidates(self.graph, query, edge))
+
+        while remaining:
+            next_edge = min(remaining.values(), key=candidate_cost)
+            order.append(next_edge)
+            del remaining[next_edge.id]
+            bound_vertices.update(next_edge.endpoints)
+        return order
+
+    # ------------------------------------------------------------------
+    # backtracking core
+    # ------------------------------------------------------------------
+    def _extend(
+        self,
+        query: QueryGraph,
+        order: Sequence[QueryEdge],
+        index: int,
+        match: Match,
+    ) -> Iterator[Match]:
+        if index == len(order):
+            yield match
+            return
+        query_edge = order[index]
+        for extended in self._bind_edge(query, query_edge, match):
+            yield from self._extend(query, order, index + 1, extended)
+
+    def _bind_edge(self, query: QueryGraph, query_edge: QueryEdge, match: Match) -> Iterator[Match]:
+        """Yield extensions of ``match`` with one binding for ``query_edge``."""
+        source_binding = match.vertex_binding(query_edge.source)
+        target_binding = match.vertex_binding(query_edge.target)
+
+        if source_binding is not None and target_binding is not None:
+            candidates = self._edges_between(source_binding, target_binding, query_edge)
+        elif source_binding is not None:
+            candidates = self._edges_from_anchor(source_binding, query_edge, anchored_on_source=True)
+        elif target_binding is not None:
+            candidates = self._edges_from_anchor(target_binding, query_edge, anchored_on_source=False)
+        else:
+            candidates = self._all_label_edges(query_edge)
+
+        for data_edge in candidates:
+            yield from self._try_bind(query, query_edge, data_edge, match)
+
+    def _try_bind(
+        self,
+        query: QueryGraph,
+        query_edge: QueryEdge,
+        data_edge: Edge,
+        match: Match,
+    ) -> Iterator[Match]:
+        """Attempt all admissible orientations of ``data_edge`` for ``query_edge``."""
+        if not edge_satisfies(data_edge, query_edge):
+            return
+        if any(bound.id == data_edge.id for bound in match.edge_map.values()):
+            return
+        if self.window.bounded and match.edge_map:
+            combined_span = max(match.latest, data_edge.timestamp) - min(
+                match.earliest, data_edge.timestamp
+            )
+            if not self.window.admits_span(combined_span):
+                return
+        source_var = query_edge.source
+        target_var = query_edge.target
+        for source_vertex, target_vertex in edge_orientations(data_edge, query_edge):
+            # self-loop query edges need a self-loop data edge and vice versa
+            if (source_var == target_var) != (source_vertex == target_vertex):
+                continue
+            existing_source = match.vertex_binding(source_var)
+            existing_target = match.vertex_binding(target_var)
+            if existing_source is not None and existing_source != source_vertex:
+                continue
+            if existing_target is not None and existing_target != target_vertex:
+                continue
+            if not vertex_satisfies(self.graph, source_vertex, query.vertex(source_var)):
+                continue
+            if not vertex_satisfies(self.graph, target_vertex, query.vertex(target_var)):
+                continue
+            bindings = {source_var: source_vertex, target_var: target_vertex}
+            try:
+                yield match.with_binding(query_edge.id, data_edge, bindings)
+            except MatchConflictError:
+                continue
+
+    # ------------------------------------------------------------------
+    # candidate edge enumeration
+    # ------------------------------------------------------------------
+    def _edges_between(self, source: VertexId, target: VertexId, query_edge: QueryEdge) -> Iterator[Edge]:
+        if not self.graph.has_vertex(source):
+            return
+        for edge in self.graph.incident_edges(source, Direction.OUT, query_edge.label):
+            if edge.target == target:
+                yield edge
+        if not query_edge.directed:
+            for edge in self.graph.incident_edges(source, Direction.IN, query_edge.label):
+                if edge.source == target:
+                    yield edge
+
+    def _edges_from_anchor(
+        self, anchor: VertexId, query_edge: QueryEdge, anchored_on_source: bool
+    ) -> Iterator[Edge]:
+        if not self.graph.has_vertex(anchor):
+            return
+        if query_edge.directed:
+            direction = Direction.OUT if anchored_on_source else Direction.IN
+        else:
+            direction = Direction.BOTH
+        yield from self.graph.incident_edges(anchor, direction, query_edge.label)
+
+    def _all_label_edges(self, query_edge: QueryEdge) -> Iterator[Edge]:
+        yield from self.graph.edges(query_edge.label)

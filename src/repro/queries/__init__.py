@@ -1,0 +1,29 @@
+"""Ready-made query catalogues for the paper's two target domains."""
+
+from .cyber import (
+    CYBER_QUERIES,
+    data_exfiltration_query,
+    port_scan_query,
+    smurf_ddos_query,
+    worm_propagation_query,
+)
+from .news import (
+    NEWS_QUERIES,
+    breaking_story_query,
+    co_citation_query,
+    common_topic_location_query,
+    labelled_topic_query,
+)
+
+__all__ = [
+    "CYBER_QUERIES",
+    "NEWS_QUERIES",
+    "breaking_story_query",
+    "co_citation_query",
+    "common_topic_location_query",
+    "data_exfiltration_query",
+    "labelled_topic_query",
+    "port_scan_query",
+    "smurf_ddos_query",
+    "worm_propagation_query",
+]

@@ -1,0 +1,153 @@
+"""Cyber-security query catalogue (paper Fig. 3, section 5.1).
+
+The paper models a cyber system as a graph of machines, IP addresses, users
+and services, and registers graph queries for "worm spread, virus attack,
+denial-of-service attack etc.".  These constructors build the query graphs
+matching the attack footprints emitted by
+:class:`~repro.workloads.attacks.AttackInjector`, so the cyber experiments
+have a closed loop: inject pattern -> register query -> expect detection.
+
+Every constructor returns a fresh :class:`~repro.query.query_graph.QueryGraph`
+(query graphs are mutated by registration bookkeeping nowhere, but fresh
+objects keep experiments independent).
+"""
+
+from __future__ import annotations
+
+from ..query.builder import QueryBuilder
+from ..query.predicates import AttrCompare, AttrEquals
+from ..query.query_graph import QueryGraph
+
+__all__ = [
+    "smurf_ddos_query",
+    "worm_propagation_query",
+    "port_scan_query",
+    "data_exfiltration_query",
+    "exfiltration_campaign_query",
+    "CYBER_QUERIES",
+]
+
+
+def smurf_ddos_query(reflector_count: int = 3, name: str = "smurf_ddos") -> QueryGraph:
+    """Smurf DDoS: broadcast amplification ending in several replies to one victim.
+
+    The pattern follows the attack mechanics end to end: an attacker sends an
+    ``icmpRequest`` to a broadcast address, the broadcast forwards the request
+    to ``reflector_count`` distinct hosts, and each of those hosts sends an
+    ``icmpReply`` to the same (spoofed) victim.  ``reflector_count`` controls
+    how much amplification must be seen before the query fires (3 by default
+    -- large enough to avoid firing on ordinary ping traffic, small enough to
+    fire early in an attack).
+    """
+    builder = (
+        QueryBuilder(name)
+        .vertex("attacker", "IP")
+        .vertex("broadcast", "IP")
+        .vertex("victim", "IP")
+        .edge("attacker", "broadcast", "icmpRequest")
+    )
+    for index in range(reflector_count):
+        reflector = f"reflector{index}"
+        builder.vertex(reflector, "IP")
+        builder.edge("broadcast", reflector, "icmpRequest")
+        builder.edge(reflector, "victim", "icmpReply")
+    return builder.build()
+
+
+def worm_propagation_query(name: str = "worm_propagation") -> QueryGraph:
+    """Worm spread: infection hops two levels out from an origin host.
+
+    origin -> hostA -> hostB and origin -> hostC, all over the worm's port
+    (445/tcp footprint in the injector, expressed here via the edge label
+    only so the query also catches variants on other ports).
+    """
+    return (
+        QueryBuilder(name)
+        .vertex("origin", "IP")
+        .vertex("hostA", "IP")
+        .vertex("hostB", "IP")
+        .vertex("hostC", "IP")
+        .edge("origin", "hostA", "connectsTo", attrs={"port": 445})
+        .edge("origin", "hostC", "connectsTo", attrs={"port": 445})
+        .edge("hostA", "hostB", "connectsTo", attrs={"port": 445})
+        .build()
+    )
+
+
+def port_scan_query(probe_count: int = 4, name: str = "port_scan") -> QueryGraph:
+    """Port scan: one scanner opens ``probe_count`` half-open connections to one target.
+
+    Each probe is a ``connectsTo`` edge flagged ``syn_only`` by the flow
+    sensor.  The scanner and the target are shared across all probes, so a
+    match requires ``probe_count`` parallel edges between the same pair of
+    hosts inside the window.
+    """
+    builder = QueryBuilder(name).vertex("scanner", "IP").vertex("target", "IP")
+    for _ in range(probe_count):
+        builder.edge("scanner", "target", "connectsTo", attrs={"syn_only": True})
+    return builder.build()
+
+
+def data_exfiltration_query(min_upload_bytes: int = 1_000_000, name: str = "data_exfiltration") -> QueryGraph:
+    """Exfiltration: fresh login, internal pull, then a large external upload.
+
+    user -[loginTo]-> staging, staging -[connectsTo]-> internal server,
+    staging -[connectsTo {external, bytes >= min_upload_bytes}]-> external host.
+    """
+    return (
+        QueryBuilder(name)
+        .vertex("user", "User")
+        .vertex("staging", "IP")
+        .vertex("internal", "IP")
+        .vertex("external", "IP")
+        .edge("user", "staging", "loginTo", attrs={"success": True})
+        .edge("staging", "internal", "connectsTo")
+        .edge(
+            "staging",
+            "external",
+            "connectsTo",
+            predicate=AttrEquals("external", True) & AttrCompare("bytes", ">=", min_upload_bytes),
+        )
+        .build()
+    )
+
+
+def exfiltration_campaign_query(name: str = "exfiltration_campaign") -> QueryGraph:
+    """A broader exfiltration picture mixing frequent and rare relations.
+
+    A staging host is logged into by a user (``loginTo``, rare), resolves an
+    external domain (``resolvesTo``, uncommon), and opens outbound
+    connections (``connectsTo``, very frequent) to two destinations that each
+    perform a DNS resolution of their own.  Because the relation frequencies
+    differ by an order of magnitude, the join order chosen for this query has
+    a visible effect on how many partial matches are stored.  Note that on
+    busy traffic this pattern is extremely common (every well-connected host
+    matches it many times over), so register it with a short window.
+    """
+    return (
+        QueryBuilder(name)
+        .vertex("user", "User")
+        .vertex("staging", "IP")
+        .vertex("domain", "Domain")
+        .vertex("domain2", "Domain")
+        .vertex("domain3", "Domain")
+        .vertex("dst1", "IP")
+        .vertex("dst2", "IP")
+        .edge("user", "staging", "loginTo")
+        .edge("staging", "domain", "resolvesTo")
+        .edge("staging", "dst1", "connectsTo")
+        .edge("staging", "dst2", "connectsTo")
+        .edge("dst1", "domain2", "resolvesTo")
+        .edge("dst2", "domain3", "resolvesTo")
+        .build()
+    )
+
+
+#: Name -> constructor map used by the Fig. 3 experiment and the examples.
+CYBER_QUERIES = {
+    "smurf_ddos": smurf_ddos_query,
+    "worm_propagation": worm_propagation_query,
+    "port_scan": port_scan_query,
+    "data_exfiltration": data_exfiltration_query,
+    "exfiltration_campaign": exfiltration_campaign_query,
+}

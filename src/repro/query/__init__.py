@@ -1,0 +1,59 @@
+"""Query model: typed graph patterns with attribute predicates.
+
+The package contains the query graph representation (:class:`QueryGraph`),
+the predicate algebra used to constrain vertex/edge attributes, a fluent
+:class:`QueryBuilder` and a small Cypher-flavoured text parser
+(:func:`parse_query`).
+"""
+
+from .builder import QueryBuilder
+from .parser import ParsedQuery, QueryParseError, parse_query
+from .serialize import (
+    QuerySerializationError,
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
+from .predicates import (
+    And,
+    AttrCompare,
+    AttrEquals,
+    AttrExists,
+    AttrIn,
+    AttrRange,
+    CustomPredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    always_true,
+)
+from .query_graph import QueryEdge, QueryGraph, QueryVertex
+
+__all__ = [
+    "And",
+    "AttrCompare",
+    "AttrEquals",
+    "AttrExists",
+    "AttrIn",
+    "AttrRange",
+    "CustomPredicate",
+    "Not",
+    "Or",
+    "ParsedQuery",
+    "Predicate",
+    "QueryBuilder",
+    "QueryEdge",
+    "QueryGraph",
+    "QueryParseError",
+    "QuerySerializationError",
+    "QueryVertex",
+    "TruePredicate",
+    "always_true",
+    "parse_query",
+    "query_from_dict",
+    "query_from_json",
+    "query_to_dict",
+    "query_to_json",
+]

@@ -1,0 +1,115 @@
+"""Fluent builder for query graphs.
+
+The builder offers a compact way to write the query graphs that the paper's
+target users register against the stream, e.g. the Fig. 2 news query::
+
+    query = (
+        QueryBuilder("common_topic_location")
+        .vertex("k", "Keyword")
+        .vertex("loc", "Location")
+        .vertex("a1", "Article")
+        .vertex("a2", "Article")
+        .vertex("a3", "Article")
+        .edge("a1", "k", "mentions")
+        .edge("a1", "loc", "locatedIn")
+        .edge("a2", "k", "mentions")
+        .edge("a2", "loc", "locatedIn")
+        .edge("a3", "k", "mentions")
+        .edge("a3", "loc", "locatedIn")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from .predicates import And, AttrEquals, Predicate, always_true
+from .query_graph import QueryGraph
+
+__all__ = ["QueryBuilder"]
+
+
+def _attrs_to_predicate(attrs: Optional[Mapping[str, Any]], predicate: Optional[Predicate]) -> Predicate:
+    """Combine a dict of required attribute values and an explicit predicate."""
+    parts = []
+    if attrs:
+        parts.extend(AttrEquals(key, value) for key, value in attrs.items())
+    if predicate is not None:
+        parts.append(predicate)
+    if not parts:
+        return always_true
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+class QueryBuilder:
+    """Incrementally assemble a :class:`~repro.query.query_graph.QueryGraph`."""
+
+    def __init__(self, name: str = "query"):
+        self._graph = QueryGraph(name)
+
+    def vertex(
+        self,
+        name: str,
+        label: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> "QueryBuilder":
+        """Declare a query vertex.
+
+        ``attrs`` is shorthand for one :class:`AttrEquals` per key; an
+        explicit ``predicate`` is AND-ed with it.
+        """
+        self._graph.add_vertex(name, label, _attrs_to_predicate(attrs, predicate))
+        return self
+
+    def edge(
+        self,
+        source: str,
+        target: str,
+        label: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Predicate] = None,
+        directed: bool = True,
+    ) -> "QueryBuilder":
+        """Declare a query edge between two (possibly implicit) vertices."""
+        self._graph.add_edge(
+            source,
+            target,
+            label,
+            _attrs_to_predicate(attrs, predicate),
+            directed=directed,
+        )
+        return self
+
+    def undirected_edge(
+        self,
+        source: str,
+        target: str,
+        label: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> "QueryBuilder":
+        """Declare an orientation-insensitive query edge."""
+        return self.edge(source, target, label, attrs, predicate, directed=False)
+
+    def build(self) -> QueryGraph:
+        """Return the assembled query graph.
+
+        Raises
+        ------
+        ValueError
+            If the pattern has no edges or is not weakly connected --
+            StreamWorks queries are connected patterns (a disconnected
+            pattern would force unconstrained cross products during joins).
+        """
+        if self._graph.edge_count() == 0:
+            raise ValueError("a query graph needs at least one edge")
+        if not self._graph.is_connected():
+            raise ValueError(
+                f"query graph {self._graph.name!r} is not connected; "
+                "register each connected component as its own query"
+            )
+        return self._graph

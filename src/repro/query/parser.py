@@ -1,0 +1,250 @@
+"""A tiny text query language for StreamWorks patterns.
+
+The demo paper's target users compose queries visually (Fig. 4); this module
+provides the programmatic equivalent -- a compact, Cypher-flavoured pattern
+syntax so that queries can be written as strings::
+
+    MATCH (a1:Article)-[:mentions]->(k:Keyword {label="politics"}),
+          (a1:Article)-[:locatedIn]->(loc:Location),
+          (a2:Article)-[:mentions]->(k),
+          (a2:Article)-[:locatedIn]->(loc)
+    WITHIN 3600
+
+Supported features:
+
+* node patterns ``(name:Label {attr=value, ...})`` -- the label and the
+  attribute map are optional; re-using a name refers to the same variable;
+* relationship patterns ``-[:label {attr=value}]->`` (directed right),
+  ``<-[:label]-`` (directed left) and ``-[:label]-`` (undirected);
+* comma-separated pattern chains of arbitrary length;
+* an optional ``WITHIN <seconds>`` clause defining the query time window;
+* ``#`` comments and free-form whitespace.
+
+The parser returns a :class:`ParsedQuery` carrying the
+:class:`~repro.query.query_graph.QueryGraph` and the optional window length.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from .predicates import And, AttrEquals, Predicate, always_true
+from .query_graph import QueryGraph
+
+__all__ = ["ParsedQuery", "QueryParseError", "parse_query"]
+
+
+class QueryParseError(ValueError):
+    """Raised when the query text cannot be parsed."""
+
+
+class ParsedQuery(NamedTuple):
+    """Result of :func:`parse_query`."""
+
+    graph: QueryGraph
+    window: Optional[float]
+
+
+_NODE_RE = re.compile(
+    r"""
+    \(\s*
+    (?P<name>[A-Za-z_][A-Za-z_0-9]*)?          # variable name (optional)
+    \s*
+    (?::\s*(?P<label>[A-Za-z_][A-Za-z_0-9]*))? # :Label (optional)
+    \s*
+    (?:\{(?P<attrs>[^}]*)\})?                  # {attr=value, ...} (optional)
+    \s*\)
+    """,
+    re.VERBOSE,
+)
+
+_REL_RE = re.compile(
+    r"""
+    (?P<left><)?-\s*
+    (?:\[\s*
+        (?::\s*(?P<label>[A-Za-z_][A-Za-z_0-9]*))?
+        \s*
+        (?:\{(?P<attrs>[^}]*)\})?
+    \s*\])?
+    \s*-(?P<right>>)?
+    """,
+    re.VERBOSE,
+)
+
+_ATTR_ITEM_RE = re.compile(
+    r"""
+    \s*(?P<key>[A-Za-z_][A-Za-z_0-9]*)\s*
+    (?:=|:)\s*
+    (?P<value>
+        "(?:[^"\\]|\\.)*"      # double-quoted string
+        | '(?:[^'\\]|\\.)*'    # single-quoted string
+        | [^,}]+               # bare token (number, bool, word)
+    )\s*
+    """,
+    re.VERBOSE,
+)
+
+_WITHIN_RE = re.compile(r"\bWITHIN\s+(?P<window>[0-9]+(?:\.[0-9]+)?)\b", re.IGNORECASE)
+_MATCH_RE = re.compile(r"^\s*MATCH\b", re.IGNORECASE)
+_COMMENT_RE = re.compile(r"#[^\n]*")
+
+
+def _parse_value(token: str) -> Any:
+    token = token.strip()
+    if not token:
+        raise QueryParseError("empty attribute value")
+    if (token[0] == '"' and token[-1] == '"') or (token[0] == "'" and token[-1] == "'"):
+        body = token[1:-1]
+        return body.replace("\\\"", '"').replace("\\'", "'")
+    lowered = token.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("null", "none"):
+        return None
+    try:
+        if "." in token or "e" in lowered:
+            return float(token)
+        return int(token)
+    except ValueError:
+        # bare words are treated as strings ("politics" and politics are equivalent)
+        return token
+
+
+def _parse_attrs(body: Optional[str]) -> Dict[str, Any]:
+    if not body or not body.strip():
+        return {}
+    attrs: Dict[str, Any] = {}
+    position = 0
+    while position < len(body):
+        match = _ATTR_ITEM_RE.match(body, position)
+        if match is None:
+            raise QueryParseError(f"cannot parse attribute map near: {body[position:]!r}")
+        attrs[match.group("key")] = _parse_value(match.group("value"))
+        position = match.end()
+        if position < len(body):
+            if body[position] != ",":
+                raise QueryParseError(f"expected ',' in attribute map near: {body[position:]!r}")
+            position += 1
+    return attrs
+
+
+def _attrs_predicate(attrs: Dict[str, Any]) -> Predicate:
+    if not attrs:
+        return always_true
+    parts = [AttrEquals(key, value) for key, value in attrs.items()]
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def _split_patterns(text: str) -> List[str]:
+    """Split the MATCH body on commas that are not inside parens/brackets/braces."""
+    patterns: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            patterns.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        patterns.append("".join(current))
+    return [pattern.strip() for pattern in patterns if pattern.strip()]
+
+
+def parse_query(text: str, name: str = "query") -> ParsedQuery:
+    """Parse a pattern expression into a query graph.
+
+    Parameters
+    ----------
+    text:
+        The query text (see module docstring for the grammar).
+    name:
+        Name given to the resulting :class:`QueryGraph`.
+
+    Raises
+    ------
+    QueryParseError
+        On any syntax problem, with an indication of the offending text.
+    """
+    stripped = _COMMENT_RE.sub("", text).strip()
+    if not stripped:
+        raise QueryParseError("empty query text")
+
+    window: Optional[float] = None
+    window_match = _WITHIN_RE.search(stripped)
+    if window_match is not None:
+        window = float(window_match.group("window"))
+        stripped = stripped[: window_match.start()] + stripped[window_match.end():]
+
+    match_clause = _MATCH_RE.match(stripped)
+    if match_clause is not None:
+        stripped = stripped[match_clause.end():]
+    stripped = stripped.strip()
+    if not stripped:
+        raise QueryParseError("query has no pattern after MATCH")
+
+    graph = QueryGraph(name)
+    anonymous_counter = 0
+
+    def parse_node(chunk: str, position: int) -> Tuple[str, int]:
+        nonlocal anonymous_counter
+        node_match = _NODE_RE.match(chunk, position)
+        if node_match is None:
+            raise QueryParseError(f"expected a node pattern near: {chunk[position:position + 40]!r}")
+        var_name = node_match.group("name")
+        if var_name is None:
+            var_name = f"_anon{anonymous_counter}"
+            anonymous_counter += 1
+        label = node_match.group("label")
+        attrs = _parse_attrs(node_match.group("attrs"))
+        graph.add_vertex(var_name, label, _attrs_predicate(attrs))
+        return var_name, node_match.end()
+
+    for pattern in _split_patterns(stripped):
+        position = 0
+        left_name, position = parse_node(pattern, position)
+        while position < len(pattern):
+            remainder = pattern[position:].strip()
+            if not remainder:
+                break
+            # skip whitespace between elements
+            while position < len(pattern) and pattern[position].isspace():
+                position += 1
+            rel_match = _REL_RE.match(pattern, position)
+            if rel_match is None or rel_match.end() == rel_match.start():
+                raise QueryParseError(
+                    f"expected a relationship pattern near: {pattern[position:position + 40]!r}"
+                )
+            position = rel_match.end()
+            while position < len(pattern) and pattern[position].isspace():
+                position += 1
+            right_name, position = parse_node(pattern, position)
+
+            label = rel_match.group("label")
+            attrs = _parse_attrs(rel_match.group("attrs"))
+            points_left = rel_match.group("left") is not None
+            points_right = rel_match.group("right") is not None
+            if points_left and points_right:
+                raise QueryParseError("a relationship cannot point both ways")
+            directed = points_left or points_right
+            if points_left:
+                source, target = right_name, left_name
+            else:
+                source, target = left_name, right_name
+            graph.add_edge(source, target, label, _attrs_predicate(attrs), directed=directed)
+            left_name = right_name
+
+    if graph.edge_count() == 0:
+        raise QueryParseError("query pattern contains no relationships")
+    if not graph.is_connected():
+        raise QueryParseError("query pattern must be connected")
+    return ParsedQuery(graph=graph, window=window)

@@ -1,0 +1,27 @@
+"""Stream summarization and selectivity estimation (paper section 4.3).
+
+Three statistic families are collected from the data stream -- degree
+distribution, vertex/edge type distribution and the multi-relational triad
+census -- and combined into a :class:`GraphSummary` that the query planner
+uses through the :class:`SelectivityEstimator`.
+"""
+
+from .degree import DegreeDistribution, StreamingDegreeTracker
+from .labels import EdgeSignature, LabelDistribution, SignatureDistribution
+from .selectivity import SelectivityEstimator
+from .summarizer import GraphSummary, StreamSummarizer
+from .triads import TriadCensus, TriadKey, wedge_key_for_query
+
+__all__ = [
+    "DegreeDistribution",
+    "EdgeSignature",
+    "GraphSummary",
+    "LabelDistribution",
+    "SelectivityEstimator",
+    "SignatureDistribution",
+    "StreamSummarizer",
+    "StreamingDegreeTracker",
+    "TriadCensus",
+    "TriadKey",
+    "wedge_key_for_query",
+]

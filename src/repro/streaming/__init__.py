@@ -1,0 +1,32 @@
+"""Streaming infrastructure: edge streams, batching, events and metrics."""
+
+from .batching import BatchReplay, BatchResult, batch_by_count, batch_by_time
+from .edge_stream import EdgeStream, StreamEdge, merge_streams
+from .events import (
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    EventSink,
+    MatchEvent,
+    MultiSink,
+)
+from .metrics import LatencyRecorder, Stopwatch, ThroughputMeter
+
+__all__ = [
+    "BatchReplay",
+    "BatchResult",
+    "CallbackSink",
+    "CollectingSink",
+    "CountingSink",
+    "EdgeStream",
+    "EventSink",
+    "LatencyRecorder",
+    "MatchEvent",
+    "MultiSink",
+    "Stopwatch",
+    "StreamEdge",
+    "ThroughputMeter",
+    "batch_by_count",
+    "batch_by_time",
+    "merge_streams",
+]

@@ -1,0 +1,154 @@
+"""Throughput and latency instrumentation for the streaming engine.
+
+The demo setup (paper section 6.1) quotes stream rates of 50-100 million
+records per hour on a 48-core machine; experiment E6 reproduces the *shape*
+of that claim (sustained edges/second, per-edge latency percentiles) on the
+Python engine.  These helpers collect the numbers without dragging in any
+external dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["LatencyRecorder", "ThroughputMeter", "Stopwatch"]
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock duration in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def start(self) -> None:
+        """Start (or restart) timing."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+class LatencyRecorder:
+    """Collect per-operation latencies and report percentiles.
+
+    Latencies are stored in seconds.  Percentile computation uses the
+    nearest-rank method on the sorted sample, which is exact and avoids a
+    numpy dependency in the hot path.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample."""
+        self._samples.append(seconds)
+
+    def time(self) -> Stopwatch:
+        """Return a stopwatch whose ``stop()`` value the caller records manually."""
+        return Stopwatch()
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self._samples)
+
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 with no samples)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        """Maximum latency in seconds (0.0 with no samples)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-quantile (``q`` in [0, 1]) by nearest rank."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """Return count/mean/p50/p90/p99/max in a dict (seconds)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.max(),
+        }
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Return a new recorder containing both sample sets."""
+        merged = LatencyRecorder()
+        merged._samples = self._samples + other._samples
+        return merged
+
+
+class ThroughputMeter:
+    """Track items processed against wall-clock time."""
+
+    def __init__(self) -> None:
+        self._items = 0
+        self._started: Optional[float] = None
+        self._elapsed = 0.0
+
+    def start(self) -> None:
+        """Start (or resume) the meter."""
+        if self._started is None:
+            self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        """Pause the meter, accumulating elapsed time."""
+        if self._started is not None:
+            self._elapsed += time.perf_counter() - self._started
+            self._started = None
+
+    def add(self, items: int = 1) -> None:
+        """Record ``items`` processed."""
+        self._items += items
+
+    @property
+    def items(self) -> int:
+        """Total items recorded."""
+        return self._items
+
+    @property
+    def elapsed(self) -> float:
+        """Total measured seconds (including a currently-running interval)."""
+        running = 0.0
+        if self._started is not None:
+            running = time.perf_counter() - self._started
+        return self._elapsed + running
+
+    def rate(self) -> float:
+        """Return items per second (0.0 before any time has elapsed)."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self._items / elapsed
+
+    def summary(self) -> Dict[str, float]:
+        """Return items/elapsed/rate in a dict."""
+        return {"items": float(self._items), "elapsed_s": self.elapsed, "rate_per_s": self.rate()}

@@ -1,0 +1,29 @@
+"""Text/structured visualisation substitutes for the demo's UI (Figs. 4-7)."""
+
+from .ascii import (
+    render_match,
+    render_match_table,
+    render_node_counts,
+    render_query,
+    render_sjtree,
+)
+from .export import graph_to_dot, graph_to_json, matches_to_json, query_to_dot
+from .geo import EventGrid, location_of_match, subnet_of_vertex
+from .snapshots import EmergingMatchTracker, Snapshot
+
+__all__ = [
+    "EmergingMatchTracker",
+    "EventGrid",
+    "Snapshot",
+    "graph_to_dot",
+    "graph_to_json",
+    "location_of_match",
+    "matches_to_json",
+    "query_to_dot",
+    "render_match",
+    "render_match_table",
+    "render_node_counts",
+    "render_query",
+    "render_sjtree",
+    "subnet_of_vertex",
+]

@@ -1,0 +1,123 @@
+"""ASCII rendering of SJ-Trees, decompositions and matches.
+
+The demo paper invests heavily in visualisation (Figs. 4-7).  A terminal
+reproduction obviously cannot ship Gephi and a map widget, but the *content*
+of those views -- which primitive sits where in the SJ-Tree, how far each
+partial match has progressed, which data vertices a match binds -- is plain
+structured information, rendered here as text so benchmarks can print it and
+tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.sjtree import SJTree, SJTreeNode
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+
+__all__ = ["render_query", "render_sjtree", "render_match", "render_match_table", "render_node_counts"]
+
+
+def render_query(query: QueryGraph) -> str:
+    """Render a query graph as an indented vertex/edge listing."""
+    return query.describe()
+
+
+def _node_label(tree: SJTree, node: SJTreeNode, show_matches: bool) -> str:
+    edges = sorted(node.subgraph.edge_ids())
+    kind = "leaf" if node.is_leaf else ("root" if node.is_root else "join")
+    descriptions = ", ".join(tree.query.edge(edge_id).describe() for edge_id in edges)
+    label = f"[{node.id}:{kind}] {{{descriptions}}}"
+    if not node.is_leaf and node.cut_vertices:
+        label += f" cut={list(node.cut_vertices)}"
+    if show_matches:
+        label += f" matches={node.match_count()}"
+    return label
+
+
+def render_sjtree(tree: SJTree, show_matches: bool = True) -> str:
+    """Render the SJ-Tree top-down with box-drawing indentation.
+
+    Example output::
+
+        [4:root] {a1 -[mentions]-> k, ...} cut=['k', 'loc'] matches=2
+        ├── [3:join] {...} cut=['k', 'loc'] matches=5
+        │   ├── [0:leaf] {a1 -[mentions]-> k, a1 -[locatedIn]-> loc} matches=12
+        │   └── [1:leaf] {a2 -[mentions]-> k, a2 -[locatedIn]-> loc} matches=12
+        └── [2:leaf] {a3 -[mentions]-> k, a3 -[locatedIn]-> loc} matches=12
+    """
+    lines: List[str] = []
+
+    def render(node_id: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        node = tree.node(node_id)
+        if is_root:
+            lines.append(_node_label(tree, node, show_matches))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + _node_label(tree, node, show_matches))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = [c for c in (node.left_id, node.right_id) if c is not None]
+        for index, child in enumerate(children):
+            render(child, child_prefix, index == len(children) - 1, False)
+
+    render(tree.root_id, "", True, True)
+    return "\n".join(lines)
+
+
+def render_match(match: Match, query: Optional[QueryGraph] = None) -> str:
+    """Render one match: vertex bindings plus (optionally) the bound data edges."""
+    lines = [f"match span={match.span:.3f} ({len(match.edge_map)} edges)"]
+    for query_vertex, data_vertex in sorted(match.vertex_map.items()):
+        lines.append(f"  {query_vertex} -> {data_vertex}")
+    for query_edge_id, edge in sorted(match.edge_map.items()):
+        description = f"edge {query_edge_id}"
+        if query is not None and query.has_edge(query_edge_id):
+            description = query.edge(query_edge_id).describe()
+        lines.append(
+            f"  [{description}] = {edge.source} -[{edge.label}]-> {edge.target} @ {edge.timestamp:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_match_table(matches: Sequence[Match], columns: Optional[Sequence[str]] = None) -> str:
+    """Render matches as a fixed-width table of their vertex bindings.
+
+    ``columns`` selects and orders the query variables shown; by default all
+    variables of the first match are shown in sorted order.
+    """
+    if not matches:
+        return "(no matches)"
+    if columns is None:
+        columns = sorted(matches[0].vertex_map.keys())
+    header = ["#"] + list(columns) + ["span"]
+    rows = [header]
+    for index, match in enumerate(matches):
+        rows.append(
+            [str(index)]
+            + [str(match.vertex_map.get(column, "-")) for column in columns]
+            + [f"{match.span:.2f}"]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for row_index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if row_index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def render_node_counts(tree: SJTree) -> str:
+    """Render one line per SJ-Tree node with its stored match count (Fig. 7 style)."""
+    total_edges = max(1, tree.query.edge_count())
+    lines = []
+    for node_id in sorted(tree.nodes):
+        node = tree.node(node_id)
+        fraction = node.subgraph.edge_count() / total_edges
+        bar = "#" * node.match_count() if node.match_count() <= 40 else "#" * 40 + "+"
+        lines.append(
+            f"node {node_id:>2} ({node.subgraph.edge_count()}/{total_edges} edges, "
+            f"{fraction:>4.0%}): {node.match_count():>5} {bar}"
+        )
+    return "\n".join(lines)

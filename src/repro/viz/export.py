@@ -1,0 +1,122 @@
+"""Export helpers: DOT and JSON serialisations of graphs, queries and matches.
+
+The demo adapts Gephi to render data-graph snapshots with partial and
+complete matches highlighted.  The reproduction exports the same information
+as Graphviz DOT (with matched elements coloured) and as JSON, so users with a
+local Graphviz/Gephi installation can recreate the figures, and so that
+results can be archived in a structured form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..graph.property_graph import PropertyGraph
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+
+__all__ = ["graph_to_dot", "query_to_dot", "matches_to_json", "graph_to_json"]
+
+_PALETTE = ("red", "blue", "green", "orange", "purple", "brown", "cyan", "magenta")
+
+
+def _quote(value) -> str:
+    return '"' + str(value).replace('"', '\\"') + '"'
+
+
+def graph_to_dot(
+    graph: PropertyGraph,
+    matches: Sequence[Match] = (),
+    name: str = "data_graph",
+    include_timestamps: bool = True,
+) -> str:
+    """Render a property graph as DOT, highlighting matched vertices/edges.
+
+    Each match gets its own colour from a small palette (cycled), mirroring
+    the demo's colour-coded partial matches.
+    """
+    store = graph.graph if hasattr(graph, "graph") else graph
+    vertex_colors: Dict[object, str] = {}
+    edge_colors: Dict[int, str] = {}
+    for index, match in enumerate(matches):
+        color = _PALETTE[index % len(_PALETTE)]
+        for data_vertex in match.vertex_map.values():
+            vertex_colors.setdefault(data_vertex, color)
+        for edge in match.edge_map.values():
+            edge_colors.setdefault(edge.id, color)
+
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=ellipse];"]
+    newline = "\\n"
+    for vertex in store.vertices():
+        vertex_text = f"{vertex.id}{newline}({vertex.label})"
+        attributes = [f"label={_quote(vertex_text)}"]
+        if vertex.id in vertex_colors:
+            attributes.append(f"color={vertex_colors[vertex.id]}")
+            attributes.append("penwidth=2")
+        lines.append(f"  {_quote(vertex.id)} [{', '.join(attributes)}];")
+    for edge in store.edges():
+        label = edge.label
+        if include_timestamps:
+            label += f"\\nt={edge.timestamp:g}"
+        attributes = [f"label={_quote(label)}"]
+        if edge.id in edge_colors:
+            attributes.append(f"color={edge_colors[edge.id]}")
+            attributes.append("penwidth=2")
+        lines.append(f"  {_quote(edge.source)} -> {_quote(edge.target)} [{', '.join(attributes)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def query_to_dot(query: QueryGraph, name: Optional[str] = None) -> str:
+    """Render a query graph as DOT (variables as node labels, constraints as edge labels)."""
+    graph_name = (name or query.name).replace("-", "_").replace(":", "_")
+    lines = [f"digraph {graph_name} {{", "  node [shape=box, style=rounded];"]
+    for vertex in query.vertices():
+        label = vertex.name
+        if vertex.label:
+            label += f":{vertex.label}"
+        predicate = vertex.predicate.describe()
+        if predicate != "*":
+            label += f"\\n{predicate}"
+        lines.append(f"  {_quote(vertex.name)} [label={_quote(label)}];")
+    for edge in query.edges():
+        label = edge.label or "*"
+        predicate = edge.predicate.describe()
+        if predicate != "*":
+            label += f"\\n{predicate}"
+        style = "" if edge.directed else ", dir=none"
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} [label={_quote(label)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_json(graph: PropertyGraph) -> str:
+    """Serialise a property graph as a JSON document with vertex and edge arrays."""
+    store = graph.graph if hasattr(graph, "graph") else graph
+    payload = {
+        "vertices": [vertex.to_dict() for vertex in store.vertices()],
+        "edges": [edge.to_dict() for edge in store.edges()],
+    }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def matches_to_json(matches: Iterable[Match], query: Optional[QueryGraph] = None) -> str:
+    """Serialise matches as JSON (vertex bindings, edge bindings, span)."""
+    records: List[Dict[str, object]] = []
+    for match in matches:
+        record: Dict[str, object] = {
+            "vertices": {str(k): str(v) for k, v in match.vertex_map.items()},
+            "edges": {
+                str(query_edge_id): edge.to_dict() for query_edge_id, edge in match.edge_map.items()
+            },
+            "span": match.span,
+            "earliest": match.earliest,
+            "latest": match.latest,
+        }
+        if query is not None:
+            record["query"] = query.name
+        records.append(record)
+    return json.dumps(records, indent=2, default=str)

@@ -1,0 +1,151 @@
+"""Geospatial / grid aggregation views (substitutes for Figs. 5 and 6).
+
+The demo shows query hits on a map keyed by a location vertex attribute
+(Fig. 5) and a grid of subnetworks lighting up as a DDoS cascades across them
+(Fig. 6).  Both are aggregations of match events along two axes -- a spatial
+key and a time bucket -- so this module provides exactly that: an
+:class:`EventGrid` accumulator plus text rendering.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..streaming.events import MatchEvent
+
+__all__ = ["EventGrid", "location_of_match", "subnet_of_vertex"]
+
+
+def location_of_match(event: MatchEvent, location_variable: str = "loc") -> Optional[str]:
+    """Extract the data vertex bound to the query's location variable."""
+    value = event.match.vertex_map.get(location_variable)
+    return None if value is None else str(value)
+
+
+def subnet_of_vertex(vertex_id: str) -> Optional[str]:
+    """Return the /24 prefix of a dotted-quad IP vertex id (``"10.0.3"``), else ``None``."""
+    parts = str(vertex_id).split(".")
+    if len(parts) != 4:
+        return None
+    return ".".join(parts[:3])
+
+
+class EventGrid:
+    """Aggregate match events into (spatial key, time bucket) cells.
+
+    Parameters
+    ----------
+    bucket_seconds:
+        Width of the time buckets.
+    key_function:
+        Maps a :class:`MatchEvent` to its spatial key (a location vertex, a
+        subnet, a topic...).  Events mapping to ``None`` are dropped but
+        counted in :attr:`skipped`.
+    """
+
+    def __init__(
+        self,
+        bucket_seconds: float,
+        key_function: Callable[[MatchEvent], Optional[str]],
+    ):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        self.key_function = key_function
+        self._cells: Dict[Tuple[str, int], int] = defaultdict(int)
+        self._first_detection: Dict[str, float] = {}
+        self.skipped = 0
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def bucket_of(self, timestamp: float) -> int:
+        """Return the integer bucket index of a timestamp."""
+        return int(timestamp // self.bucket_seconds)
+
+    def add(self, event: MatchEvent) -> None:
+        """Fold one match event into the grid."""
+        key = self.key_function(event)
+        if key is None:
+            self.skipped += 1
+            return
+        bucket = self.bucket_of(event.detected_at)
+        self._cells[(key, bucket)] += 1
+        self.total += 1
+        if key not in self._first_detection or event.detected_at < self._first_detection[key]:
+            self._first_detection[key] = event.detected_at
+
+    def add_all(self, events: Iterable[MatchEvent]) -> None:
+        """Fold many events into the grid."""
+        for event in events:
+            self.add(event)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Return the spatial keys seen, ordered by first detection time."""
+        return sorted(self._first_detection, key=lambda key: self._first_detection[key])
+
+    def buckets(self) -> List[int]:
+        """Return the sorted bucket indexes that contain at least one event."""
+        return sorted({bucket for _, bucket in self._cells})
+
+    def count(self, key: str, bucket: int) -> int:
+        """Return the number of events in one cell."""
+        return self._cells.get((key, bucket), 0)
+
+    def counts_by_key(self) -> Dict[str, int]:
+        """Return total events per spatial key."""
+        totals: Dict[str, int] = defaultdict(int)
+        for (key, _), count in self._cells.items():
+            totals[key] += count
+        return dict(totals)
+
+    def first_detection(self, key: str) -> Optional[float]:
+        """Return the stream time of the first event for a key."""
+        return self._first_detection.get(key)
+
+    def detection_order(self) -> List[str]:
+        """Return keys ordered by when they first lit up (the Fig. 6 cascade order)."""
+        return self.keys()
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Return one dict per cell -- the machine-readable Fig. 5 table."""
+        result = []
+        for (key, bucket), count in sorted(self._cells.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+            result.append(
+                {
+                    "key": key,
+                    "bucket": bucket,
+                    "bucket_start": bucket * self.bucket_seconds,
+                    "count": count,
+                }
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, max_keys: int = 20, cell_width: int = 5) -> str:
+        """Render the grid as a text heat table (keys as rows, buckets as columns)."""
+        keys = self.keys()[:max_keys]
+        buckets = self.buckets()
+        if not keys or not buckets:
+            return "(empty grid)"
+        key_width = max(len("key"), max(len(key) for key in keys))
+        header = "key".ljust(key_width) + " | " + " ".join(
+            f"t{bucket}".rjust(cell_width) for bucket in buckets
+        )
+        lines = [header, "-" * len(header)]
+        for key in keys:
+            cells = " ".join(
+                (str(self.count(key, bucket)) if self.count(key, bucket) else ".").rjust(cell_width)
+                for bucket in buckets
+            )
+            lines.append(key.ljust(key_width) + " | " + cells)
+        if len(self.keys()) > max_keys:
+            lines.append(f"... ({len(self.keys()) - max_keys} more keys)")
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Emerging-match snapshots (substitute for paper Fig. 7).
+
+Fig. 7 shows, for several different SJ-Tree query plans, snapshots of a
+dynamic computer network with the partially-matched pattern highlighted and a
+percentage indicating "the fraction of query graph being matched as measured
+by the number of edges".  The :class:`EmergingMatchTracker` records exactly
+that time series for one matcher: after every processed edge (or at a chosen
+sampling interval) it snapshots
+
+* the best matched-edge fraction across all stored partial matches,
+* the number of partial matches stored per SJ-Tree node, and
+* the cumulative number of complete matches,
+
+which is what the E5 benchmark prints side by side for each query plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.matcher import ContinuousQueryMatcher
+
+__all__ = ["Snapshot", "EmergingMatchTracker"]
+
+
+class Snapshot:
+    """One sampled point of matching progress."""
+
+    __slots__ = ("stream_time", "edges_processed", "matched_fraction", "stored_partial", "complete_matches", "per_node")
+
+    def __init__(
+        self,
+        stream_time: float,
+        edges_processed: int,
+        matched_fraction: float,
+        stored_partial: int,
+        complete_matches: int,
+        per_node: Dict[int, int],
+    ):
+        self.stream_time = stream_time
+        self.edges_processed = edges_processed
+        self.matched_fraction = matched_fraction
+        self.stored_partial = stored_partial
+        self.complete_matches = complete_matches
+        self.per_node = per_node
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for reporting."""
+        return {
+            "stream_time": self.stream_time,
+            "edges_processed": self.edges_processed,
+            "matched_fraction": self.matched_fraction,
+            "stored_partial": self.stored_partial,
+            "complete_matches": self.complete_matches,
+            "per_node": dict(self.per_node),
+        }
+
+
+class EmergingMatchTracker:
+    """Sample the matching progress of one :class:`ContinuousQueryMatcher`."""
+
+    def __init__(self, matcher: ContinuousQueryMatcher, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.matcher = matcher
+        self.sample_every = sample_every
+        self.snapshots: List[Snapshot] = []
+        self._since_last_sample = 0
+
+    def observe(self, stream_time: float) -> Optional[Snapshot]:
+        """Record a snapshot if the sampling interval has elapsed; return it if taken."""
+        self._since_last_sample += 1
+        if self._since_last_sample < self.sample_every:
+            return None
+        self._since_last_sample = 0
+        return self.force_snapshot(stream_time)
+
+    def force_snapshot(self, stream_time: float) -> Snapshot:
+        """Record a snapshot unconditionally and return it."""
+        snapshot = Snapshot(
+            stream_time=stream_time,
+            edges_processed=self.matcher.stats.edges_processed,
+            matched_fraction=self.matcher.matched_edge_fraction(),
+            stored_partial=self.matcher.stored_partial_matches(),
+            complete_matches=self.matcher.stats.complete_matches,
+            per_node={
+                node_id: count
+                for node_id, count in self.matcher.tree.match_counts_by_node().items()
+            },
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # series extraction
+    # ------------------------------------------------------------------
+    def fraction_series(self) -> List[float]:
+        """Return the matched-fraction time series."""
+        return [snapshot.matched_fraction for snapshot in self.snapshots]
+
+    def stored_series(self) -> List[int]:
+        """Return the stored-partial-match time series."""
+        return [snapshot.stored_partial for snapshot in self.snapshots]
+
+    def complete_series(self) -> List[int]:
+        """Return the cumulative complete-match time series."""
+        return [snapshot.complete_matches for snapshot in self.snapshots]
+
+    def time_series(self) -> List[float]:
+        """Return the stream-time axis of the snapshots."""
+        return [snapshot.stream_time for snapshot in self.snapshots]
+
+    def time_to_fraction(self, fraction: float) -> Optional[float]:
+        """Return the first stream time at which the matched fraction reached ``fraction``."""
+        for snapshot in self.snapshots:
+            if snapshot.matched_fraction >= fraction:
+                return snapshot.stream_time
+        return None
+
+    def peak_stored(self) -> int:
+        """Return the largest number of simultaneously stored partial matches."""
+        return max(self.stored_series(), default=0)
+
+    def render(self, width: int = 60) -> str:
+        """Render the matched-fraction series as a simple text sparkline table."""
+        if not self.snapshots:
+            return "(no snapshots)"
+        lines = ["stream_time  fraction  stored  complete"]
+        step = max(1, len(self.snapshots) // width)
+        for snapshot in self.snapshots[::step]:
+            bar = "#" * int(snapshot.matched_fraction * 20)
+            lines.append(
+                f"{snapshot.stream_time:>11.2f}  {snapshot.matched_fraction:>7.0%}  "
+                f"{snapshot.stored_partial:>6}  {snapshot.complete_matches:>8}  {bar}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Synthetic workload generators (substitutes for the paper's proprietary feeds).
+
+* :class:`NetflowGenerator` -- CAIDA-like internet traffic (background).
+* :class:`AttackInjector` -- Smurf DDoS, worm, port-scan, exfiltration footprints.
+* :class:`NewsStreamGenerator` -- NYT-like article/keyword/location stream.
+* :class:`SocialStreamGenerator` -- user/post/hashtag activity stream.
+* :class:`RmatGenerator` -- scale-free multi-relational background.
+* :mod:`~repro.workloads.planted` -- embed arbitrary query instances as ground truth.
+"""
+
+from .attacks import AttackInjector, SmurfCascadePlan
+from .netflow import NetflowConfig, NetflowGenerator
+from .nyt import NewsStreamConfig, NewsStreamGenerator, PlantedNewsEvent
+from .planted import PlantedInstance, instances_detected, plant_query_instances
+from .rmat import RmatConfig, RmatGenerator
+from .social import SocialStreamConfig, SocialStreamGenerator
+
+__all__ = [
+    "AttackInjector",
+    "NetflowConfig",
+    "NetflowGenerator",
+    "NewsStreamConfig",
+    "NewsStreamGenerator",
+    "PlantedInstance",
+    "PlantedNewsEvent",
+    "RmatConfig",
+    "RmatGenerator",
+    "SmurfCascadePlan",
+    "SocialStreamConfig",
+    "SocialStreamGenerator",
+    "instances_detected",
+    "plant_query_instances",
+]

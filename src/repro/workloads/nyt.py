@@ -1,0 +1,267 @@
+"""Synthetic news / social-media stream generator (NYT linked-data substitute).
+
+The demo visualises queries over the New York Times linked-data feed
+(articles annotated with people, organisations, locations and keyword
+descriptors).  That feed is no longer available, so this generator produces a
+structurally equivalent stream:
+
+* each published article yields ``mentions`` edges to 1-3 ``Keyword``
+  vertices, a ``locatedIn`` edge to a ``Location``, and optionally ``cites``
+  edges to ``Person`` / ``Organization`` vertices;
+* keyword and location popularity follow Zipf distributions (a handful of
+  topics dominate coverage), which is what makes selectivity-aware planning
+  worthwhile;
+* *event bursts* can be planted: for a given topic keyword and location, a
+  burst publishes several articles about that topic/location pair within a
+  short interval -- exactly the structure the Fig. 2 query ("three articles
+  share a keyword and a location") detects, and the labelled events the
+  Fig. 5 map view plots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..streaming.edge_stream import EdgeStream, StreamEdge
+
+__all__ = ["NewsStreamConfig", "PlantedNewsEvent", "NewsStreamGenerator"]
+
+_DEFAULT_TOPICS = (
+    "politics",
+    "economy",
+    "sports",
+    "accident",
+    "election",
+    "protest",
+    "technology",
+    "health",
+    "weather",
+    "crime",
+)
+
+_DEFAULT_LOCATIONS = (
+    "new_york",
+    "washington",
+    "london",
+    "paris",
+    "tokyo",
+    "cairo",
+    "moscow",
+    "beijing",
+    "berlin",
+    "madrid",
+)
+
+
+class NewsStreamConfig:
+    """Parameters of the synthetic news stream."""
+
+    def __init__(
+        self,
+        topics: Sequence[str] = _DEFAULT_TOPICS,
+        locations: Sequence[str] = _DEFAULT_LOCATIONS,
+        person_count: int = 40,
+        organization_count: int = 20,
+        mean_interarrival: float = 2.0,
+        keywords_per_article: Tuple[int, int] = (1, 3),
+        cite_probability: float = 0.4,
+        zipf_exponent: float = 1.2,
+        seed: int = 17,
+    ):
+        if not topics or not locations:
+            raise ValueError("topics and locations must be non-empty")
+        self.topics = list(topics)
+        self.locations = list(locations)
+        self.person_count = person_count
+        self.organization_count = organization_count
+        self.mean_interarrival = mean_interarrival
+        self.keywords_per_article = keywords_per_article
+        self.cite_probability = cite_probability
+        self.zipf_exponent = zipf_exponent
+        self.seed = seed
+
+
+class PlantedNewsEvent:
+    """Ground truth for one planted topic/location burst."""
+
+    def __init__(self, topic: str, location: str, start_time: float, article_ids: List[str]):
+        self.topic = topic
+        self.location = location
+        self.start_time = start_time
+        self.article_ids = article_ids
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for experiment reports."""
+        return {
+            "topic": self.topic,
+            "location": self.location,
+            "start_time": self.start_time,
+            "articles": list(self.article_ids),
+        }
+
+
+class NewsStreamGenerator:
+    """Generate article/keyword/location/person edges plus optional planted bursts."""
+
+    def __init__(self, config: Optional[NewsStreamConfig] = None):
+        self.config = config or NewsStreamConfig()
+        self._rng = random.Random(self.config.seed)
+        self._article_counter = 0
+        self.people = [f"person{i}" for i in range(self.config.person_count)]
+        self.organizations = [f"org{i}" for i in range(self.config.organization_count)]
+        self._topic_weights = [
+            1.0 / ((rank + 1) ** self.config.zipf_exponent) for rank in range(len(self.config.topics))
+        ]
+        self._location_weights = [
+            1.0 / ((rank + 1) ** self.config.zipf_exponent)
+            for rank in range(len(self.config.locations))
+        ]
+
+    # ------------------------------------------------------------------
+    # single article
+    # ------------------------------------------------------------------
+    def _next_article_id(self) -> str:
+        self._article_counter += 1
+        return f"article{self._article_counter}"
+
+    def article_edges(
+        self,
+        timestamp: float,
+        topic: Optional[str] = None,
+        location: Optional[str] = None,
+        article_id: Optional[str] = None,
+    ) -> List[StreamEdge]:
+        """Return the edges published for one article.
+
+        The primary keyword and location can be pinned (used by planted
+        bursts); extra keywords are drawn from the topic distribution.
+        """
+        config = self.config
+        article = article_id or self._next_article_id()
+        primary_topic = topic or self._rng.choices(config.topics, weights=self._topic_weights, k=1)[0]
+        chosen_location = (
+            location
+            or self._rng.choices(config.locations, weights=self._location_weights, k=1)[0]
+        )
+        low, high = config.keywords_per_article
+        keyword_count = self._rng.randint(low, high)
+        keywords = {primary_topic}
+        while len(keywords) < keyword_count:
+            keywords.add(self._rng.choices(config.topics, weights=self._topic_weights, k=1)[0])
+
+        edges = []
+        offset = 0.0
+        for keyword in sorted(keywords):
+            edges.append(
+                StreamEdge(
+                    article,
+                    f"kw:{keyword}",
+                    "mentions",
+                    timestamp + offset,
+                    {"label": keyword},
+                    source_label="Article",
+                    target_label="Keyword",
+                    target_attrs={"label": keyword},
+                )
+            )
+            offset += 0.001
+        edges.append(
+            StreamEdge(
+                article,
+                f"loc:{chosen_location}",
+                "locatedIn",
+                timestamp + offset,
+                {"name": chosen_location},
+                source_label="Article",
+                target_label="Location",
+                target_attrs={"name": chosen_location},
+            )
+        )
+        offset += 0.001
+        if self._rng.random() < config.cite_probability:
+            if self._rng.random() < 0.5:
+                person = self._rng.choice(self.people)
+                edges.append(
+                    StreamEdge(
+                        article,
+                        person,
+                        "cites",
+                        timestamp + offset,
+                        {},
+                        source_label="Article",
+                        target_label="Person",
+                    )
+                )
+            else:
+                organization = self._rng.choice(self.organizations)
+                edges.append(
+                    StreamEdge(
+                        article,
+                        organization,
+                        "cites",
+                        timestamp + offset,
+                        {},
+                        source_label="Article",
+                        target_label="Organization",
+                    )
+                )
+        return edges
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+    def background_stream(self, article_count: int, start_time: float = 0.0) -> EdgeStream:
+        """Return a stream of ``article_count`` background articles."""
+        records: List[StreamEdge] = []
+        timestamp = start_time
+        for _ in range(article_count):
+            timestamp += self._rng.expovariate(1.0 / self.config.mean_interarrival)
+            records.extend(self.article_edges(timestamp))
+        return EdgeStream(records, name="news_background")
+
+    def planted_burst(
+        self,
+        topic: str,
+        location: str,
+        start_time: float,
+        article_count: int = 3,
+        spacing: float = 1.0,
+    ) -> Tuple[EdgeStream, PlantedNewsEvent]:
+        """Return a burst of ``article_count`` articles about the same topic and location."""
+        records: List[StreamEdge] = []
+        article_ids: List[str] = []
+        timestamp = start_time
+        for _ in range(article_count):
+            article_id = self._next_article_id()
+            article_ids.append(article_id)
+            records.extend(
+                self.article_edges(timestamp, topic=topic, location=location, article_id=article_id)
+            )
+            timestamp += spacing
+        event = PlantedNewsEvent(topic, location, start_time, article_ids)
+        return EdgeStream(records, name=f"burst:{topic}@{location}"), event
+
+    def stream_with_bursts(
+        self,
+        article_count: int,
+        bursts: Sequence[Tuple[str, str, float]],
+        burst_articles: int = 3,
+        burst_spacing: float = 1.0,
+        start_time: float = 0.0,
+    ) -> Tuple[EdgeStream, List[PlantedNewsEvent]]:
+        """Return background articles merged with planted bursts.
+
+        ``bursts`` is a sequence of ``(topic, location, start_time)`` triples.
+        """
+        background = self.background_stream(article_count, start_time)
+        events: List[PlantedNewsEvent] = []
+        all_records = list(background)
+        for topic, location, burst_start in bursts:
+            burst_stream, event = self.planted_burst(
+                topic, location, burst_start, burst_articles, burst_spacing
+            )
+            events.append(event)
+            all_records.extend(burst_stream)
+        merged = EdgeStream(sorted(all_records, key=lambda e: e.timestamp), name="news_with_bursts")
+        return merged, events

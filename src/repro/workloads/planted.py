@@ -1,0 +1,117 @@
+"""Generic planted-pattern utilities.
+
+Several experiments need ground truth: "we injected N instances of the query
+pattern at known times; did the engine report exactly those (plus whatever
+the background happened to form)?"  :func:`plant_query_instances` embeds
+concrete instances of an arbitrary query graph into a stream, and
+:func:`instances_detected` checks which planted instances appear among the
+reported matches.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..isomorphism.match import Match
+from ..query.query_graph import QueryGraph
+from ..streaming.edge_stream import EdgeStream, StreamEdge
+
+__all__ = ["PlantedInstance", "plant_query_instances", "instances_detected"]
+
+
+class PlantedInstance:
+    """Ground truth for one embedded query instance."""
+
+    def __init__(self, index: int, start_time: float, vertex_map: Dict[str, str]):
+        self.index = index
+        self.start_time = start_time
+        #: query vertex name -> planted data vertex id
+        self.vertex_map = vertex_map
+
+    def data_vertices(self) -> Set[str]:
+        """Return the data vertex ids used by the planted instance."""
+        return set(self.vertex_map.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for experiment reports."""
+        return {
+            "index": self.index,
+            "start_time": self.start_time,
+            "vertex_map": dict(self.vertex_map),
+        }
+
+
+def _label_default(label: Optional[str]) -> str:
+    return label if label is not None else "node"
+
+
+def plant_query_instances(
+    query: QueryGraph,
+    count: int,
+    start_time: float = 0.0,
+    instance_gap: float = 60.0,
+    edge_spacing: float = 0.5,
+    seed: int = 97,
+    vertex_prefix: str = "planted",
+    edge_attrs: Optional[Dict[str, object]] = None,
+) -> Tuple[EdgeStream, List[PlantedInstance]]:
+    """Embed ``count`` fresh instances of ``query`` into an edge stream.
+
+    Every instance uses brand-new data vertices (so instances never overlap)
+    and emits its edges ``edge_spacing`` apart in a random order starting at
+    ``start_time + index * instance_gap``.
+
+    Query edges must have concrete labels (a wildcard query edge has no
+    natural label to emit); wildcard *vertex* labels fall back to ``"node"``.
+    """
+    rng = random.Random(seed)
+    records: List[StreamEdge] = []
+    instances: List[PlantedInstance] = []
+    for index in range(count):
+        base = start_time + index * instance_gap
+        vertex_map = {
+            name: f"{vertex_prefix}:{index}:{name}" for name in query.vertex_names()
+        }
+        edges = list(query.edges())
+        rng.shuffle(edges)
+        timestamp = base
+        for query_edge in edges:
+            if query_edge.label is None:
+                raise ValueError(
+                    f"query edge {query_edge.id} has no label; cannot synthesise a data edge for it"
+                )
+            records.append(
+                StreamEdge(
+                    vertex_map[query_edge.source],
+                    vertex_map[query_edge.target],
+                    query_edge.label,
+                    timestamp,
+                    dict(edge_attrs or {}),
+                    source_label=_label_default(query.vertex(query_edge.source).label),
+                    target_label=_label_default(query.vertex(query_edge.target).label),
+                )
+            )
+            timestamp += edge_spacing
+        instances.append(PlantedInstance(index, base, vertex_map))
+    stream = EdgeStream(sorted(records, key=lambda e: e.timestamp), name=f"planted:{query.name}")
+    return stream, instances
+
+
+def instances_detected(
+    instances: Sequence[PlantedInstance],
+    matches: Iterable[Match],
+) -> Dict[int, bool]:
+    """Return ``{instance index: detected}`` by comparing data-vertex sets.
+
+    An instance counts as detected when some reported match uses a subset of
+    the instance's planted vertices (automorphic permutations of the query
+    variables all map onto the same planted vertex set).
+    """
+    match_vertex_sets = [set(match.vertex_map.values()) for match in matches]
+    result: Dict[int, bool] = {}
+    for instance in instances:
+        planted = instance.data_vertices()
+        result[instance.index] = any(vertices <= planted for vertices in match_vertex_sets)
+    return result

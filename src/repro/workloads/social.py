@@ -1,0 +1,173 @@
+"""Synthetic social-media activity stream.
+
+The paper's introduction motivates StreamWorks with social media monitoring
+alongside news and cyber data.  This generator produces a user / post /
+hashtag / reshare stream whose structure exercises different query shapes
+than the news stream (user-centred stars, reshare chains):
+
+* users follow each other (static-ish ``follows`` edges emitted early),
+* users publish posts (``posted``), posts tag hashtags (``tagged``),
+* users reshare posts (``reshared``) preferentially soon after publication,
+  creating the time-correlated cascades that windowed queries detect,
+* users mention other users in posts (``mentions``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..streaming.edge_stream import EdgeStream, StreamEdge
+
+__all__ = ["SocialStreamConfig", "SocialStreamGenerator"]
+
+
+class SocialStreamConfig:
+    """Parameters of the social activity generator."""
+
+    def __init__(
+        self,
+        user_count: int = 100,
+        hashtag_count: int = 30,
+        follow_edges: int = 300,
+        mean_interarrival: float = 0.5,
+        reshare_probability: float = 0.35,
+        mention_probability: float = 0.25,
+        zipf_exponent: float = 1.1,
+        seed: int = 29,
+    ):
+        if user_count < 2:
+            raise ValueError("need at least two users")
+        self.user_count = user_count
+        self.hashtag_count = hashtag_count
+        self.follow_edges = follow_edges
+        self.mean_interarrival = mean_interarrival
+        self.reshare_probability = reshare_probability
+        self.mention_probability = mention_probability
+        self.zipf_exponent = zipf_exponent
+        self.seed = seed
+
+
+class SocialStreamGenerator:
+    """Generate follows/posts/tags/reshares/mentions edges."""
+
+    def __init__(self, config: Optional[SocialStreamConfig] = None):
+        self.config = config or SocialStreamConfig()
+        self._rng = random.Random(self.config.seed)
+        self.users = [f"user{i}" for i in range(self.config.user_count)]
+        self.hashtags = [f"tag{i}" for i in range(self.config.hashtag_count)]
+        self._user_weights = [
+            1.0 / ((rank + 1) ** self.config.zipf_exponent) for rank in range(self.config.user_count)
+        ]
+        self._hashtag_weights = [
+            1.0 / ((rank + 1) ** self.config.zipf_exponent)
+            for rank in range(self.config.hashtag_count)
+        ]
+        self._post_counter = 0
+        self._recent_posts: List[Tuple[str, str, float]] = []  # (post id, author, time)
+
+    def _pick_user(self) -> str:
+        return self._rng.choices(self.users, weights=self._user_weights, k=1)[0]
+
+    def _pick_hashtag(self) -> str:
+        return self._rng.choices(self.hashtags, weights=self._hashtag_weights, k=1)[0]
+
+    def follow_graph(self, start_time: float = 0.0) -> EdgeStream:
+        """Return the initial ``follows`` edges (emitted before the activity stream)."""
+        records: List[StreamEdge] = []
+        timestamp = start_time
+        seen = set()
+        while len(records) < self.config.follow_edges:
+            follower = self._pick_user()
+            followee = self._pick_user()
+            if follower == followee or (follower, followee) in seen:
+                continue
+            seen.add((follower, followee))
+            timestamp += 0.001
+            records.append(
+                StreamEdge(
+                    follower,
+                    followee,
+                    "follows",
+                    timestamp,
+                    {},
+                    source_label="User",
+                    target_label="User",
+                )
+            )
+        return EdgeStream(records, name="follows")
+
+    def activity_records(self, count: int, start_time: float = 0.0) -> Iterator[StreamEdge]:
+        """Yield ``count`` activity edges (posts, tags, reshares, mentions)."""
+        timestamp = start_time
+        emitted = 0
+        while emitted < count:
+            timestamp += self._rng.expovariate(1.0 / self.config.mean_interarrival)
+            author = self._pick_user()
+            roll = self._rng.random()
+            if roll < self.config.reshare_probability and self._recent_posts:
+                post_id, original_author, _ = self._rng.choice(self._recent_posts[-50:])
+                resharer = self._pick_user()
+                if resharer != original_author:
+                    yield StreamEdge(
+                        resharer,
+                        post_id,
+                        "reshared",
+                        timestamp,
+                        {},
+                        source_label="User",
+                        target_label="Post",
+                    )
+                    emitted += 1
+                    continue
+            self._post_counter += 1
+            post_id = f"post{self._post_counter}"
+            self._recent_posts.append((post_id, author, timestamp))
+            yield StreamEdge(
+                author,
+                post_id,
+                "posted",
+                timestamp,
+                {},
+                source_label="User",
+                target_label="Post",
+            )
+            emitted += 1
+            if emitted >= count:
+                return
+            yield StreamEdge(
+                post_id,
+                self._pick_hashtag(),
+                "tagged",
+                timestamp + 0.001,
+                {},
+                source_label="Post",
+                target_label="Hashtag",
+            )
+            emitted += 1
+            if emitted >= count:
+                return
+            if self._rng.random() < self.config.mention_probability:
+                mentioned = self._pick_user()
+                if mentioned != author:
+                    yield StreamEdge(
+                        post_id,
+                        mentioned,
+                        "mentions",
+                        timestamp + 0.002,
+                        {},
+                        source_label="Post",
+                        target_label="User",
+                    )
+                    emitted += 1
+
+    def stream(self, count: int, start_time: float = 0.0, include_follows: bool = True) -> EdgeStream:
+        """Return a combined follows + activity stream of roughly ``count`` edges."""
+        records: List[StreamEdge] = []
+        activity_start = start_time
+        if include_follows:
+            follows = self.follow_graph(start_time)
+            records.extend(follows)
+            activity_start = start_time + len(follows) * 0.001 + 1.0
+        records.extend(self.activity_records(count, activity_start))
+        return EdgeStream(records, name="social")

@@ -1,0 +1,143 @@
+"""Shared fixtures and helpers for the StreamWorks reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import DynamicGraph, PropertyGraph, TimeWindow
+from repro.query import QueryBuilder
+from repro.streaming import EdgeStream, StreamEdge
+
+
+# ----------------------------------------------------------------------
+# small graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def triangle_graph() -> PropertyGraph:
+    """Three vertices a, b, c with labelled edges forming a directed triangle."""
+    graph = PropertyGraph()
+    graph.add_vertex("a", "Host")
+    graph.add_vertex("b", "Host")
+    graph.add_vertex("c", "Host")
+    graph.add_edge("a", "b", "link", 1.0)
+    graph.add_edge("b", "c", "link", 2.0)
+    graph.add_edge("c", "a", "link", 3.0)
+    return graph
+
+
+@pytest.fixture
+def news_graph() -> PropertyGraph:
+    """Two articles sharing a keyword and a location, one unrelated article."""
+    graph = PropertyGraph()
+    for article in ("art1", "art2", "art3"):
+        graph.add_vertex(article, "Article")
+    graph.add_vertex("kw:politics", "Keyword", {"label": "politics"})
+    graph.add_vertex("kw:sports", "Keyword", {"label": "sports"})
+    graph.add_vertex("loc:paris", "Location", {"name": "paris"})
+    graph.add_vertex("loc:oslo", "Location", {"name": "oslo"})
+    graph.add_edge("art1", "kw:politics", "mentions", 1.0)
+    graph.add_edge("art1", "loc:paris", "locatedIn", 2.0)
+    graph.add_edge("art2", "kw:politics", "mentions", 3.0)
+    graph.add_edge("art2", "loc:paris", "locatedIn", 4.0)
+    graph.add_edge("art3", "kw:sports", "mentions", 5.0)
+    graph.add_edge("art3", "loc:oslo", "locatedIn", 6.0)
+    return graph
+
+
+@pytest.fixture
+def pair_query():
+    """Two articles sharing a keyword and a location (4 query edges)."""
+    return (
+        QueryBuilder("pair")
+        .vertex("k", "Keyword")
+        .vertex("loc", "Location")
+        .vertex("a1", "Article")
+        .vertex("a2", "Article")
+        .edge("a1", "k", "mentions")
+        .edge("a1", "loc", "locatedIn")
+        .edge("a2", "k", "mentions")
+        .edge("a2", "loc", "locatedIn")
+        .build()
+    )
+
+
+@pytest.fixture
+def path_query():
+    """A 2-edge path query over 'link' edges: x -> y -> z."""
+    return (
+        QueryBuilder("path2")
+        .vertex("x", "Host")
+        .vertex("y", "Host")
+        .vertex("z", "Host")
+        .edge("x", "y", "link")
+        .edge("y", "z", "link")
+        .build()
+    )
+
+
+# ----------------------------------------------------------------------
+# streams
+# ----------------------------------------------------------------------
+def make_news_records(article_count: int, seed: int = 5, keywords: int = 4, locations: int = 3,
+                      interarrival: float = 1.0):
+    """Build a simple synthetic article stream without the full workload generator."""
+    rng = random.Random(seed)
+    records = []
+    timestamp = 0.0
+    for index in range(article_count):
+        timestamp += interarrival
+        article = f"article{index}"
+        keyword = f"kw{rng.randrange(keywords)}"
+        location = f"loc{rng.randrange(locations)}"
+        records.append(
+            StreamEdge(article, keyword, "mentions", timestamp,
+                       source_label="Article", target_label="Keyword")
+        )
+        records.append(
+            StreamEdge(article, location, "locatedIn", timestamp + 0.1,
+                       source_label="Article", target_label="Location")
+        )
+    return records
+
+
+@pytest.fixture
+def small_news_stream() -> EdgeStream:
+    """A deterministic 50-article news stream."""
+    return EdgeStream(make_news_records(50), name="small_news")
+
+
+@pytest.fixture
+def news_record_factory():
+    """Factory fixture returning the :func:`make_news_records` helper."""
+    return make_news_records
+
+
+@pytest.fixture
+def windowed_dynamic_graph() -> DynamicGraph:
+    """An empty dynamic graph with a 10-second retention window."""
+    return DynamicGraph(window=TimeWindow(10.0))
+
+
+# ----------------------------------------------------------------------
+# helpers usable from tests (imported via conftest namespace)
+# ----------------------------------------------------------------------
+def ingest_stream(graph: DynamicGraph, stream) -> list:
+    """Ingest every record of a stream into a dynamic graph; return stored edges."""
+    stored = []
+    for record in stream:
+        stored.append(
+            graph.ingest(
+                record.source,
+                record.target,
+                record.label,
+                record.timestamp,
+                record.attrs,
+                source_label=record.source_label,
+                target_label=record.target_label,
+                source_attrs=getattr(record, "source_attrs", None),
+                target_attrs=getattr(record, "target_attrs", None),
+            )
+        )
+    return stored

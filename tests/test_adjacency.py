@@ -1,0 +1,113 @@
+"""Tests for the label-aware adjacency index."""
+
+import pytest
+
+from repro.graph.adjacency import AdjacencyIndex
+from repro.graph.types import Direction, Edge
+
+
+@pytest.fixture
+def index_with_edges():
+    index = AdjacencyIndex()
+    edges = [
+        Edge(0, "a", "b", "link", 1.0),
+        Edge(1, "a", "c", "link", 2.0),
+        Edge(2, "a", "b", "flow", 3.0),
+        Edge(3, "b", "a", "link", 4.0),
+    ]
+    for edge in edges:
+        index.add_edge(edge)
+    return index, edges
+
+
+class TestAddAndQuery:
+    def test_out_edges_by_label(self, index_with_edges):
+        index, _ = index_with_edges
+        assert set(index.incident_edge_ids("a", Direction.OUT, "link")) == {0, 1}
+        assert set(index.incident_edge_ids("a", Direction.OUT, "flow")) == {2}
+
+    def test_in_edges(self, index_with_edges):
+        index, _ = index_with_edges
+        assert set(index.incident_edge_ids("b", Direction.IN)) == {0, 2}
+        assert set(index.incident_edge_ids("a", Direction.IN)) == {3}
+
+    def test_both_directions(self, index_with_edges):
+        index, _ = index_with_edges
+        assert set(index.incident_edge_ids("a", Direction.BOTH)) == {0, 1, 2, 3}
+
+    def test_label_filter_with_no_hits(self, index_with_edges):
+        index, _ = index_with_edges
+        assert list(index.incident_edge_ids("a", Direction.OUT, "nope")) == []
+
+    def test_unknown_vertex_yields_nothing(self, index_with_edges):
+        index, _ = index_with_edges
+        assert list(index.incident_edge_ids("zzz", Direction.BOTH)) == []
+
+    def test_degrees(self, index_with_edges):
+        index, _ = index_with_edges
+        assert index.degree("a") == 4
+        assert index.out_degree("a") == 3
+        assert index.in_degree("a") == 1
+        assert index.degree("c") == 1
+        assert index.degree("unknown") == 0
+
+    def test_labels_at(self, index_with_edges):
+        index, _ = index_with_edges
+        assert index.labels_at("a", Direction.OUT) == {"link", "flow"}
+        assert index.labels_at("c") == {"link"}
+
+    def test_contains_and_len(self, index_with_edges):
+        index, _ = index_with_edges
+        assert "a" in index and "b" in index and "c" in index
+        assert len(index) == 3
+        assert set(index.vertices()) == {"a", "b", "c"}
+
+
+class TestRemoval:
+    def test_remove_edge_updates_degree_and_lookup(self, index_with_edges):
+        index, edges = index_with_edges
+        index.remove_edge(edges[0])
+        assert 0 not in set(index.incident_edge_ids("a", Direction.OUT, "link"))
+        assert index.degree("a") == 3
+        assert index.degree("b") == 2
+
+    def test_remove_all_edges_of_vertex_removes_vertex(self, index_with_edges):
+        index, edges = index_with_edges
+        index.remove_edge(edges[1])
+        assert index.degree("c") == 0
+        assert "c" not in index
+
+    def test_remove_edge_twice_is_harmless(self, index_with_edges):
+        index, edges = index_with_edges
+        index.remove_edge(edges[0])
+        index.remove_edge(edges[0])
+        assert index.degree("b") >= 0
+
+    def test_remove_vertex_drops_its_slots(self, index_with_edges):
+        index, _ = index_with_edges
+        index.remove_vertex("a")
+        assert "a" not in index
+        assert list(index.incident_edge_ids("a", Direction.BOTH)) == []
+
+    def test_clear(self, index_with_edges):
+        index, _ = index_with_edges
+        index.clear()
+        assert len(index) == 0
+        assert index.degree("a") == 0
+
+
+class TestSelfLoops:
+    def test_self_loop_counts_twice_in_degree(self):
+        index = AdjacencyIndex()
+        loop = Edge(7, "x", "x", "self", 1.0)
+        index.add_edge(loop)
+        assert index.degree("x") == 2
+        assert set(index.incident_edge_ids("x", Direction.OUT)) == {7}
+        assert set(index.incident_edge_ids("x", Direction.IN)) == {7}
+
+    def test_self_loop_removal(self):
+        index = AdjacencyIndex()
+        loop = Edge(7, "x", "x", "self", 1.0)
+        index.add_edge(loop)
+        index.remove_edge(loop)
+        assert index.degree("x") == 0

@@ -1,0 +1,100 @@
+"""Tests for the repeated-search and naive-incremental baselines."""
+
+import pytest
+
+from repro.baselines import NaiveIncrementalEngine, RepeatedSearchEngine
+from repro.core import EngineConfig, StreamWorksEngine
+from repro.queries.news import common_topic_location_query
+from repro.streaming import EdgeStream, StreamEdge
+
+
+@pytest.fixture
+def small_stream(news_record_factory):
+    return EdgeStream(news_record_factory(40, seed=9, keywords=3, locations=2), name="baseline_stream")
+
+
+class TestRepeatedSearch:
+    def test_finds_matches_and_does_not_rereport(self, small_stream):
+        query = common_topic_location_query(2)
+        engine = RepeatedSearchEngine(query, window=None)
+        first_batch = list(small_stream)[: len(small_stream) // 2]
+        second_batch = list(small_stream)[len(small_stream) // 2:]
+        first = engine.process_batch(first_batch)
+        second = engine.process_batch(second_batch)
+        identities = [m.identity() for m in first + second]
+        assert len(identities) == len(set(identities))
+        assert engine.batches_processed == 2
+        assert engine.total_matches == len(identities)
+
+    def test_matches_equal_incremental_with_unbounded_window(self, small_stream):
+        query = common_topic_location_query(2)
+        baseline = RepeatedSearchEngine(query, window=None)
+        baseline_matches = baseline.process_stream(small_stream, batch_size=10)
+
+        engine = StreamWorksEngine()
+        engine.register_query(query, name="q")
+        events = engine.process_stream(small_stream)
+        assert {m.identity() for m in baseline_matches} == {e.match.identity() for e in events}
+
+    def test_windowed_repeated_search_never_reports_overlong_spans(self, small_stream):
+        query = common_topic_location_query(2)
+        baseline = RepeatedSearchEngine(query, window=5.0)
+        matches = baseline.process_stream(small_stream, batch_size=5)
+        assert all(match.span < 5.0 for match in matches)
+
+    def test_structural_dedupe(self, small_stream):
+        query = common_topic_location_query(2)
+        plain = RepeatedSearchEngine(query, window=None)
+        deduped = RepeatedSearchEngine(query, window=None, dedupe_structural=True)
+        plain_matches = plain.process_stream(small_stream, batch_size=20)
+        deduped_matches = deduped.process_stream(small_stream, batch_size=20)
+        assert len(plain_matches) == 2 * len(deduped_matches)
+
+    def test_metrics(self, small_stream):
+        query = common_topic_location_query(2)
+        baseline = RepeatedSearchEngine(query, window=None)
+        baseline.process_stream(small_stream, batch_size=10)
+        metrics = baseline.metrics()
+        assert metrics["edges_processed"] == len(small_stream)
+        assert metrics["batches_processed"] == 8
+        assert metrics["search_latency"]["count"] == 8
+
+
+class TestNaiveIncremental:
+    def test_matches_equal_sjtree_engine(self, small_stream):
+        query = common_topic_location_query(2)
+        naive = NaiveIncrementalEngine(query, window=30.0)
+        naive_matches = naive.process_stream(small_stream)
+
+        engine = StreamWorksEngine()
+        engine.register_query(query, name="q", window=30.0)
+        events = engine.process_stream(small_stream)
+        assert {m.identity() for m in naive_matches} == {e.match.identity() for e in events}
+
+    def test_no_duplicates(self, small_stream):
+        query = common_topic_location_query(2)
+        naive = NaiveIncrementalEngine(query, window=None)
+        matches = naive.process_stream(small_stream)
+        identities = [m.identity() for m in matches]
+        assert len(identities) == len(set(identities))
+
+    def test_window_respected(self, small_stream):
+        query = common_topic_location_query(2)
+        naive = NaiveIncrementalEngine(query, window=4.0)
+        matches = naive.process_stream(small_stream)
+        assert all(match.span < 4.0 for match in matches)
+
+    def test_structural_dedupe(self, small_stream):
+        query = common_topic_location_query(2)
+        naive = NaiveIncrementalEngine(query, window=None, dedupe_structural=True)
+        plain = NaiveIncrementalEngine(query, window=None)
+        assert len(plain.process_stream(small_stream)) == 2 * len(naive.process_stream(small_stream))
+
+    def test_metrics(self, small_stream):
+        query = common_topic_location_query(2)
+        naive = NaiveIncrementalEngine(query, window=None)
+        naive.process_stream(small_stream)
+        metrics = naive.metrics()
+        assert metrics["edges_processed"] == len(small_stream)
+        assert metrics["edge_latency"]["count"] == len(small_stream)
+        assert metrics["seeded_searches"] > 0

@@ -1,0 +1,159 @@
+"""Tests for the fluent query builder and the text query parser."""
+
+import pytest
+
+from repro.query import QueryBuilder, QueryParseError, parse_query
+from repro.query.predicates import AttrEquals
+
+
+class TestQueryBuilder:
+    def test_basic_build(self, pair_query):
+        assert pair_query.vertex_count() == 4
+        assert pair_query.edge_count() == 4
+        assert pair_query.vertex("a1").label == "Article"
+
+    def test_attrs_shorthand_becomes_equality_predicate(self):
+        query = (
+            QueryBuilder("q")
+            .vertex("k", "Keyword", attrs={"label": "politics"})
+            .vertex("a", "Article")
+            .edge("a", "k", "mentions")
+            .build()
+        )
+        assert query.vertex("k").matches_vertex("Keyword", {"label": "politics"})
+        assert not query.vertex("k").matches_vertex("Keyword", {"label": "sports"})
+
+    def test_edge_attrs_and_predicate_combined(self):
+        query = (
+            QueryBuilder("q")
+            .vertex("a", "IP")
+            .vertex("b", "IP")
+            .edge("a", "b", "connectsTo", attrs={"port": 445}, predicate=AttrEquals("proto", "tcp"))
+            .build()
+        )
+        edge = next(iter(query.edges()))
+        assert edge.matches_edge_label("connectsTo", {"port": 445, "proto": "tcp"})
+        assert not edge.matches_edge_label("connectsTo", {"port": 445, "proto": "udp"})
+        assert not edge.matches_edge_label("connectsTo", {"port": 80, "proto": "tcp"})
+
+    def test_undirected_edge(self):
+        query = (
+            QueryBuilder("q")
+            .vertex("a", "User")
+            .vertex("b", "User")
+            .undirected_edge("a", "b", "knows")
+            .build()
+        )
+        assert not next(iter(query.edges())).directed
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            QueryBuilder("q").vertex("a", "X").build()
+
+    def test_disconnected_query_rejected(self):
+        builder = (
+            QueryBuilder("q")
+            .edge("a", "b", "r")
+            .edge("c", "d", "r")
+        )
+        with pytest.raises(ValueError):
+            builder.build()
+
+
+class TestParser:
+    def test_simple_pattern(self):
+        parsed = parse_query("MATCH (a:Article)-[:mentions]->(k:Keyword)")
+        assert parsed.window is None
+        assert parsed.graph.edge_count() == 1
+        assert parsed.graph.vertex("a").label == "Article"
+        edge = next(iter(parsed.graph.edges()))
+        assert edge.label == "mentions" and edge.directed
+
+    def test_within_clause(self):
+        parsed = parse_query("MATCH (a)-[:r]->(b) WITHIN 120")
+        assert parsed.window == 120.0
+
+    def test_multiple_patterns_share_variables(self):
+        parsed = parse_query(
+            "MATCH (a1:Article)-[:mentions]->(k:Keyword), (a2:Article)-[:mentions]->(k)"
+        )
+        assert parsed.graph.vertex_count() == 3
+        assert parsed.graph.edge_count() == 2
+
+    def test_chained_pattern(self):
+        parsed = parse_query("MATCH (a:IP)-[:connectsTo]->(b:IP)-[:connectsTo]->(c:IP)")
+        assert parsed.graph.edge_count() == 2
+        assert parsed.graph.vertex_count() == 3
+
+    def test_left_pointing_relationship(self):
+        parsed = parse_query("MATCH (a:IP)<-[:connectsTo]-(b:IP)")
+        edge = next(iter(parsed.graph.edges()))
+        assert edge.source == "b" and edge.target == "a"
+
+    def test_undirected_relationship(self):
+        parsed = parse_query("MATCH (a:User)-[:knows]-(b:User)")
+        assert not next(iter(parsed.graph.edges())).directed
+
+    def test_node_attribute_map(self):
+        parsed = parse_query('MATCH (a:Article)-[:mentions]->(k:Keyword {label="politics"})')
+        assert parsed.graph.vertex("k").matches_vertex("Keyword", {"label": "politics"})
+        assert not parsed.graph.vertex("k").matches_vertex("Keyword", {"label": "other"})
+
+    def test_edge_attribute_map(self):
+        parsed = parse_query("MATCH (a:IP)-[:connectsTo {port=445}]->(b:IP)")
+        edge = next(iter(parsed.graph.edges()))
+        assert edge.matches_edge_label("connectsTo", {"port": 445})
+        assert not edge.matches_edge_label("connectsTo", {"port": 80})
+
+    def test_value_types(self):
+        parsed = parse_query(
+            'MATCH (a)-[:r {flag=true, count=3, ratio=0.5, name="x y", word=bare}]->(b)'
+        )
+        edge = next(iter(parsed.graph.edges()))
+        attrs = {"flag": True, "count": 3, "ratio": 0.5, "name": "x y", "word": "bare"}
+        assert edge.matches_edge_label("r", attrs)
+
+    def test_anonymous_nodes_get_fresh_names(self):
+        parsed = parse_query("MATCH (:Article)-[:mentions]->(:Keyword)")
+        assert parsed.graph.vertex_count() == 2
+
+    def test_comments_and_whitespace_ignored(self):
+        parsed = parse_query(
+            """
+            # looking for co-mentions
+            MATCH (a1:Article)-[:mentions]->(k:Keyword),   # first article
+                  (a2:Article)-[:mentions]->(k)
+            WITHIN 60
+            """
+        )
+        assert parsed.graph.edge_count() == 2
+        assert parsed.window == 60.0
+
+    def test_match_keyword_is_optional(self):
+        parsed = parse_query("(a)-[:r]->(b)")
+        assert parsed.graph.edge_count() == 1
+
+    def test_parse_errors(self):
+        with pytest.raises(QueryParseError):
+            parse_query("")
+        with pytest.raises(QueryParseError):
+            parse_query("MATCH (a)")  # no relationship
+        with pytest.raises(QueryParseError):
+            parse_query("MATCH (a)-[:r]->(b), (c)-[:r]->(d)")  # disconnected
+        with pytest.raises(QueryParseError):
+            parse_query("MATCH (a)-[:r]->")  # dangling relationship
+
+    def test_round_trip_with_engine_compatible_structure(self, news_graph):
+        from repro.isomorphism import SubgraphMatcher
+
+        parsed = parse_query(
+            """
+            MATCH (a1:Article)-[:mentions]->(k:Keyword),
+                  (a1)-[:locatedIn]->(loc:Location),
+                  (a2:Article)-[:mentions]->(k),
+                  (a2)-[:locatedIn]->(loc)
+            """
+        )
+        matches = SubgraphMatcher(news_graph).find_all(parsed.graph)
+        # art1/art2 sharing politics+paris, in both variable assignments
+        assert len(matches) == 2

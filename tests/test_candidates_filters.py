@@ -1,0 +1,123 @@
+"""Tests for candidate enumeration helpers and pruning filters."""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.graph.types import Edge
+from repro.isomorphism.candidates import (
+    count_label_candidates,
+    edge_orientations,
+    edge_satisfies,
+    vertex_candidates,
+    vertex_satisfies,
+)
+from repro.isomorphism.filters import degree_feasible, label_feasible, prefilter_candidates
+from repro.query import QueryBuilder
+from repro.query.predicates import AttrEquals
+from repro.query.query_graph import QueryEdge, QueryVertex
+
+
+class TestCandidates:
+    def test_vertex_satisfies_label_and_predicate(self, news_graph):
+        keyword = QueryVertex("k", "Keyword", AttrEquals("label", "politics"))
+        assert vertex_satisfies(news_graph, "kw:politics", keyword)
+        assert not vertex_satisfies(news_graph, "kw:sports", keyword)
+        assert not vertex_satisfies(news_graph, "art1", keyword)
+        assert not vertex_satisfies(news_graph, "missing", keyword)
+
+    def test_edge_satisfies(self):
+        query_edge = QueryEdge(0, "x", "y", "connectsTo", AttrEquals("port", 53))
+        assert edge_satisfies(Edge(0, "a", "b", "connectsTo", 0.0, {"port": 53}), query_edge)
+        assert not edge_satisfies(Edge(0, "a", "b", "connectsTo", 0.0, {"port": 80}), query_edge)
+        assert not edge_satisfies(Edge(0, "a", "b", "ping", 0.0, {"port": 53}), query_edge)
+
+    def test_edge_orientations_directed(self):
+        directed = QueryEdge(0, "x", "y", "r", directed=True)
+        orientations = list(edge_orientations(Edge(0, "a", "b", "r"), directed))
+        assert orientations == [("a", "b")]
+
+    def test_edge_orientations_undirected(self):
+        undirected = QueryEdge(0, "x", "y", "r", directed=False)
+        orientations = list(edge_orientations(Edge(0, "a", "b", "r"), undirected))
+        assert ("a", "b") in orientations and ("b", "a") in orientations
+
+    def test_edge_orientations_self_loop_not_duplicated(self):
+        undirected = QueryEdge(0, "x", "y", "r", directed=False)
+        orientations = list(edge_orientations(Edge(0, "a", "a", "r"), undirected))
+        assert orientations == [("a", "a")]
+
+    def test_vertex_candidates_uses_label_index(self, news_graph):
+        article = QueryVertex("a", "Article")
+        assert set(vertex_candidates(news_graph, article)) == {"art1", "art2", "art3"}
+        anything = QueryVertex("v")
+        assert len(list(vertex_candidates(news_graph, anything))) == news_graph.vertex_count()
+
+    def test_count_label_candidates(self, news_graph):
+        query = QueryBuilder("q").vertex("a", "Article").vertex("k", "Keyword").edge("a", "k", "mentions").build()
+        edge = next(iter(query.edges()))
+        assert count_label_candidates(news_graph, query, edge) == 3
+        wildcard_query = QueryBuilder("w").edge("a", "k").build()
+        wildcard_edge = next(iter(wildcard_query.edges()))
+        assert count_label_candidates(news_graph, wildcard_query, wildcard_edge) == news_graph.edge_count()
+
+
+class TestFilters:
+    @pytest.fixture
+    def hub_graph(self):
+        graph = PropertyGraph()
+        graph.add_vertex("hub", "Host")
+        for index in range(3):
+            graph.add_vertex(f"leaf{index}", "Host")
+            graph.add_edge("hub", f"leaf{index}", "link", float(index))
+        graph.add_vertex("lonely", "Host")
+        return graph
+
+    def test_degree_feasible(self, hub_graph):
+        query = (
+            QueryBuilder("fanout2")
+            .vertex("c", "Host")
+            .vertex("l1", "Host")
+            .vertex("l2", "Host")
+            .edge("c", "l1", "link")
+            .edge("c", "l2", "link")
+            .build()
+        )
+        center = query.vertex("c")
+        assert degree_feasible(hub_graph, "hub", query, center)
+        assert not degree_feasible(hub_graph, "leaf0", query, center)
+        assert not degree_feasible(hub_graph, "lonely", query, center)
+
+    def test_label_feasible(self, hub_graph):
+        query = (
+            QueryBuilder("q")
+            .vertex("c", "Host")
+            .vertex("x", "Host")
+            .edge("c", "x", "link")
+            .edge("x", "c", "reverse_link")
+            .build()
+        )
+        # no vertex has an incident reverse_link edge
+        assert not label_feasible(hub_graph, "hub", query, query.vertex("c"))
+        simple = QueryBuilder("s").vertex("c", "Host").vertex("x", "Host").edge("c", "x", "link").build()
+        assert label_feasible(hub_graph, "hub", simple, simple.vertex("c"))
+        assert not label_feasible(hub_graph, "lonely", simple, simple.vertex("c"))
+
+    def test_prefilter_candidates(self, hub_graph):
+        query = (
+            QueryBuilder("fanout2")
+            .vertex("c", "Host")
+            .vertex("l1", "Host")
+            .vertex("l2", "Host")
+            .edge("c", "l1", "link")
+            .edge("c", "l2", "link")
+            .build()
+        )
+        candidates = prefilter_candidates(hub_graph, query)
+        assert candidates["c"] == {"hub"}
+        assert "lonely" not in candidates["l1"]
+        assert candidates["l1"] == {"leaf0", "leaf1", "leaf2"}
+
+    def test_prefilter_empty_set_proves_no_match(self, hub_graph):
+        query = QueryBuilder("q").vertex("u", "User").vertex("h", "Host").edge("u", "h", "loginTo").build()
+        candidates = prefilter_candidates(hub_graph, query)
+        assert candidates["u"] == set()

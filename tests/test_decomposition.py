@@ -1,0 +1,151 @@
+"""Tests for query decomposition strategies."""
+
+import pytest
+
+from repro.core.decomposition import (
+    Decomposition,
+    DecompositionError,
+    Strategy,
+    decompose,
+    enumerate_pair_primitives,
+    order_primitives_by_connectivity,
+)
+from repro.queries.cyber import smurf_ddos_query
+from repro.queries.news import common_topic_location_query
+from repro.stats import GraphSummary, SelectivityEstimator
+
+
+@pytest.fixture
+def news_summary(news_graph):
+    return GraphSummary.from_graph(news_graph)
+
+
+class TestDecompositionValidation:
+    def test_valid_manual_decomposition(self, pair_query):
+        ids = sorted(pair_query.edge_ids())
+        primitives = [pair_query.edge_subgraph(ids[:2]), pair_query.edge_subgraph(ids[2:])]
+        decomposition = Decomposition(pair_query, primitives)
+        assert decomposition.primitive_count() == 2
+        tree = decomposition.build_tree()
+        tree.validate()
+
+    def test_missing_edges_rejected(self, pair_query):
+        ids = sorted(pair_query.edge_ids())
+        with pytest.raises(DecompositionError):
+            Decomposition(pair_query, [pair_query.edge_subgraph(ids[:2])])
+
+    def test_overlapping_primitives_rejected(self, pair_query):
+        ids = sorted(pair_query.edge_ids())
+        with pytest.raises(DecompositionError):
+            Decomposition(
+                pair_query,
+                [pair_query.edge_subgraph(ids[:3]), pair_query.edge_subgraph(ids[2:])],
+            )
+
+    def test_disconnected_primitive_rejected(self, pair_query):
+        # a1-mentions and a2-locatedIn do not share a vertex
+        mention_a1 = next(e.id for e in pair_query.edges() if e.source == "a1" and e.label == "mentions")
+        located_a2 = next(e.id for e in pair_query.edges() if e.source == "a2" and e.label == "locatedIn")
+        rest = pair_query.edge_ids() - {mention_a1, located_a2}
+        with pytest.raises(DecompositionError):
+            Decomposition(
+                pair_query,
+                [pair_query.edge_subgraph([mention_a1, located_a2]), pair_query.edge_subgraph(rest)],
+            )
+
+    def test_empty_decomposition_rejected(self, pair_query):
+        with pytest.raises(DecompositionError):
+            Decomposition(pair_query, [])
+
+    def test_unknown_edge_rejected(self, pair_query, path_query):
+        foreign = path_query.edge_subgraph(sorted(path_query.edge_ids()))
+        with pytest.raises(DecompositionError):
+            Decomposition(pair_query, [foreign])
+
+    def test_describe_lists_primitives(self, pair_query):
+        decomposition = decompose(pair_query, Strategy.EDGE_BY_EDGE)
+        text = decomposition.describe()
+        assert "mentions" in text and "locatedIn" in text
+
+
+class TestPrimitiveEnumeration:
+    def test_enumerate_pair_primitives_counts(self, pair_query):
+        pairs = enumerate_pair_primitives(pair_query)
+        # edges: a1-k, a1-loc, a2-k, a2-loc; connected pairs: (a1k,a1loc), (a1k,a2k),
+        # (a1loc,a2loc), (a2k,a2loc)
+        assert len(pairs) == 4
+        for primitive in pairs:
+            assert primitive.edge_count() == 2
+            assert primitive.is_connected()
+
+    def test_order_by_connectivity_keeps_joins_connected(self, pair_query):
+        pairs = enumerate_pair_primitives(pair_query)
+        scored = [(primitive, float(index)) for index, primitive in enumerate(pairs[:2])]
+        ordered = order_primitives_by_connectivity(pair_query, scored)
+        covered = ordered[0][0].vertex_names()
+        for primitive, _ in ordered[1:]:
+            assert covered & primitive.vertex_names()
+            covered |= primitive.vertex_names()
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy",
+        [Strategy.SELECTIVITY, Strategy.ANTI_SELECTIVE, Strategy.EDGE_BY_EDGE, Strategy.BALANCED_PAIRS],
+    )
+    def test_every_strategy_produces_valid_cover(self, strategy, news_summary):
+        query = common_topic_location_query(3)
+        estimator = SelectivityEstimator(news_summary)
+        decomposition = decompose(query, strategy, estimator)
+        decomposition.validate()
+        tree = decomposition.build_tree()
+        tree.validate()
+
+    def test_edge_by_edge_uses_single_edge_primitives(self, pair_query):
+        decomposition = decompose(pair_query, Strategy.EDGE_BY_EDGE)
+        assert decomposition.primitive_count() == pair_query.edge_count()
+        assert all(primitive.edge_count() == 1 for primitive in decomposition.primitives)
+
+    def test_selectivity_prefers_two_edge_primitives(self, news_summary):
+        query = common_topic_location_query(3)
+        decomposition = decompose(query, Strategy.SELECTIVITY, SelectivityEstimator(news_summary))
+        assert decomposition.primitive_count() == 3
+        assert all(primitive.edge_count() == 2 for primitive in decomposition.primitives)
+
+    def test_selectivity_vs_anti_selective_reverse_order(self, news_summary):
+        query = common_topic_location_query(3)
+        estimator = SelectivityEstimator(news_summary)
+        selective = decompose(query, Strategy.SELECTIVITY, estimator)
+        anti = decompose(query, Strategy.ANTI_SELECTIVE, estimator)
+        selective_first = selective.estimates[selective.primitives[0].name]
+        anti_first = anti.estimates[anti.primitives[0].name]
+        assert selective_first <= anti_first
+
+    def test_consecutive_primitives_share_vertices(self, news_summary):
+        query = smurf_ddos_query(3)
+        decomposition = decompose(query, Strategy.SELECTIVITY, SelectivityEstimator(news_summary))
+        covered = decomposition.primitives[0].vertex_names()
+        for primitive in decomposition.primitives[1:]:
+            assert covered & primitive.vertex_names()
+            covered |= primitive.vertex_names()
+
+    def test_balanced_pairs_builds_bushy_tree(self, news_summary):
+        query = common_topic_location_query(3)
+        decomposition = decompose(query, Strategy.BALANCED_PAIRS, SelectivityEstimator(news_summary))
+        tree = decomposition.build_tree()
+        left_deep = decompose(query, Strategy.SELECTIVITY, SelectivityEstimator(news_summary)).build_tree()
+        assert tree.depth() <= left_deep.depth()
+
+    def test_manual_strategy_requires_primitives(self, pair_query):
+        with pytest.raises(DecompositionError):
+            decompose(pair_query, Strategy.MANUAL)
+
+    def test_unknown_strategy_rejected(self, pair_query):
+        with pytest.raises(DecompositionError):
+            decompose(pair_query, "nonsense")
+
+    def test_without_estimator_still_valid(self):
+        query = common_topic_location_query(3)
+        decomposition = decompose(query, Strategy.SELECTIVITY, estimator=None)
+        decomposition.validate()
+        assert decomposition.primitive_count() >= 2

@@ -1,0 +1,99 @@
+"""Tests for adaptive re-planning (the paper's stated future work, implemented here)."""
+
+import pytest
+
+from repro.core import EngineConfig, Strategy, StreamWorksEngine
+from repro.queries.news import common_topic_location_query
+from repro.streaming import StreamEdge
+from repro.workloads import NewsStreamConfig, NewsStreamGenerator
+
+
+def news_stream(article_count=80, seed=13):
+    generator = NewsStreamGenerator(NewsStreamConfig(seed=seed))
+    stream, _ = generator.stream_with_bursts(article_count, [("politics", "paris", 60.0)])
+    return stream
+
+
+class TestReplanQuery:
+    def test_replan_updates_plan_statistics(self):
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        assert engine.queries["q"].plan.summary_edge_count == 0
+        records = list(news_stream())
+        engine.process_stream(records[: len(records) // 2])
+        engine.replan_query("q")
+        assert engine.queries["q"].plan.summary_edge_count > 0
+
+    def test_replan_unknown_query_raises(self):
+        engine = StreamWorksEngine()
+        with pytest.raises(KeyError):
+            engine.replan_query("ghost")
+
+    def test_replan_with_strategy_override(self):
+        engine = StreamWorksEngine()
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        engine.process_stream(list(news_stream(30)))
+        registration = engine.replan_query("q", strategy=Strategy.EDGE_BY_EDGE)
+        assert registration.plan.strategy == Strategy.EDGE_BY_EDGE
+        assert registration.plan.primitive_count() == 4
+
+    def test_replan_does_not_rereport_old_matches(self):
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        records = list(news_stream())
+        first_half_events = engine.process_stream(records[: len(records) // 2])
+        engine.replan_query("q")
+        second_half_events = engine.process_stream(records[len(records) // 2:])
+        identities = [event.match.identity() for event in first_half_events + second_half_events]
+        assert len(identities) == len(set(identities))
+
+    def test_matches_fully_after_replan_are_still_found(self):
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        warmup = [
+            StreamEdge("warm1", "kw:x", "mentions", 1.0, source_label="Article", target_label="Keyword"),
+            StreamEdge("warm1", "loc:y", "locatedIn", 2.0, source_label="Article", target_label="Location"),
+        ]
+        engine.process_stream(warmup)
+        engine.replan_query("q")
+        fresh = [
+            StreamEdge("a1", "kw:z", "mentions", 100.0, source_label="Article", target_label="Keyword"),
+            StreamEdge("a1", "loc:w", "locatedIn", 101.0, source_label="Article", target_label="Location"),
+            StreamEdge("a2", "kw:z", "mentions", 102.0, source_label="Article", target_label="Keyword"),
+            StreamEdge("a2", "loc:w", "locatedIn", 103.0, source_label="Article", target_label="Location"),
+        ]
+        events = engine.process_stream(fresh)
+        assert len(events) == 1
+
+    def test_replan_all(self):
+        engine = StreamWorksEngine()
+        engine.register_query(common_topic_location_query(2), name="a", window=60.0)
+        engine.register_query(common_topic_location_query(3), name="b", window=60.0)
+        engine.process_stream(list(news_stream(30)))
+        engine.replan_all()
+        assert engine.queries["a"].plan.summary_edge_count > 0
+        assert engine.queries["b"].plan.summary_edge_count > 0
+
+
+class TestAutoReplan:
+    def test_auto_replan_interval_triggers(self):
+        engine = StreamWorksEngine(
+            config=EngineConfig(dedupe_structural=True, auto_replan_interval=50)
+        )
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        engine.process_stream(list(news_stream(40)))
+        # after >=50 edges the plan must have been rebuilt from live statistics
+        assert engine.queries["q"].plan.summary_edge_count >= 50
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(auto_replan_interval=0)
+
+    def test_auto_replan_preserves_event_uniqueness(self):
+        engine = StreamWorksEngine(
+            config=EngineConfig(dedupe_structural=True, auto_replan_interval=25)
+        )
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        events = engine.process_stream(list(news_stream(60)))
+        identities = [event.match.identity() for event in events]
+        assert len(identities) == len(set(identities))

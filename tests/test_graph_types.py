@@ -1,0 +1,118 @@
+"""Tests for the core vertex/edge value types."""
+
+import pytest
+
+from repro.graph.types import Direction, Edge, Vertex, edges_span
+
+
+class TestVertex:
+    def test_basic_construction(self):
+        vertex = Vertex("a", "Host", {"os": "linux"})
+        assert vertex.id == "a"
+        assert vertex.label == "Host"
+        assert vertex.attrs == {"os": "linux"}
+
+    def test_attrs_default_to_empty_dict(self):
+        vertex = Vertex("a", "Host")
+        assert vertex.attrs == {}
+
+    def test_attrs_are_copied_not_shared(self):
+        attrs = {"x": 1}
+        vertex = Vertex("a", "Host", attrs)
+        attrs["x"] = 2
+        assert vertex.attrs["x"] == 1
+
+    def test_equality_includes_attrs(self):
+        assert Vertex("a", "Host", {"x": 1}) == Vertex("a", "Host", {"x": 1})
+        assert Vertex("a", "Host", {"x": 1}) != Vertex("a", "Host", {"x": 2})
+        assert Vertex("a", "Host") != Vertex("a", "Server")
+
+    def test_hashable_by_id_and_label(self):
+        assert hash(Vertex("a", "Host")) == hash(Vertex("a", "Host", {"x": 1}))
+
+    def test_copy_is_independent(self):
+        vertex = Vertex("a", "Host", {"x": 1})
+        clone = vertex.copy()
+        clone.attrs["x"] = 99
+        assert vertex.attrs["x"] == 1
+
+    def test_dict_round_trip(self):
+        vertex = Vertex("a", "Host", {"x": 1})
+        assert Vertex.from_dict(vertex.to_dict()) == vertex
+
+    def test_equality_against_other_types(self):
+        assert Vertex("a", "Host") != "a"
+
+
+class TestEdge:
+    def test_basic_construction(self):
+        edge = Edge(3, "a", "b", "link", 5.5, {"w": 2})
+        assert edge.id == 3
+        assert edge.endpoints == ("a", "b")
+        assert edge.label == "link"
+        assert edge.timestamp == 5.5
+        assert edge.attrs == {"w": 2}
+
+    def test_timestamp_coerced_to_float(self):
+        edge = Edge(1, "a", "b", "link", 7)
+        assert isinstance(edge.timestamp, float)
+
+    def test_other_endpoint(self):
+        edge = Edge(1, "a", "b", "link")
+        assert edge.other_endpoint("a") == "b"
+        assert edge.other_endpoint("b") == "a"
+
+    def test_other_endpoint_rejects_non_member(self):
+        edge = Edge(1, "a", "b", "link")
+        with pytest.raises(ValueError):
+            edge.other_endpoint("c")
+
+    def test_touches(self):
+        edge = Edge(1, "a", "b", "link")
+        assert edge.touches("a") and edge.touches("b")
+        assert not edge.touches("c")
+
+    def test_dict_round_trip(self):
+        edge = Edge(9, "a", "b", "link", 4.0, {"w": 1})
+        assert Edge.from_dict(edge.to_dict()) == edge
+
+    def test_copy_is_independent(self):
+        edge = Edge(1, "a", "b", "link", 1.0, {"w": 1})
+        clone = edge.copy()
+        clone.attrs["w"] = 99
+        assert edge.attrs["w"] == 1
+
+    def test_equality(self):
+        assert Edge(1, "a", "b", "link", 1.0) == Edge(1, "a", "b", "link", 1.0)
+        assert Edge(1, "a", "b", "link", 1.0) != Edge(1, "a", "b", "link", 2.0)
+        assert Edge(1, "a", "b", "link", 1.0) != Edge(2, "a", "b", "link", 1.0)
+
+
+class TestDirection:
+    def test_reverse(self):
+        assert Direction.reverse(Direction.OUT) == Direction.IN
+        assert Direction.reverse(Direction.IN) == Direction.OUT
+        assert Direction.reverse(Direction.BOTH) == Direction.BOTH
+
+    def test_reverse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Direction.reverse("sideways")
+
+    def test_all_members(self):
+        assert set(Direction.ALL) == {"out", "in", "both"}
+
+
+class TestEdgesSpan:
+    def test_empty_collection_has_zero_span(self):
+        assert edges_span([]) == 0.0
+
+    def test_single_edge_has_zero_span(self):
+        assert edges_span([Edge(1, "a", "b", "link", 5.0)]) == 0.0
+
+    def test_span_is_max_minus_min(self):
+        edges = [
+            Edge(1, "a", "b", "link", 2.0),
+            Edge(2, "b", "c", "link", 9.5),
+            Edge(3, "c", "d", "link", 4.0),
+        ]
+        assert edges_span(edges) == pytest.approx(7.5)

@@ -1,0 +1,122 @@
+"""Tests for local search around new edges and for the windowed match join."""
+
+import pytest
+
+from repro.core.join import joined_span, try_join
+from repro.core.local_search import LocalSearcher, find_primitive_matches
+from repro.graph import DynamicGraph, TimeWindow
+from repro.graph.types import Edge
+from repro.isomorphism import Match
+from repro.query import QueryBuilder
+
+
+@pytest.fixture
+def article_pair_primitive(pair_query):
+    """Primitive: a1 mentions k AND a1 locatedIn loc (one article, both facts)."""
+    ids = [e.id for e in pair_query.edges() if e.source == "a1"]
+    return pair_query.edge_subgraph(ids, name="a1_pair")
+
+
+class TestLocalSearch:
+    def test_finds_primitive_completed_by_new_edge(self, pair_query, article_pair_primitive):
+        graph = DynamicGraph()
+        graph.ingest("art1", "kw1", "mentions", 1.0, source_label="Article", target_label="Keyword")
+        new_edge = graph.ingest("art1", "loc1", "locatedIn", 2.0,
+                                source_label="Article", target_label="Location")
+        matches = find_primitive_matches(graph, article_pair_primitive, new_edge)
+        assert len(matches) == 1
+        assert matches[0].vertex_binding("a1") == "art1"
+        assert matches[0].uses_data_edge(new_edge.id)
+
+    def test_no_match_when_other_edge_missing(self, article_pair_primitive):
+        graph = DynamicGraph()
+        new_edge = graph.ingest("art1", "loc1", "locatedIn", 2.0,
+                                source_label="Article", target_label="Location")
+        assert find_primitive_matches(graph, article_pair_primitive, new_edge) == []
+
+    def test_only_matches_containing_new_edge_are_returned(self, article_pair_primitive):
+        graph = DynamicGraph()
+        # a complete old embedding (art0) plus a new edge for art1
+        graph.ingest("art0", "kw1", "mentions", 0.1, source_label="Article", target_label="Keyword")
+        graph.ingest("art0", "loc1", "locatedIn", 0.2, source_label="Article", target_label="Location")
+        graph.ingest("art1", "kw1", "mentions", 1.0, source_label="Article", target_label="Keyword")
+        new_edge = graph.ingest("art1", "loc1", "locatedIn", 2.0,
+                                source_label="Article", target_label="Location")
+        matches = find_primitive_matches(graph, article_pair_primitive, new_edge)
+        assert len(matches) == 1
+        assert all(match.uses_data_edge(new_edge.id) for match in matches)
+
+    def test_window_restricts_local_search(self, article_pair_primitive):
+        graph = DynamicGraph()
+        graph.ingest("art1", "kw1", "mentions", 0.0, source_label="Article", target_label="Keyword")
+        new_edge = graph.ingest("art1", "loc1", "locatedIn", 100.0,
+                                source_label="Article", target_label="Location")
+        assert find_primitive_matches(graph, article_pair_primitive, new_edge, TimeWindow(10.0)) == []
+        assert len(find_primitive_matches(graph, article_pair_primitive, new_edge, TimeWindow(1000.0))) == 1
+
+    def test_new_edge_not_matching_any_primitive_edge(self, article_pair_primitive):
+        graph = DynamicGraph()
+        new_edge = graph.ingest("u", "h", "loginTo", 1.0, source_label="User", target_label="IP")
+        searcher = LocalSearcher(graph)
+        assert searcher.find(article_pair_primitive, new_edge) == []
+        assert searcher.searches_started == 0
+
+    def test_duplicate_bindings_from_multiple_seeds_are_removed(self):
+        # primitive with two identically-labelled parallel query edges: the new
+        # edge can seed either query edge, but each complete binding must be
+        # reported once
+        query = (
+            QueryBuilder("parallel")
+            .vertex("x", "IP")
+            .vertex("y", "IP")
+            .edge("x", "y", "connectsTo")
+            .edge("x", "y", "connectsTo")
+            .build()
+        )
+        graph = DynamicGraph()
+        graph.ingest("a", "b", "connectsTo", 1.0, source_label="IP", target_label="IP")
+        new_edge = graph.ingest("a", "b", "connectsTo", 2.0, source_label="IP", target_label="IP")
+        matches = find_primitive_matches(graph, query, new_edge)
+        # the two bindings differ in which query edge the new data edge plays
+        assert len(matches) == 2
+        assert len({m.identity() for m in matches}) == 2
+
+    def test_counters_track_work(self, article_pair_primitive):
+        graph = DynamicGraph()
+        graph.ingest("art1", "kw1", "mentions", 1.0, source_label="Article", target_label="Keyword")
+        new_edge = graph.ingest("art1", "loc1", "locatedIn", 2.0,
+                                source_label="Article", target_label="Location")
+        searcher = LocalSearcher(graph)
+        searcher.find(article_pair_primitive, new_edge)
+        assert searcher.searches_started == 1
+        assert searcher.matches_found == 1
+
+
+class TestJoin:
+    def edge(self, eid, timestamp):
+        return Edge(eid, f"s{eid}", f"t{eid}", "r", timestamp)
+
+    def test_joined_span(self):
+        left = Match({"x": "s0", "y": "t0"}, {0: self.edge(0, 1.0)})
+        right = Match({"z": "s1", "w": "t1"}, {1: self.edge(1, 6.0)})
+        assert joined_span(left, right) == pytest.approx(5.0)
+        assert joined_span(Match(), Match()) == 0.0
+
+    def test_try_join_compatible(self):
+        left = Match({"a1": "art1", "k": "kw"}, {0: Edge(0, "art1", "kw", "mentions", 1.0)})
+        right = Match({"a2": "art2", "k": "kw"}, {1: Edge(1, "art2", "kw", "mentions", 2.0)})
+        joined = try_join(left, right, TimeWindow(10.0))
+        assert joined is not None
+        assert joined.size == 2
+
+    def test_try_join_window_violation(self):
+        left = Match({"a1": "art1", "k": "kw"}, {0: Edge(0, "art1", "kw", "mentions", 1.0)})
+        right = Match({"a2": "art2", "k": "kw"}, {1: Edge(1, "art2", "kw", "mentions", 50.0)})
+        assert try_join(left, right, TimeWindow(10.0)) is None
+        assert try_join(left, right, TimeWindow(100.0)) is not None
+        assert try_join(left, right, None) is not None
+
+    def test_try_join_incompatible_bindings(self):
+        left = Match({"k": "kw1"}, {0: Edge(0, "a", "kw1", "mentions", 1.0)})
+        right = Match({"k": "kw2"}, {1: Edge(1, "b", "kw2", "mentions", 1.0)})
+        assert try_join(left, right, TimeWindow(10.0)) is None

@@ -1,0 +1,142 @@
+"""Tests for Match objects: bindings, compatibility, merging, keys."""
+
+import pytest
+
+from repro.graph.types import Edge
+from repro.isomorphism.match import Match, MatchConflictError
+
+
+def edge(eid, source, target, label="r", timestamp=0.0):
+    return Edge(eid, source, target, label, timestamp)
+
+
+class TestConstructionAndAccessors:
+    def test_empty_match(self):
+        match = Match()
+        assert match.span == 0.0
+        assert match.size == 0
+        assert match.is_injective()
+        assert match.data_edge_ids() == frozenset()
+
+    def test_span_tracks_min_max_timestamps(self):
+        match = Match(
+            {"x": "a", "y": "b", "z": "c"},
+            {0: edge(0, "a", "b", timestamp=2.0), 1: edge(1, "b", "c", timestamp=7.5)},
+        )
+        assert match.earliest == 2.0
+        assert match.latest == 7.5
+        assert match.span == pytest.approx(5.5)
+
+    def test_bindings(self):
+        match = Match({"x": "a"}, {0: edge(0, "a", "b", timestamp=1.0)})
+        assert match.vertex_binding("x") == "a"
+        assert match.vertex_binding("missing") is None
+        assert match.edge_binding(0).id == 0
+        assert match.edge_binding(9) is None
+        assert match.uses_data_edge(0)
+        assert not match.uses_data_edge(99)
+
+    def test_injectivity_check(self):
+        assert not Match({"x": "a", "y": "a"}).is_injective()
+
+
+class TestWithBinding:
+    def test_extends_vertex_and_edge_maps(self):
+        match = Match().with_binding(0, edge(0, "a", "b", timestamp=3.0), {"x": "a", "y": "b"})
+        assert match.vertex_map == {"x": "a", "y": "b"}
+        assert match.span == 0.0
+        assert match.size == 1
+
+    def test_conflicting_vertex_binding_rejected(self):
+        match = Match({"x": "a"}, {0: edge(0, "a", "b")})
+        with pytest.raises(MatchConflictError):
+            match.with_binding(1, edge(1, "c", "d"), {"x": "c"})
+
+    def test_injectivity_violation_rejected(self):
+        match = Match({"x": "a"}, {0: edge(0, "a", "b")})
+        with pytest.raises(MatchConflictError):
+            match.with_binding(1, edge(1, "a", "c"), {"y": "a"})
+
+    def test_rebinding_query_edge_rejected(self):
+        match = Match({"x": "a", "y": "b"}, {0: edge(0, "a", "b")})
+        with pytest.raises(MatchConflictError):
+            match.with_binding(0, edge(5, "a", "b"), {})
+
+    def test_reusing_data_edge_rejected(self):
+        shared = edge(7, "a", "b")
+        match = Match({"x": "a", "y": "b"}, {0: shared})
+        with pytest.raises(MatchConflictError):
+            match.with_binding(1, shared, {})
+
+    def test_original_match_is_not_mutated(self):
+        original = Match({"x": "a"}, {0: edge(0, "a", "b")})
+        original.with_binding(1, edge(1, "a", "c"), {"z": "c"})
+        assert original.size == 1
+        assert "z" not in original.vertex_map
+
+
+class TestCompatibilityAndMerge:
+    def test_compatible_when_shared_bindings_agree(self):
+        left = Match({"x": "a", "k": "key"}, {0: edge(0, "a", "key", timestamp=1.0)})
+        right = Match({"y": "b", "k": "key"}, {1: edge(1, "b", "key", timestamp=2.0)})
+        assert left.is_compatible(right)
+        merged = left.merge(right)
+        assert merged.vertex_map == {"x": "a", "y": "b", "k": "key"}
+        assert merged.size == 2
+        assert merged.span == pytest.approx(1.0)
+
+    def test_incompatible_when_shared_vertex_differs(self):
+        left = Match({"k": "key1"}, {0: edge(0, "a", "key1")})
+        right = Match({"k": "key2"}, {1: edge(1, "b", "key2")})
+        assert not left.is_compatible(right)
+        with pytest.raises(MatchConflictError):
+            left.merge(right)
+
+    def test_incompatible_when_injectivity_would_break(self):
+        left = Match({"x": "same"}, {0: edge(0, "same", "z")})
+        right = Match({"y": "same"}, {1: edge(1, "same", "w")})
+        assert not left.is_compatible(right)
+
+    def test_incompatible_when_data_edge_shared_by_different_query_edges(self):
+        shared = edge(9, "a", "b")
+        left = Match({"x": "a", "y": "b"}, {0: shared})
+        right = Match({"x": "a", "y": "b"}, {1: shared})
+        assert not left.is_compatible(right)
+
+    def test_same_query_edge_same_data_edge_is_compatible(self):
+        shared = edge(9, "a", "b", timestamp=4.0)
+        left = Match({"x": "a", "y": "b"}, {0: shared})
+        right = Match({"x": "a", "y": "b"}, {0: shared})
+        assert left.is_compatible(right)
+        assert left.merge(right).size == 1
+
+    def test_merge_is_commutative(self):
+        left = Match({"x": "a", "k": "key"}, {0: edge(0, "a", "key", timestamp=1.0)})
+        right = Match({"y": "b", "k": "key"}, {1: edge(1, "b", "key", timestamp=5.0)})
+        assert left.merge(right) == right.merge(left)
+
+
+class TestIdentityAndKeys:
+    def test_projection_key(self):
+        match = Match({"a1": "art1", "k": "kw", "loc": "paris"})
+        assert match.projection_key(["k", "loc"]) == ("kw", "paris")
+        assert match.projection_key(["missing"]) == (None,)
+        assert match.projection_key([]) == ()
+
+    def test_identity_equality_and_hash(self):
+        a = Match({"x": "a"}, {0: edge(0, "a", "b")})
+        b = Match({"x": "a"}, {0: edge(0, "a", "b")})
+        c = Match({"x": "a"}, {0: edge(1, "a", "b")})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_structural_identity_ignores_variable_names(self):
+        e0, e1 = edge(0, "a", "k"), edge(1, "b", "k")
+        first = Match({"a1": "a", "a2": "b", "k": "k"}, {0: e0, 1: e1})
+        swapped = Match({"a1": "b", "a2": "a", "k": "k"}, {0: e1, 1: e0})
+        assert first != swapped
+        assert first.structural_identity() == swapped.structural_identity()
+
+    def test_describe_contains_bindings(self):
+        match = Match({"x": "a"}, {0: edge(0, "a", "b", timestamp=1.0)})
+        assert "x->a" in match.describe()

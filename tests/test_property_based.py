@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These encode the correctness contracts that the whole system rests on:
+
+* window admission / expiry algebra,
+* match merge symmetry and injectivity preservation,
+* SJ-Tree structural properties for arbitrary edge-disjoint decompositions,
+* the central theorem of the paper: the incremental engine reports exactly
+  the matches a from-scratch search over the final graph would report (when
+  nothing expires), for randomly generated streams and queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContinuousQueryMatcher, Strategy, decompose
+from repro.core.sjtree import SJTree
+from repro.graph import DynamicGraph, PropertyGraph, TimeWindow
+from repro.graph.types import Edge
+from repro.graph.window import ExpiryQueue
+from repro.isomorphism import Match, SubgraphMatcher
+from repro.query import QueryBuilder
+from repro.queries.news import common_topic_location_query
+from repro.stats import GraphSummary, SelectivityEstimator
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+# ----------------------------------------------------------------------
+# TimeWindow / ExpiryQueue
+# ----------------------------------------------------------------------
+class TestWindowProperties:
+    @given(duration=st.floats(min_value=0.1, max_value=1e6),
+           span=st.floats(min_value=0.0, max_value=1e7))
+    @settings(max_examples=60, suppress_health_check=SUPPRESS)
+    def test_strict_window_admission_matches_definition(self, duration, span):
+        window = TimeWindow(duration, strict=True)
+        assert window.admits_span(span) == (span < duration)
+
+    @given(duration=st.floats(min_value=0.1, max_value=1e6),
+           timestamp=st.floats(min_value=0.0, max_value=1e6),
+           delta=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=60, suppress_health_check=SUPPRESS)
+    def test_expired_items_can_never_join_admissible_matches(self, duration, timestamp, delta):
+        window = TimeWindow(duration)
+        now = timestamp + delta
+        if window.is_expired(timestamp, now):
+            assert not window.admits_interval(timestamp, now)
+
+    @given(items=st.lists(st.tuples(st.floats(min_value=0, max_value=1000), st.integers()), max_size=50),
+           threshold=st.floats(min_value=0, max_value=1000))
+    @settings(max_examples=60, suppress_health_check=SUPPRESS)
+    def test_expiry_queue_pops_exactly_items_at_or_below_threshold(self, items, threshold):
+        queue = ExpiryQueue()
+        queue.push_all(items)
+        popped = queue.pop_expired(threshold)
+        assert len(popped) == sum(1 for timestamp, _ in items if timestamp <= threshold)
+        remaining = queue.pop_expired(float("inf"))
+        assert len(popped) + len(remaining) == len(items)
+
+
+# ----------------------------------------------------------------------
+# Match algebra
+# ----------------------------------------------------------------------
+def match_strategy(label="r"):
+    """Generate small random matches over a tiny vertex/edge id universe."""
+
+    @st.composite
+    def build(draw):
+        pairs = draw(st.dictionaries(
+            st.sampled_from(["q0", "q1", "q2", "q3"]),
+            st.sampled_from(["d0", "d1", "d2", "d3", "d4"]),
+            max_size=4,
+        ))
+        # enforce injectivity in the generator (constructor does not check plain dicts)
+        if len(set(pairs.values())) != len(pairs):
+            return None
+        edge_map = {}
+        for index, query_vertex in enumerate(sorted(pairs)):
+            edge_id = draw(st.integers(min_value=0, max_value=6))
+            timestamp = draw(st.floats(min_value=0, max_value=100))
+            edge_map[index] = Edge(edge_id, pairs[query_vertex], "sink", label, timestamp)
+        return Match(pairs, edge_map)
+
+    return build().filter(lambda match: match is not None)
+
+
+class TestMatchProperties:
+    @given(left=match_strategy(), right=match_strategy())
+    @settings(max_examples=80, suppress_health_check=SUPPRESS)
+    def test_compatibility_is_symmetric(self, left, right):
+        assert left.is_compatible(right) == right.is_compatible(left)
+
+    @given(left=match_strategy(), right=match_strategy())
+    @settings(max_examples=80, suppress_health_check=SUPPRESS)
+    def test_merge_is_commutative_and_preserves_bindings(self, left, right):
+        if not left.is_compatible(right):
+            return
+        merged = left.merge(right)
+        assert merged == right.merge(left)
+        for query_vertex, data_vertex in left.vertex_map.items():
+            assert merged.vertex_map[query_vertex] == data_vertex
+        for query_vertex, data_vertex in right.vertex_map.items():
+            assert merged.vertex_map[query_vertex] == data_vertex
+        assert merged.is_injective()
+        assert merged.earliest <= merged.latest or not merged.edge_map
+
+    @given(match=match_strategy())
+    @settings(max_examples=40, suppress_health_check=SUPPRESS)
+    def test_merge_with_self_is_identity(self, match):
+        assert match.is_compatible(match)
+        assert match.merge(match) == match
+
+    @given(match=match_strategy())
+    @settings(max_examples=40, suppress_health_check=SUPPRESS)
+    def test_span_is_non_negative_and_consistent(self, match):
+        assert match.span >= 0.0
+        if match.edge_map:
+            timestamps = [edge.timestamp for edge in match.edge_map.values()]
+            assert match.span == pytest.approx(max(timestamps) - min(timestamps))
+
+
+# ----------------------------------------------------------------------
+# SJ-Tree structural invariants over random decompositions
+# ----------------------------------------------------------------------
+class TestSJTreeProperties:
+    @given(chunk_seed=st.integers(min_value=0, max_value=10_000),
+           article_count=st.integers(min_value=2, max_value=4),
+           shape=st.sampled_from([SJTree.LEFT_DEEP, SJTree.BALANCED]))
+    @settings(max_examples=60, suppress_health_check=SUPPRESS)
+    def test_random_edge_partitions_satisfy_invariants(self, chunk_seed, article_count, shape):
+        query = common_topic_location_query(article_count)
+        rng = random.Random(chunk_seed)
+        edge_ids = sorted(query.edge_ids())
+        rng.shuffle(edge_ids)
+        primitives = []
+        index = 0
+        while index < len(edge_ids):
+            size = rng.choice([1, 2])
+            primitives.append(query.edge_subgraph(edge_ids[index:index + size]))
+            index += size
+        tree = SJTree(query, primitives, shape=shape)
+        tree.validate()
+        assert len(tree.leaves()) == len(primitives)
+        assert tree.root.subgraph.same_structure(query)
+        # every node's key vertices are a subset of its subgraph's vertices
+        for node in tree.nodes.values():
+            assert set(node.key_vertices) <= node.subgraph.vertex_names()
+
+
+# ----------------------------------------------------------------------
+# Selectivity estimator sanity
+# ----------------------------------------------------------------------
+class TestEstimatorProperties:
+    @given(mentions=st.integers(min_value=0, max_value=200),
+           located=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, suppress_health_check=SUPPRESS)
+    def test_estimates_are_monotone_in_signature_counts(self, mentions, located):
+        def summary_with(mention_count):
+            graph = PropertyGraph()
+            graph.add_vertex("k", "Keyword")
+            graph.add_vertex("loc", "Location")
+            for index in range(mention_count):
+                graph.add_vertex(f"a{index}", "Article")
+                graph.add_edge(f"a{index}", "k", "mentions", float(index))
+            for index in range(located):
+                vertex = f"a{index}" if graph.has_vertex(f"a{index}") else None
+                if vertex is None:
+                    graph.add_vertex(f"a{index}", "Article")
+                graph.add_edge(f"a{index}", "loc", "locatedIn", float(index))
+            return GraphSummary.from_graph(graph, with_triads=False)
+
+        query = common_topic_location_query(2)
+        edge = next(e for e in query.edges() if e.label == "mentions")
+        low = SelectivityEstimator(summary_with(mentions)).estimate_edge(query, edge)
+        high = SelectivityEstimator(summary_with(mentions + 10)).estimate_edge(query, edge)
+        assert high >= low
+
+
+# ----------------------------------------------------------------------
+# The central equivalence property: incremental == from-scratch search
+# ----------------------------------------------------------------------
+def random_stream_records(rng, edge_count):
+    records = []
+    timestamp = 0.0
+    for _ in range(edge_count):
+        timestamp += rng.random()
+        article = f"art{rng.randrange(8)}"
+        if rng.random() < 0.5:
+            records.append((article, f"kw{rng.randrange(3)}", "mentions", timestamp, "Article", "Keyword"))
+        else:
+            records.append((article, f"loc{rng.randrange(2)}", "locatedIn", timestamp, "Article", "Location"))
+    return records
+
+
+class TestIncrementalEquivalenceProperty:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           strategy=st.sampled_from([Strategy.SELECTIVITY, Strategy.EDGE_BY_EDGE, Strategy.BALANCED_PAIRS]),
+           article_count=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    def test_incremental_equals_oracle_on_random_streams(self, seed, strategy, article_count):
+        rng = random.Random(seed)
+        query = common_topic_location_query(article_count)
+        graph = DynamicGraph(TimeWindow(None))
+        matcher = ContinuousQueryMatcher(query, decompose(query, strategy), graph, TimeWindow(None))
+        incremental = []
+        for source, target, label, timestamp, source_label, target_label in random_stream_records(rng, 60):
+            edge = graph.ingest(source, target, label, timestamp,
+                                source_label=source_label, target_label=target_label)
+            incremental.extend(matcher.process_edge(edge))
+        oracle = SubgraphMatcher(graph).find_all(query)
+        assert {m.identity() for m in incremental} == {m.identity() for m in oracle}
+        # no duplicates ever reported
+        assert len(incremental) == len({m.identity() for m in incremental})
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           window=st.floats(min_value=2.0, max_value=30.0))
+    @settings(max_examples=20, deadline=None, suppress_health_check=SUPPRESS)
+    def test_windowed_incremental_spans_always_admissible(self, seed, window):
+        rng = random.Random(seed)
+        query = common_topic_location_query(2)
+        graph = DynamicGraph(TimeWindow(window))
+        matcher = ContinuousQueryMatcher(query, decompose(query, Strategy.SELECTIVITY),
+                                         graph, TimeWindow(window))
+        reported = []
+        for source, target, label, timestamp, source_label, target_label in random_stream_records(rng, 80):
+            edge = graph.ingest(source, target, label, timestamp,
+                                source_label=source_label, target_label=target_label)
+            reported.extend(matcher.process_edge(edge))
+        assert all(match.span < window for match in reported)

@@ -1,0 +1,116 @@
+"""Tests for the cyber and news query catalogues (Figs. 2, 3, 5)."""
+
+import pytest
+
+from repro.core import EngineConfig, StreamWorksEngine
+from repro.queries.cyber import (
+    CYBER_QUERIES,
+    data_exfiltration_query,
+    port_scan_query,
+    smurf_ddos_query,
+    worm_propagation_query,
+)
+from repro.queries.news import (
+    NEWS_QUERIES,
+    breaking_story_query,
+    co_citation_query,
+    common_topic_location_query,
+    labelled_topic_query,
+)
+from repro.streaming import merge_streams
+from repro.workloads import AttackInjector, NetflowConfig, NetflowGenerator
+
+
+class TestQueryStructure:
+    def test_all_catalogue_queries_are_connected(self):
+        for constructor in list(CYBER_QUERIES.values()) + list(NEWS_QUERIES.values()):
+            query = constructor()
+            assert query.is_connected()
+            assert query.edge_count() >= 1
+
+    def test_smurf_query_size_scales_with_reflectors(self):
+        assert smurf_ddos_query(2).edge_count() == 5
+        assert smurf_ddos_query(4).edge_count() == 9
+
+    def test_port_scan_uses_parallel_edges(self):
+        query = port_scan_query(4)
+        assert query.vertex_count() == 2
+        assert query.edge_count() == 4
+
+    def test_common_topic_location_requires_two_articles(self):
+        with pytest.raises(ValueError):
+            common_topic_location_query(1)
+        assert common_topic_location_query(4).edge_count() == 8
+
+    def test_labelled_topic_query_pins_keyword(self):
+        query = labelled_topic_query("accident")
+        keyword = query.vertex("k")
+        assert keyword.matches_vertex("Keyword", {"label": "accident"})
+        assert not keyword.matches_vertex("Keyword", {"label": "politics"})
+        assert query.name == "topic:accident"
+
+    def test_worm_and_exfil_and_story_shapes(self):
+        assert worm_propagation_query().edge_count() == 3
+        assert data_exfiltration_query().edge_count() == 3
+        assert breaking_story_query().edge_count() == 4
+        assert co_citation_query().edge_count() == 4
+
+    def test_mixed_selectivity_queries_have_heterogeneous_labels(self):
+        from repro.queries.cyber import exfiltration_campaign_query
+        from repro.queries.news import correlated_story_query
+
+        story = correlated_story_query()
+        assert {edge.label for edge in story.edges()} == {"mentions", "locatedIn", "cites"}
+        campaign = exfiltration_campaign_query()
+        assert {edge.label for edge in campaign.edges()} == {"loginTo", "resolvesTo", "connectsTo"}
+        assert campaign.is_connected() and story.is_connected()
+
+
+class TestDetectionEndToEnd:
+    """Each cyber query must detect the attack its injector plants."""
+
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return NetflowGenerator(NetflowConfig(host_count=80, subnet_count=4, seed=31))
+
+    def run_detection(self, generator, query, attack_stream, window):
+        background = generator.stream(400)
+        stream = merge_streams(background, attack_stream)
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True, track_triads=False))
+        engine.register_query(query, name="q", window=window)
+        return engine.process_stream(stream)
+
+    def test_smurf_detected(self, generator):
+        injector = AttackInjector(generator, seed=1)
+        events = self.run_detection(generator, smurf_ddos_query(3),
+                                    injector.smurf_ddos(10.0, reflector_count=5), window=10.0)
+        assert events
+        first = min(events, key=lambda event: event.detected_at)
+        assert first.detected_at >= 10.0
+        assert first.detected_at < 12.0
+
+    def test_worm_detected(self, generator):
+        injector = AttackInjector(generator, seed=2)
+        events = self.run_detection(generator, worm_propagation_query(),
+                                    injector.worm_propagation(12.0), window=30.0)
+        assert events
+
+    def test_port_scan_detected(self, generator):
+        injector = AttackInjector(generator, seed=3)
+        events = self.run_detection(generator, port_scan_query(3),
+                                    injector.port_scan(8.0, port_count=6), window=5.0)
+        assert events
+
+    def test_exfiltration_detected(self, generator):
+        injector = AttackInjector(generator, seed=4)
+        events = self.run_detection(generator, data_exfiltration_query(),
+                                    injector.data_exfiltration(9.0), window=30.0)
+        assert events
+
+    def test_no_false_positive_on_clean_traffic(self, generator):
+        clean = generator.stream(400)
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True, track_triads=False))
+        engine.register_query(smurf_ddos_query(3), name="smurf", window=10.0)
+        engine.register_query(data_exfiltration_query(), name="exfil", window=30.0)
+        events = engine.process_stream(clean)
+        assert events == []

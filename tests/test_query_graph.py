@@ -1,0 +1,143 @@
+"""Tests for the query graph model and its subgraph operations."""
+
+import pytest
+
+from repro.query.predicates import AttrEquals
+from repro.query.query_graph import QueryEdge, QueryGraph, QueryVertex
+
+
+@pytest.fixture
+def star_query():
+    """A keyword star: three articles all mentioning the same keyword."""
+    query = QueryGraph("star")
+    query.add_vertex("k", "Keyword")
+    for article in ("a1", "a2", "a3"):
+        query.add_vertex(article, "Article")
+        query.add_edge(article, "k", "mentions")
+    return query
+
+
+class TestConstruction:
+    def test_add_vertex_and_edge(self):
+        query = QueryGraph("q")
+        query.add_vertex("x", "Host")
+        query.add_edge("x", "y", "link")
+        assert query.vertex_count() == 2
+        assert query.edge_count() == 1
+        assert query.vertex("y").label is None  # implicitly created
+
+    def test_add_vertex_idempotent(self):
+        query = QueryGraph("q")
+        first = query.add_vertex("x", "Host")
+        second = query.add_vertex("x", "Host")
+        assert first is second
+
+    def test_add_vertex_tightens_implicit_vertex(self):
+        query = QueryGraph("q")
+        query.add_edge("x", "y", "link")
+        query.add_vertex("y", "Host")
+        assert query.vertex("y").label == "Host"
+
+    def test_edge_ids_unique_and_monotone(self):
+        query = QueryGraph("q")
+        e1 = query.add_edge("a", "b", "r")
+        e2 = query.add_edge("b", "c", "r")
+        assert e2.id == e1.id + 1
+        with pytest.raises(ValueError):
+            query.add_edge("a", "c", "r", edge_id=e1.id)
+
+    def test_query_vertex_matching(self):
+        vertex = QueryVertex("k", "Keyword", AttrEquals("label", "politics"))
+        assert vertex.matches_vertex("Keyword", {"label": "politics"})
+        assert not vertex.matches_vertex("Keyword", {"label": "sports"})
+        assert not vertex.matches_vertex("Location", {"label": "politics"})
+        unlabeled = QueryVertex("any")
+        assert unlabeled.matches_vertex("Whatever", {})
+
+    def test_query_edge_matching(self):
+        edge = QueryEdge(0, "a", "b", "connectsTo", AttrEquals("port", 53))
+        assert edge.matches_edge_label("connectsTo", {"port": 53})
+        assert not edge.matches_edge_label("connectsTo", {"port": 80})
+        assert not edge.matches_edge_label("resolvesTo", {"port": 53})
+        wildcard = QueryEdge(1, "a", "b")
+        assert wildcard.matches_edge_label("anything", {})
+
+    def test_query_edge_endpoints(self):
+        edge = QueryEdge(0, "a", "b", "r")
+        assert edge.other_endpoint("a") == "b"
+        assert edge.touches("b")
+        with pytest.raises(ValueError):
+            edge.other_endpoint("zzz")
+
+
+class TestTopology:
+    def test_incident_edges_and_degree(self, star_query):
+        assert star_query.degree("k") == 3
+        assert star_query.degree("a1") == 1
+        assert {e.source for e in star_query.incident_edges("k")} == {"a1", "a2", "a3"}
+
+    def test_neighbors(self, star_query):
+        assert star_query.neighbors("k") == {"a1", "a2", "a3"}
+        assert star_query.neighbors("a1") == {"k"}
+
+    def test_is_connected(self, star_query):
+        assert star_query.is_connected()
+        star_query.add_vertex("isolated", "Thing")
+        assert not star_query.is_connected()
+
+    def test_connected_components(self, star_query):
+        star_query.add_edge("x", "y", "other")
+        components = star_query.connected_components()
+        assert len(components) == 2
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [2, 4]
+
+    def test_empty_graph_is_connected(self):
+        assert QueryGraph("empty").is_connected()
+
+
+class TestSubgraphOperations:
+    def test_edge_subgraph(self, star_query):
+        edge_ids = sorted(star_query.edge_ids())[:2]
+        sub = star_query.edge_subgraph(edge_ids)
+        assert sub.edge_ids() == set(edge_ids)
+        assert "k" in sub.vertex_names()
+        assert sub.vertex_count() == 3
+
+    def test_union_is_join_operator(self, star_query):
+        ids = sorted(star_query.edge_ids())
+        left = star_query.edge_subgraph(ids[:1])
+        right = star_query.edge_subgraph(ids[1:])
+        joined = left.union(right)
+        assert joined.same_structure(star_query)
+
+    def test_union_deduplicates_shared_edges(self, star_query):
+        ids = sorted(star_query.edge_ids())
+        left = star_query.edge_subgraph(ids[:2])
+        right = star_query.edge_subgraph(ids[1:])
+        joined = left.union(right)
+        assert joined.edge_count() == 3
+
+    def test_vertex_intersection(self, star_query):
+        ids = sorted(star_query.edge_ids())
+        left = star_query.edge_subgraph(ids[:1])
+        right = star_query.edge_subgraph(ids[1:2])
+        assert left.vertex_intersection(right) == {"k"}
+
+    def test_same_structure_requires_same_edges(self, star_query):
+        assert star_query.same_structure(star_query.copy())
+        smaller = star_query.edge_subgraph(sorted(star_query.edge_ids())[:2])
+        assert not star_query.same_structure(smaller)
+
+    def test_edge_signature(self, star_query):
+        edge = next(iter(star_query.edges()))
+        assert star_query.edge_signature(edge) == ("Article", "mentions", "Keyword", True)
+
+    def test_copy_shares_nothing_structural(self, star_query):
+        clone = star_query.copy()
+        clone.add_edge("a1", "a2", "related")
+        assert clone.edge_count() == star_query.edge_count() + 1
+
+    def test_describe_mentions_all_edges(self, star_query):
+        text = star_query.describe()
+        assert text.count("mentions") == 3

@@ -1,0 +1,109 @@
+"""Tests for query graph (de)serialisation."""
+
+import pytest
+
+from repro.isomorphism import SubgraphMatcher
+from repro.queries.cyber import CYBER_QUERIES, data_exfiltration_query
+from repro.queries.news import NEWS_QUERIES
+from repro.query import QueryBuilder
+from repro.query.predicates import (
+    AttrCompare,
+    AttrEquals,
+    AttrExists,
+    AttrIn,
+    AttrRange,
+    CustomPredicate,
+    Not,
+    Or,
+)
+from repro.query.serialize import (
+    QuerySerializationError,
+    predicate_from_dict,
+    predicate_to_dict,
+    query_from_dict,
+    query_from_json,
+    query_to_dict,
+    query_to_json,
+)
+
+
+SAMPLE_ATTRS = [
+    {"port": 445, "bytes": 2_000_000, "external": True, "proto": "tcp"},
+    {"port": 80, "bytes": 10, "external": False, "proto": "udp"},
+    {"bytes": 5_000_000},
+    {},
+]
+
+
+class TestPredicateRoundTrip:
+    @pytest.mark.parametrize("predicate", [
+        AttrEquals("port", 445),
+        AttrIn("proto", ["tcp", "udp"]),
+        AttrRange("bytes", low=100, high=1_000_000, high_exclusive=True),
+        AttrExists("external"),
+        AttrCompare("bytes", ">=", 1_000_000),
+        AttrEquals("external", True) & AttrCompare("bytes", ">", 100),
+        Or([AttrEquals("proto", "tcp"), AttrEquals("proto", "udp")]),
+        Not(AttrEquals("port", 80)),
+    ])
+    def test_round_trip_preserves_semantics(self, predicate):
+        rebuilt = predicate_from_dict(predicate_to_dict(predicate))
+        for attrs in SAMPLE_ATTRS:
+            assert rebuilt(attrs) == predicate(attrs)
+
+    def test_custom_predicate_rejected(self):
+        with pytest.raises(QuerySerializationError):
+            predicate_to_dict(CustomPredicate(lambda attrs: True))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(QuerySerializationError):
+            predicate_from_dict({"type": "martian"})
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize("constructor", list(CYBER_QUERIES.values()) + list(NEWS_QUERIES.values()))
+    def test_catalogue_queries_round_trip_structurally(self, constructor):
+        query = constructor()
+        rebuilt = query_from_dict(query_to_dict(query))
+        assert rebuilt.name == query.name
+        assert rebuilt.vertex_names() == query.vertex_names()
+        assert rebuilt.edge_ids() == query.edge_ids()
+        for edge in query.edges():
+            clone = rebuilt.edge(edge.id)
+            assert (clone.source, clone.target, clone.label, clone.directed) == (
+                edge.source, edge.target, edge.label, edge.directed,
+            )
+
+    def test_round_trip_preserves_matching_behaviour(self, news_graph):
+        query = (
+            QueryBuilder("politics_pair")
+            .vertex("k", "Keyword", attrs={"label": "politics"})
+            .vertex("a1", "Article")
+            .vertex("a2", "Article")
+            .edge("a1", "k", "mentions")
+            .edge("a2", "k", "mentions")
+            .build()
+        )
+        rebuilt = query_from_json(query_to_json(query))
+        original = {m.identity() for m in SubgraphMatcher(news_graph).find_all(query)}
+        reloaded = {m.identity() for m in SubgraphMatcher(news_graph).find_all(rebuilt)}
+        assert original == reloaded and original
+
+    def test_round_trip_preserves_edge_predicates(self, windowed_dynamic_graph):
+        query = data_exfiltration_query(min_upload_bytes=1000)
+        rebuilt = query_from_dict(query_to_dict(query))
+        graph = windowed_dynamic_graph
+        graph.ingest("u", "h1", "loginTo", 1.0, {"success": True}, "User", "IP")
+        graph.ingest("h1", "srv", "connectsTo", 2.0, {}, "IP", "IP")
+        graph.ingest("h1", "ext", "connectsTo", 3.0, {"external": True, "bytes": 999},
+                     "IP", "IP")
+        assert SubgraphMatcher(graph).find_all(rebuilt) == []
+        graph.ingest("h1", "ext", "connectsTo", 4.0, {"external": True, "bytes": 1000},
+                     "IP", "IP")
+        assert len(SubgraphMatcher(graph).find_all(rebuilt)) >= 1
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(QuerySerializationError):
+            query_from_dict({"vertices": [{"no_name": True}], "edges": []})
+        with pytest.raises(QuerySerializationError):
+            query_from_json("{not json")

@@ -1,0 +1,190 @@
+"""Tests for the triad census, the stream summarizer and selectivity estimation."""
+
+import pytest
+
+from repro.graph import DynamicGraph, PropertyGraph, TimeWindow
+from repro.query import QueryBuilder
+from repro.stats import (
+    GraphSummary,
+    SelectivityEstimator,
+    StreamSummarizer,
+    TriadCensus,
+    wedge_key_for_query,
+)
+
+
+@pytest.fixture
+def wedge_graph():
+    """A keyword mentioned by two articles plus an unrelated edge."""
+    graph = PropertyGraph()
+    graph.add_vertex("a1", "Article")
+    graph.add_vertex("a2", "Article")
+    graph.add_vertex("k", "Keyword")
+    graph.add_vertex("loc", "Location")
+    graph.add_edge("a1", "k", "mentions", 1.0)
+    graph.add_edge("a2", "k", "mentions", 2.0)
+    graph.add_edge("a1", "loc", "locatedIn", 3.0)
+    return graph
+
+
+class TestTriadCensus:
+    def test_observe_graph_counts_wedges(self, wedge_graph):
+        census = TriadCensus(sample_cap=None)
+        census.observe_graph(wedge_graph)
+        # wedges: (a1-k, a2-k) centred at k, (a1-k, a1-loc) centred at a1
+        assert census.total_wedges() == 2
+        key = wedge_key_for_query("Keyword", ("mentions", "in", "Article"), ("mentions", "in", "Article"))
+        assert census.count(key) == 1
+
+    def test_incremental_observation_matches_batch(self, wedge_graph):
+        batch = TriadCensus(sample_cap=None)
+        batch.observe_graph(wedge_graph)
+
+        incremental = TriadCensus(sample_cap=None)
+        rebuilt = PropertyGraph()
+        for vertex in wedge_graph.vertices():
+            rebuilt.add_vertex(vertex.id, vertex.label, dict(vertex.attrs))
+        for edge in sorted(wedge_graph.edges(), key=lambda e: e.timestamp):
+            stored = rebuilt.add_edge(edge.source, edge.target, edge.label, edge.timestamp)
+            incremental.observe_new_edge(rebuilt, stored)
+        assert incremental.total_wedges() == batch.total_wedges()
+        for key, count in batch.most_common():
+            assert incremental.count(key) == pytest.approx(count)
+
+    def test_wildcard_count(self, wedge_graph):
+        census = TriadCensus(sample_cap=None)
+        census.observe_graph(wedge_graph)
+        wildcard = wedge_key_for_query(None, ("mentions", "in", None), ("mentions", "in", None))
+        assert census.count_wildcard(wildcard) == 1
+
+    def test_sampling_keeps_estimate_reasonable(self):
+        graph = PropertyGraph()
+        graph.add_vertex("hub", "H")
+        for index in range(60):
+            graph.add_vertex(f"leaf{index}", "H")
+        census = TriadCensus(sample_cap=8, seed=1)
+        for index in range(60):
+            edge = graph.add_edge("hub", f"leaf{index}", "link", float(index))
+            census.observe_new_edge(graph, edge)
+        exact_wedges = 60 * 59 / 2
+        assert census.total_wedges() == pytest.approx(exact_wedges, rel=0.35)
+
+    def test_frequency_and_distinct_patterns(self, wedge_graph):
+        census = TriadCensus(sample_cap=None)
+        census.observe_graph(wedge_graph)
+        assert census.distinct_patterns() == 2
+        key = census.most_common(1)[0][0]
+        assert 0 < census.frequency(key) <= 1.0
+
+
+class TestStreamSummarizer:
+    def test_observe_builds_all_statistics(self, small_news_stream):
+        graph = DynamicGraph(TimeWindow(None))
+        summarizer = StreamSummarizer(track_triads=True, triad_sample_cap=None)
+        for record in small_news_stream:
+            edge = graph.ingest(record.source, record.target, record.label, record.timestamp,
+                                record.attrs, source_label=record.source_label,
+                                target_label=record.target_label)
+            summarizer.observe(graph, edge)
+        summary = summarizer.summary()
+        assert summary.edge_count == len(small_news_stream)
+        assert summary.vertex_labels.count("Article") == 50
+        assert summary.edge_labels.count("mentions") == 50
+        assert summary.signatures.count(("Article", "mentions", "Keyword")) == 50
+        assert summary.triads.total_wedges() > 0
+        assert summary.degrees.vertex_count == summary.vertex_count
+
+    def test_retract_removes_signature_counts(self):
+        graph = DynamicGraph(TimeWindow(None))
+        summarizer = StreamSummarizer(track_triads=False)
+        edge = graph.ingest("a", "k", "mentions", 1.0, source_label="Article", target_label="Keyword")
+        summarizer.observe(graph, edge)
+        summarizer.retract(graph, edge)
+        summary = summarizer.summary()
+        assert summary.edge_labels.count("mentions") == 0
+        assert summary.signatures.count(("Article", "mentions", "Keyword")) == 0
+
+    def test_summary_from_graph_matches_streaming(self, small_news_stream):
+        graph = DynamicGraph(TimeWindow(None))
+        summarizer = StreamSummarizer(track_triads=True, triad_sample_cap=None)
+        for record in small_news_stream:
+            edge = graph.ingest(record.source, record.target, record.label, record.timestamp,
+                                record.attrs, source_label=record.source_label,
+                                target_label=record.target_label)
+            summarizer.observe(graph, edge)
+        streaming = summarizer.summary()
+        batch = GraphSummary.from_graph(graph)
+        assert batch.edge_count == streaming.edge_count
+        assert batch.vertex_count == streaming.vertex_count
+        assert batch.signatures.count(("Article", "mentions", "Keyword")) == streaming.signatures.count(
+            ("Article", "mentions", "Keyword")
+        )
+        assert batch.triads.total_wedges() == pytest.approx(streaming.triads.total_wedges())
+
+    def test_describe_and_to_dict(self, news_graph):
+        summary = GraphSummary.from_graph(news_graph)
+        assert "vertices" in summary.describe()
+        payload = summary.to_dict()
+        assert payload["edge_count"] == 6
+
+
+class TestSelectivityEstimator:
+    def build_summary(self, news_graph):
+        return GraphSummary.from_graph(news_graph)
+
+    def test_edge_estimate_uses_signature_counts(self, news_graph, pair_query):
+        estimator = SelectivityEstimator(self.build_summary(news_graph), smoothing=0.0)
+        mentions_edge = next(e for e in pair_query.edges() if e.label == "mentions")
+        located_edge = next(e for e in pair_query.edges() if e.label == "locatedIn")
+        assert estimator.estimate_edge(pair_query, mentions_edge) == pytest.approx(3.0)
+        assert estimator.estimate_edge(pair_query, located_edge) == pytest.approx(3.0)
+
+    def test_attribute_equality_discount(self, news_graph):
+        query = (
+            QueryBuilder("q")
+            .vertex("a", "Article")
+            .vertex("k", "Keyword", attrs={"label": "politics"})
+            .edge("a", "k", "mentions")
+            .build()
+        )
+        estimator = SelectivityEstimator(self.build_summary(news_graph), smoothing=0.0,
+                                         attribute_equality_selectivity=0.1)
+        edge = next(iter(query.edges()))
+        assert estimator.estimate_edge(query, edge) == pytest.approx(0.3)
+
+    def test_wedge_estimate_uses_triads(self, news_graph, pair_query):
+        estimator = SelectivityEstimator(self.build_summary(news_graph), smoothing=0.0)
+        # primitive: a1 mentions k, a2 mentions k (shared keyword wedge)
+        mention_ids = [e.id for e in pair_query.edges() if e.label == "mentions"]
+        primitive = pair_query.edge_subgraph(mention_ids)
+        estimate = estimator.estimate_primitive(pair_query, primitive)
+        # exactly one such wedge exists in the fixture (politics keyword)
+        assert estimate == pytest.approx(1.0)
+
+    def test_unknown_signature_falls_back_and_smooths(self, news_graph):
+        query = QueryBuilder("q").vertex("u", "User").vertex("h", "Host").edge("u", "h", "loginTo").build()
+        estimator = SelectivityEstimator(self.build_summary(news_graph), smoothing=0.5)
+        edge = next(iter(query.edges()))
+        assert estimator.estimate_edge(query, edge) == pytest.approx(0.5)
+
+    def test_rank_primitives_orders_most_selective_first(self, news_graph, pair_query):
+        estimator = SelectivityEstimator(self.build_summary(news_graph))
+        mention_ids = [e.id for e in pair_query.edges() if e.label == "mentions"]
+        located_ids = [e.id for e in pair_query.edges() if e.label == "locatedIn"]
+        primitives = [
+            pair_query.edge_subgraph(mention_ids, name="mentions_pair"),
+            pair_query.edge_subgraph([mention_ids[0]], name="single_mention"),
+        ]
+        ranked = estimator.rank_primitives(pair_query, primitives)
+        assert ranked[0][1] <= ranked[1][1]
+
+    def test_invalid_equality_selectivity_rejected(self, news_graph):
+        with pytest.raises(ValueError):
+            SelectivityEstimator(self.build_summary(news_graph), attribute_equality_selectivity=0.0)
+
+    def test_larger_primitive_chain_estimate(self, news_graph, pair_query):
+        estimator = SelectivityEstimator(self.build_summary(news_graph))
+        three_ids = sorted(pair_query.edge_ids())[:3]
+        primitive = pair_query.edge_subgraph(three_ids)
+        estimate = estimator.estimate_primitive(pair_query, primitive)
+        assert estimate >= 0.0

@@ -1,0 +1,214 @@
+"""Tests for edge streams, batching, events and metrics."""
+
+import math
+import os
+
+import pytest
+
+from repro.streaming import (
+    BatchReplay,
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    EdgeStream,
+    LatencyRecorder,
+    MatchEvent,
+    MultiSink,
+    StreamEdge,
+    Stopwatch,
+    ThroughputMeter,
+    batch_by_count,
+    batch_by_time,
+    merge_streams,
+)
+from repro.isomorphism import Match
+from repro.graph.types import Edge
+
+
+def record(source, target, label, timestamp):
+    return StreamEdge(source, target, label, timestamp, source_label="IP", target_label="IP")
+
+
+class TestStreamEdge:
+    def test_round_trip(self):
+        edge = StreamEdge("a", "b", "connectsTo", 2.5, {"port": 80}, "IP", "IP",
+                          source_attrs={"dc": "eu"}, target_attrs={"dc": "us"})
+        clone = StreamEdge.from_dict(edge.to_dict())
+        assert clone == edge
+        assert clone.source_attrs == {"dc": "eu"}
+
+    def test_to_edge(self):
+        edge = record("a", "b", "r", 1.0).to_edge(7)
+        assert isinstance(edge, Edge)
+        assert edge.id == 7 and edge.timestamp == 1.0
+
+
+class TestEdgeStream:
+    def make_stream(self):
+        return EdgeStream([
+            record("a", "b", "x", 3.0),
+            record("b", "c", "y", 1.0),
+            record("c", "d", "x", 2.0),
+        ], name="s")
+
+    def test_from_tuples(self):
+        stream = EdgeStream.from_tuples([("a", "b", "r", 1.0), ("b", "c", "r", 2.0, {"w": 1})])
+        assert len(stream) == 2
+        assert stream[1].attrs == {"w": 1}
+
+    def test_sorting_and_order_check(self):
+        stream = self.make_stream()
+        assert not stream.is_time_ordered()
+        ordered = stream.sorted_by_time()
+        assert ordered.is_time_ordered()
+        assert [edge.timestamp for edge in ordered] == [1.0, 2.0, 3.0]
+
+    def test_filter_slice_limit_concat(self):
+        stream = self.make_stream().sorted_by_time()
+        assert len(stream.filter(lambda e: e.label == "x")) == 2
+        assert len(stream.slice_time(1.5, 3.0)) == 1
+        assert len(stream.limit(2)) == 2
+        assert len(stream.concat(stream)) == 6
+        assert len(stream[0:2]) == 2
+
+    def test_label_counts_and_time_span(self):
+        stream = self.make_stream()
+        assert stream.label_counts() == {"x": 2, "y": 1}
+        assert stream.time_span() == pytest.approx(2.0)
+        assert EdgeStream([]).time_span() == 0.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        stream = self.make_stream()
+        path = os.path.join(tmp_path, "stream.jsonl")
+        stream.to_jsonl(path)
+        loaded = EdgeStream.from_jsonl(path)
+        assert len(loaded) == len(stream)
+        assert loaded[0] == stream[0]
+
+    def test_merge_streams_orders_by_time(self):
+        first = EdgeStream([record("a", "b", "x", 1.0), record("a", "b", "x", 5.0)])
+        second = EdgeStream([record("c", "d", "y", 2.0), record("c", "d", "y", 4.0)])
+        merged = merge_streams(first, second)
+        assert [edge.timestamp for edge in merged] == [1.0, 2.0, 4.0, 5.0]
+        assert len(merged) == 4
+
+
+class TestBatching:
+    def test_batch_by_count(self):
+        records = [record("a", "b", "r", float(index)) for index in range(7)]
+        batches = list(batch_by_count(records, 3))
+        assert [len(batch) for batch in batches] == [3, 3, 1]
+        with pytest.raises(ValueError):
+            list(batch_by_count(records, 0))
+
+    def test_batch_by_time(self):
+        records = [record("a", "b", "r", timestamp) for timestamp in (0.0, 0.5, 1.2, 3.7)]
+        batches = list(batch_by_time(records, 1.0))
+        assert [len(batch) for batch in batches] == [2, 1, 0, 1]
+        with pytest.raises(ValueError):
+            list(batch_by_time(records, 0.0))
+
+    def test_batch_replay_records_metrics(self):
+        stream = EdgeStream([record("a", "b", "r", float(index)) for index in range(10)])
+        replay = BatchReplay(lambda batch: len(batch))
+        results = replay.run(stream, batch_size=4)
+        assert len(results) == 3
+        assert replay.total_matches() == 10
+        assert replay.total_elapsed() >= 0.0
+        assert results[0].to_dict()["edges"] == 4.0
+
+    def test_batch_replay_requires_exactly_one_mode(self):
+        stream = EdgeStream([record("a", "b", "r", 0.0)])
+        replay = BatchReplay(lambda batch: 0)
+        with pytest.raises(ValueError):
+            replay.run(stream)
+        with pytest.raises(ValueError):
+            replay.run(stream, batch_size=1, bucket_seconds=1.0)
+
+
+class TestEvents:
+    def make_event(self, sequence=0, query="q"):
+        match = Match({"x": "a", "y": "b"}, {0: Edge(0, "a", "b", "r", 5.0), 1: Edge(1, "b", "c", "r", 8.0)})
+        return MatchEvent(query, match, detected_at=8.0, sequence=sequence)
+
+    def test_event_properties(self):
+        event = self.make_event()
+        assert event.detection_latency == pytest.approx(3.0)
+        assert event.span == pytest.approx(3.0)
+        payload = event.to_dict()
+        assert payload["query"] == "q" and payload["edges"] == [0, 1]
+
+    def test_collecting_sink(self):
+        sink = CollectingSink()
+        sink.deliver(self.make_event(0, "a"))
+        sink.deliver(self.make_event(1, "b"))
+        assert len(sink) == 2
+        assert len(sink.for_query("a")) == 1
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_callback_counting_multi_sinks(self):
+        seen = []
+        multi = MultiSink([CallbackSink(seen.append)])
+        counting = CountingSink()
+        multi.add(counting)
+        multi.deliver(self.make_event(0, "a"))
+        multi.deliver(self.make_event(1, "a"))
+        assert len(seen) == 2
+        assert counting.total == 2
+        assert counting.per_query == {"a": 2}
+
+
+class TestMetrics:
+    def test_stopwatch(self):
+        watch = Stopwatch()
+        watch.start()
+        elapsed = watch.stop()
+        assert elapsed >= 0.0
+        with pytest.raises(RuntimeError):
+            watch.stop()
+        with Stopwatch() as context_watch:
+            pass
+        assert context_watch.elapsed >= 0.0
+
+    def test_latency_recorder_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in (0.001, 0.002, 0.003, 0.004, 0.1):
+            recorder.record(value)
+        assert recorder.count == 5
+        assert recorder.mean() == pytest.approx(0.022)
+        assert recorder.percentile(0.0) == 0.001
+        assert recorder.percentile(1.0) == 0.1
+        assert recorder.max() == 0.1
+        summary = recorder.summary()
+        assert summary["count"] == 5.0
+        with pytest.raises(ValueError):
+            recorder.percentile(2.0)
+
+    def test_latency_recorder_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean() == 0.0
+        assert recorder.percentile(0.5) == 0.0
+        assert recorder.max() == 0.0
+
+    def test_latency_merge(self):
+        first, second = LatencyRecorder(), LatencyRecorder()
+        first.record(1.0)
+        second.record(3.0)
+        merged = first.merge(second)
+        assert merged.count == 2
+        assert merged.mean() == pytest.approx(2.0)
+
+    def test_throughput_meter(self):
+        meter = ThroughputMeter()
+        meter.start()
+        meter.add(10)
+        meter.stop()
+        assert meter.items == 10
+        assert meter.elapsed > 0.0
+        assert meter.rate() > 0.0
+        assert meter.summary()["items"] == 10.0
+
+    def test_throughput_meter_zero_elapsed(self):
+        meter = ThroughputMeter()
+        assert meter.rate() == 0.0

@@ -1,0 +1,164 @@
+"""Tests for the text/structured visualisation substitutes."""
+
+import json
+
+import pytest
+
+from repro.core import ContinuousQueryMatcher, Strategy, decompose
+from repro.graph import DynamicGraph, TimeWindow
+from repro.graph.types import Edge
+from repro.isomorphism import Match
+from repro.streaming import MatchEvent
+from repro.viz import (
+    EmergingMatchTracker,
+    EventGrid,
+    graph_to_dot,
+    graph_to_json,
+    location_of_match,
+    matches_to_json,
+    query_to_dot,
+    render_match,
+    render_match_table,
+    render_node_counts,
+    render_query,
+    render_sjtree,
+    subnet_of_vertex,
+)
+
+
+@pytest.fixture
+def simple_match():
+    return Match(
+        {"a1": "art1", "k": "kw:politics", "loc": "loc:paris"},
+        {0: Edge(0, "art1", "kw:politics", "mentions", 1.0),
+         1: Edge(1, "art1", "loc:paris", "locatedIn", 2.0)},
+    )
+
+
+def make_event(match, detected_at=2.0, query="q", sequence=0):
+    return MatchEvent(query, match, detected_at, sequence)
+
+
+class TestAsciiRendering:
+    def test_render_query(self, pair_query):
+        text = render_query(pair_query)
+        assert "a1" in text and "mentions" in text
+
+    def test_render_sjtree_shows_structure_and_counts(self, pair_query):
+        decomposition = decompose(pair_query, Strategy.SELECTIVITY)
+        tree = decomposition.build_tree()
+        text = render_sjtree(tree)
+        assert "root" in text and "leaf" in text
+        assert "matches=0" in text
+        assert "cut=" in text
+
+    def test_render_match(self, simple_match, pair_query):
+        text = render_match(simple_match, pair_query)
+        assert "a1 -> art1" in text
+        assert "mentions" in text
+
+    def test_render_match_table(self, simple_match):
+        table = render_match_table([simple_match], columns=["a1", "k"])
+        assert "art1" in table and "kw:politics" in table
+        assert render_match_table([]) == "(no matches)"
+
+    def test_render_node_counts(self, pair_query):
+        decomposition = decompose(pair_query, Strategy.SELECTIVITY)
+        tree = decomposition.build_tree()
+        text = render_node_counts(tree)
+        assert text.count("node") == len(tree.nodes)
+
+
+class TestEventGrid:
+    def test_aggregation_and_rendering(self, simple_match):
+        grid = EventGrid(bucket_seconds=10.0, key_function=lambda e: location_of_match(e, "loc"))
+        grid.add(make_event(simple_match, detected_at=2.0))
+        grid.add(make_event(simple_match, detected_at=15.0))
+        assert grid.total == 2
+        assert grid.count("loc:paris", 0) == 1
+        assert grid.count("loc:paris", 1) == 1
+        assert grid.counts_by_key() == {"loc:paris": 2}
+        assert grid.first_detection("loc:paris") == 2.0
+        assert grid.detection_order() == ["loc:paris"]
+        assert "loc:paris" in grid.render()
+        rows = grid.rows()
+        assert rows[0]["count"] == 1
+
+    def test_skipped_events_counted(self, simple_match):
+        grid = EventGrid(bucket_seconds=10.0, key_function=lambda event: None)
+        grid.add(make_event(simple_match))
+        assert grid.total == 0 and grid.skipped == 1
+        assert grid.render() == "(empty grid)"
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            EventGrid(bucket_seconds=0.0, key_function=lambda event: "x")
+
+    def test_subnet_of_vertex(self):
+        assert subnet_of_vertex("10.0.3.17") == "10.0.3"
+        assert subnet_of_vertex("not-an-ip") is None
+
+    def test_location_of_match_missing_variable(self, simple_match):
+        assert location_of_match(make_event(simple_match), "nope") is None
+
+
+class TestEmergingMatchTracker:
+    def test_tracks_progress(self, pair_query):
+        graph = DynamicGraph(TimeWindow(None))
+        matcher = ContinuousQueryMatcher(pair_query, decompose(pair_query, Strategy.SELECTIVITY),
+                                         graph, TimeWindow(None))
+        tracker = EmergingMatchTracker(matcher, sample_every=1)
+        records = [
+            ("art1", "kw", "mentions", 1.0, "Article", "Keyword"),
+            ("art1", "loc", "locatedIn", 2.0, "Article", "Location"),
+            ("art2", "kw", "mentions", 3.0, "Article", "Keyword"),
+            ("art2", "loc", "locatedIn", 4.0, "Article", "Location"),
+        ]
+        for source, target, label, timestamp, sl, tl in records:
+            edge = graph.ingest(source, target, label, timestamp, source_label=sl, target_label=tl)
+            matcher.process_edge(edge)
+            tracker.observe(edge.timestamp)
+        fractions = tracker.fraction_series()
+        assert len(fractions) == 4
+        assert fractions[-1] == 1.0
+        assert fractions == sorted(fractions)
+        assert tracker.time_to_fraction(1.0) == 4.0
+        assert tracker.time_to_fraction(2.0) is None
+        assert tracker.peak_stored() >= 1
+        assert len(tracker.complete_series()) == 4
+        assert "fraction" in tracker.render()
+
+    def test_sampling_interval(self, pair_query):
+        graph = DynamicGraph(TimeWindow(None))
+        matcher = ContinuousQueryMatcher(pair_query, decompose(pair_query, Strategy.EDGE_BY_EDGE),
+                                         graph, TimeWindow(None))
+        tracker = EmergingMatchTracker(matcher, sample_every=3)
+        for index in range(7):
+            tracker.observe(float(index))
+        assert len(tracker.snapshots) == 2
+        with pytest.raises(ValueError):
+            EmergingMatchTracker(matcher, sample_every=0)
+
+
+class TestExport:
+    def test_graph_to_dot_highlights_matches(self, news_graph, simple_match):
+        dot = graph_to_dot(news_graph, matches=[simple_match])
+        assert dot.startswith("digraph")
+        assert '"art1"' in dot
+        assert "color=red" in dot
+        assert "mentions" in dot
+
+    def test_query_to_dot(self, pair_query):
+        dot = query_to_dot(pair_query)
+        assert "digraph" in dot and "a1:Article" in dot
+
+    def test_graph_to_json_round_trip(self, news_graph):
+        payload = json.loads(graph_to_json(news_graph))
+        assert len(payload["vertices"]) == news_graph.vertex_count()
+        assert len(payload["edges"]) == news_graph.edge_count()
+
+    def test_matches_to_json(self, simple_match, pair_query):
+        payload = json.loads(matches_to_json([simple_match], pair_query))
+        assert len(payload) == 1
+        assert payload[0]["vertices"]["a1"] == "art1"
+        assert payload[0]["query"] == "pair"

@@ -1,0 +1,235 @@
+"""Tests for the synthetic workload generators and attack injectors."""
+
+import pytest
+
+from repro.isomorphism import Match
+from repro.graph.types import Edge
+from repro.queries.news import common_topic_location_query
+from repro.workloads import (
+    AttackInjector,
+    NetflowConfig,
+    NetflowGenerator,
+    NewsStreamConfig,
+    NewsStreamGenerator,
+    RmatConfig,
+    RmatGenerator,
+    SocialStreamConfig,
+    SocialStreamGenerator,
+    instances_detected,
+    plant_query_instances,
+)
+
+
+class TestNetflowGenerator:
+    def test_stream_properties(self):
+        generator = NetflowGenerator(NetflowConfig(host_count=50, subnet_count=4, seed=1))
+        stream = generator.stream(500)
+        assert len(stream) == 500
+        assert stream.is_time_ordered()
+        labels = stream.label_counts()
+        assert labels.get("connectsTo", 0) > 300
+        assert "resolvesTo" in labels or "loginTo" in labels
+
+    def test_determinism_with_same_seed(self):
+        first = NetflowGenerator(NetflowConfig(seed=5)).stream(100)
+        second = NetflowGenerator(NetflowConfig(seed=5)).stream(100)
+        assert [e.to_dict() for e in first] == [e.to_dict() for e in second]
+
+    def test_different_seeds_differ(self):
+        first = NetflowGenerator(NetflowConfig(seed=5)).stream(100)
+        second = NetflowGenerator(NetflowConfig(seed=6)).stream(100)
+        assert [e.to_dict() for e in first] != [e.to_dict() for e in second]
+
+    def test_subnet_assignment(self):
+        generator = NetflowGenerator(NetflowConfig(host_count=40, subnet_count=4))
+        subnets = {generator.subnet(host) for host in generator.hosts}
+        assert subnets <= set(range(4))
+        assert len(subnets) == 4
+
+    def test_traffic_is_skewed(self):
+        generator = NetflowGenerator(NetflowConfig(host_count=100, seed=2, zipf_exponent=1.5))
+        stream = generator.stream(2000)
+        from collections import Counter
+
+        talkers = Counter()
+        for edge in stream:
+            if edge.label == "connectsTo":
+                talkers[edge.source] += 1
+        counts = sorted(talkers.values(), reverse=True)
+        # the busiest talker should dominate the median one by a wide margin
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            NetflowConfig(host_count=1)
+        with pytest.raises(ValueError):
+            NetflowConfig(server_fraction=2.0)
+        with pytest.raises(ValueError):
+            NetflowConfig(subnet_count=0)
+
+    def test_flow_attrs_present(self):
+        generator = NetflowGenerator(NetflowConfig(seed=3))
+        flow = next(edge for edge in generator.stream(50) if edge.label == "connectsTo")
+        assert {"protocol", "port", "packets", "bytes"} <= set(flow.attrs)
+
+
+class TestAttackInjector:
+    @pytest.fixture
+    def generator(self):
+        return NetflowGenerator(NetflowConfig(host_count=60, subnet_count=4, seed=4))
+
+    def test_smurf_structure(self, generator):
+        injector = AttackInjector(generator, seed=1)
+        burst = injector.smurf_ddos(100.0, reflector_count=5)
+        labels = burst.label_counts()
+        assert labels["icmpRequest"] == 6  # 1 attacker->broadcast + 5 forwarded
+        assert labels["icmpReply"] == 5
+        replies = [edge for edge in burst if edge.label == "icmpReply"]
+        victims = {edge.target for edge in replies}
+        assert len(victims) == 1
+        assert burst.time_span() < 1.0
+
+    def test_smurf_cascade_marches_across_subnets(self, generator):
+        injector = AttackInjector(generator, seed=2)
+        cascade, plan = injector.smurf_cascade(50.0, subnet_count=4, stage_gap=10.0)
+        assert plan.subnet_order == [0, 1, 2, 3]
+        assert plan.start_times == [50.0, 60.0, 70.0, 80.0]
+        assert cascade.is_time_ordered()
+        broadcasts = {edge.target for edge in cascade if edge.label == "icmpRequest" and edge.target.endswith(".255")}
+        assert len(broadcasts) == 4
+
+    def test_worm_structure(self, generator):
+        injector = AttackInjector(generator, seed=3)
+        worm = injector.worm_propagation(10.0, fan_out=3)
+        assert len(worm) == 6  # 3 first hop + 3 second hop
+        assert all(edge.attrs.get("port") == 445 for edge in worm)
+        origins = {edge.source for edge in list(worm)[:1]}
+        assert len(origins) == 1
+
+    def test_port_scan_structure(self, generator):
+        injector = AttackInjector(generator, seed=4)
+        scan = injector.port_scan(5.0, port_count=8)
+        assert len(scan) == 8
+        assert len({edge.source for edge in scan}) == 1
+        assert len({edge.target for edge in scan}) == 1
+        assert len({edge.attrs["port"] for edge in scan}) == 8
+        assert all(edge.attrs.get("syn_only") for edge in scan)
+
+    def test_exfiltration_structure(self, generator):
+        injector = AttackInjector(generator, seed=5)
+        exfil = injector.data_exfiltration(30.0)
+        labels = [edge.label for edge in exfil]
+        assert labels == ["loginTo", "connectsTo", "connectsTo"]
+        upload = list(exfil)[-1]
+        assert upload.attrs.get("external") is True
+        assert upload.attrs["bytes"] >= 1_000_000
+
+
+class TestNewsGenerator:
+    def test_article_edges_structure(self):
+        generator = NewsStreamGenerator(NewsStreamConfig(seed=1))
+        edges = generator.article_edges(10.0, topic="politics", location="paris")
+        labels = [edge.label for edge in edges]
+        assert "mentions" in labels and "locatedIn" in labels
+        keyword_edges = [edge for edge in edges if edge.label == "mentions"]
+        assert any(edge.target == "kw:politics" for edge in keyword_edges)
+        located = next(edge for edge in edges if edge.label == "locatedIn")
+        assert located.target == "loc:paris"
+        assert located.target_attrs == {"name": "paris"}
+
+    def test_background_stream_is_ordered_and_sized(self):
+        generator = NewsStreamGenerator(NewsStreamConfig(seed=2))
+        stream = generator.background_stream(50)
+        assert stream.is_time_ordered()
+        assert len(stream) >= 100  # at least 2 edges per article
+
+    def test_planted_burst_satisfies_fig2_query(self):
+        generator = NewsStreamGenerator(NewsStreamConfig(seed=3))
+        burst, event = generator.planted_burst("politics", "washington", 100.0, article_count=3)
+        assert len(event.article_ids) == 3
+        from repro.graph import DynamicGraph, TimeWindow
+        from repro.isomorphism import SubgraphMatcher
+
+        graph = DynamicGraph(TimeWindow(None))
+        for record in burst:
+            graph.ingest(record.source, record.target, record.label, record.timestamp,
+                         record.attrs, source_label=record.source_label,
+                         target_label=record.target_label)
+        matches = SubgraphMatcher(graph).find_all(common_topic_location_query(3))
+        assert len(matches) >= 6  # 3! automorphic bindings of the planted articles
+
+    def test_stream_with_bursts_merges_in_order(self):
+        generator = NewsStreamGenerator(NewsStreamConfig(seed=4))
+        stream, events = generator.stream_with_bursts(30, [("politics", "paris", 10.0)])
+        assert stream.is_time_ordered()
+        assert len(events) == 1
+        assert events[0].to_dict()["topic"] == "politics"
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NewsStreamConfig(topics=[])
+
+
+class TestSocialAndRmat:
+    def test_social_stream_labels(self):
+        generator = SocialStreamGenerator(SocialStreamConfig(user_count=30, seed=1))
+        stream = generator.stream(300)
+        labels = stream.label_counts()
+        assert labels.get("follows", 0) > 0
+        assert labels.get("posted", 0) > 0
+        assert labels.get("tagged", 0) > 0
+
+    def test_social_invalid_config(self):
+        with pytest.raises(ValueError):
+            SocialStreamConfig(user_count=1)
+
+    def test_rmat_stream_size_and_labels(self):
+        generator = RmatGenerator(RmatConfig(scale=6, seed=2))
+        stream = generator.stream(400)
+        assert len(stream) == 400
+        assert stream.is_time_ordered()
+        assert set(stream.label_counts()) <= {"rel_a", "rel_b", "rel_c"}
+
+    def test_rmat_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RmatConfig(a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_rmat_skew(self):
+        from collections import Counter
+
+        generator = RmatGenerator(RmatConfig(scale=7, seed=3))
+        degree = Counter()
+        for edge in generator.stream(3000):
+            degree[edge.source] += 1
+        counts = sorted(degree.values(), reverse=True)
+        assert counts[0] > 10 * counts[-1]
+
+
+class TestPlantedInstances:
+    def test_plant_and_detect(self):
+        query = common_topic_location_query(2)
+        stream, instances = plant_query_instances(query, count=3, instance_gap=100.0)
+        assert len(instances) == 3
+        assert stream.is_time_ordered()
+        assert len(stream) == 3 * query.edge_count()
+
+        from repro.core import StreamWorksEngine, EngineConfig
+
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(query, name="q", window=50.0)
+        events = engine.process_stream(stream)
+        detected = instances_detected(instances, [event.match for event in events])
+        assert all(detected.values())
+
+    def test_instances_detected_reports_misses(self):
+        query = common_topic_location_query(2)
+        _, instances = plant_query_instances(query, count=2)
+        detected = instances_detected(instances, [])
+        assert detected == {0: False, 1: False}
+
+    def test_wildcard_edge_label_rejected(self):
+        from repro.query import QueryBuilder
+
+        query = QueryBuilder("wild").edge("a", "b").build()
+        with pytest.raises(ValueError):
+            plant_query_instances(query, count=1)
