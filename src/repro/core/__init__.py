@@ -11,6 +11,7 @@ Contents:
 """
 
 from .decomposition import Decomposition, DecompositionError, Strategy, decompose
+from .dispatch import DispatchIndex, LeafDispatchEntry
 from .engine import EngineConfig, RegisteredQuery, StreamWorksEngine
 from .join import joined_span, try_join
 from .local_search import LocalSearcher, find_primitive_matches
@@ -22,7 +23,9 @@ __all__ = [
     "ContinuousQueryMatcher",
     "Decomposition",
     "DecompositionError",
+    "DispatchIndex",
     "EngineConfig",
+    "LeafDispatchEntry",
     "LocalSearcher",
     "MatcherStats",
     "PlannerConfig",

@@ -10,6 +10,17 @@ role played by the C++ query engine plus UI in the demo).  It owns
   query, built by the :class:`~repro.core.planner.QueryPlanner`,
 * event delivery (sinks / callbacks) and engine-level metrics.
 
+The ingest hot path is indexed: a shared
+:class:`~repro.core.dispatch.DispatchIndex` maps edge labels (plus endpoint
+vertex-label guards) to the (query, SJ-Tree leaf) pairs that can possibly
+bind them, so an edge only pays for the primitives it can affect --
+``EngineConfig(use_dispatch_index=False)`` restores the exhaustive
+every-leaf-every-edge loop (the two are match-for-match equivalent).
+:meth:`StreamWorksEngine.process_batch` additionally amortises work across a
+batch: the whole batch is ingested (with eviction deferred), expiry is swept
+once per matcher instead of once per edge, and each edge is then dispatched
+through the index.
+
 Typical use::
 
     engine = StreamWorksEngine(default_window=300.0)
@@ -21,6 +32,7 @@ Typical use::
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..graph.dynamic_graph import DynamicGraph
@@ -29,13 +41,31 @@ from ..graph.window import TimeWindow
 from ..query.query_graph import QueryGraph
 from ..stats.summarizer import StreamSummarizer
 from ..streaming.edge_stream import StreamEdge
-from ..streaming.events import CallbackSink, CollectingSink, EventSink, MatchEvent, MultiSink
+from ..streaming.events import (
+    CallbackSink,
+    CollectingSink,
+    EventSink,
+    MatchEvent,
+    MultiSink,
+    QueryFilterSink,
+)
 from ..streaming.metrics import LatencyRecorder, ThroughputMeter
 from .decomposition import Decomposition, Strategy
+from .dispatch import DispatchIndex
 from .matcher import ContinuousQueryMatcher
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 
 __all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine"]
+
+
+def _non_decreasing(records: Sequence[StreamEdge]) -> bool:
+    """Return ``True`` when the records' timestamps never move backwards."""
+    previous = float("-inf")
+    for record in records:
+        if record.timestamp < previous:
+            return False
+        previous = record.timestamp
+    return True
 
 
 class EngineConfig:
@@ -53,6 +83,8 @@ class EngineConfig:
         primitive_size: int = 2,
         record_latency: bool = True,
         auto_replan_interval: Optional[int] = None,
+        use_dispatch_index: bool = True,
+        latency_sample_cap: Optional[int] = LatencyRecorder.DEFAULT_CAP,
     ):
         self.default_window = default_window
         self.collect_statistics = collect_statistics
@@ -63,6 +95,16 @@ class EngineConfig:
         self.plan_strategy = plan_strategy
         self.primitive_size = primitive_size
         self.record_latency = record_latency
+        #: Route each edge through the shared label dispatch index so only the
+        #: (query, leaf) pairs that can bind it are searched.  ``False``
+        #: restores the exhaustive per-edge loop over every registered leaf;
+        #: the two paths produce identical matches in identical order.  The
+        #: flag also gates the :meth:`StreamWorksEngine.process_batch` fast
+        #: path (batch ingest + one expiry sweep per matcher per batch).
+        self.use_dispatch_index = use_dispatch_index
+        #: Reservoir size for the engine's per-edge latency recorder
+        #: (``None`` retains every sample -- unbounded, diagnostics only).
+        self.latency_sample_cap = latency_sample_cap
         #: Re-plan every registered query after this many ingested edges, using
         #: the statistics collected so far.  ``None`` (default) disables the
         #: behaviour.  This implements the paper's stated future work of
@@ -90,6 +132,9 @@ class RegisteredQuery:
         self.plan = plan
         self.matcher = matcher
         self.match_count = 0
+        #: Event sinks owned by this registration (e.g. the query-filtered
+        #: ``on_match`` callback); detached from the engine on unregister.
+        self.sinks: List[EventSink] = []
 
     def describe(self) -> str:
         """Return a one-paragraph description of the registration."""
@@ -122,12 +167,13 @@ class StreamWorksEngine:
                 triad_sample_cap=config.triad_sample_cap,
             )
         self.queries: Dict[str, RegisteredQuery] = {}
+        self.dispatch = DispatchIndex()
         self.collector = CollectingSink()
         self._sinks = MultiSink([self.collector])
         self._sequence = 0
         self.edges_processed = 0
         self.throughput = ThroughputMeter()
-        self.latency = LatencyRecorder()
+        self.latency = LatencyRecorder(cap=config.latency_sample_cap)
 
     # ------------------------------------------------------------------
     # query registration
@@ -196,15 +242,29 @@ class StreamWorksEngine:
         registration = RegisteredQuery(query_name, query, query_window, plan, matcher)
         self.queries[query_name] = registration
         if on_match is not None:
-            self._sinks.add(CallbackSink(on_match))
+            # filter by query name so the callback only sees this query's
+            # events, and track the sink so unregistering detaches it
+            sink = QueryFilterSink(query_name, CallbackSink(on_match))
+            registration.sinks.append(sink)
+            self._sinks.add(sink)
+        self.dispatch.register(query_name, matcher.tree.leaves())
         self._update_retention()
         return registration
 
     def unregister_query(self, name: str) -> None:
-        """Remove a registered query (its partial matches are discarded)."""
+        """Remove a registered query (its partial matches are discarded).
+
+        The query's dispatch-index entries and its ``on_match`` callback sink
+        are detached as well, so an unregistered query neither consumes ingest
+        work nor fires callbacks.
+        """
         if name not in self.queries:
             raise KeyError(name)
-        del self.queries[name]
+        registration = self.queries.pop(name)
+        for sink in registration.sinks:
+            self._sinks.remove(sink)
+        registration.sinks.clear()
+        self.dispatch.unregister(name)
         self._update_retention()
 
     def add_sink(self, sink: EventSink) -> None:
@@ -251,6 +311,9 @@ class StreamWorksEngine:
         new_matcher._reported_edge_sets = old_matcher._reported_edge_sets
         registration.plan = new_plan
         registration.matcher = new_matcher
+        # the SJ-Tree was rebuilt, so the dispatch index must be re-pointed at
+        # the new leaves
+        self.dispatch.register(name, new_matcher.tree.leaves())
         return registration
 
     def replan_all(self, strategy: Optional[str] = None) -> None:
@@ -259,7 +322,15 @@ class StreamWorksEngine:
             self.replan_query(name, strategy=strategy)
 
     def _update_retention(self) -> None:
-        """Keep the graph retention window at least as long as every query window."""
+        """Keep the graph retention window at least as long as every query window.
+
+        A single registered query with an unbounded window forces unbounded
+        retention: evicting anything could remove edges that query still
+        needs, no matter how short the bounded queries' windows are.
+        """
+        if any(not q.window.bounded for q in self.queries.values()):
+            self.graph.window = TimeWindow(None)
+            return
         durations = [q.window.duration for q in self.queries.values() if q.window.bounded]
         if self.config.default_window is not None:
             durations.append(float(self.config.default_window))
@@ -283,12 +354,14 @@ class StreamWorksEngine:
         source_attrs: Optional[Mapping[str, Any]] = None,
         target_attrs: Optional[Mapping[str, Any]] = None,
     ) -> List[MatchEvent]:
-        """Ingest one raw edge and run every registered query against it."""
-        stopwatch_start = None
-        if self.config.record_latency:
-            from time import perf_counter
+        """Ingest one raw edge and run the affected registered queries against it.
 
-            stopwatch_start = perf_counter()
+        With the dispatch index enabled (the default) only the (query, leaf)
+        pairs whose primitives can bind the edge's label and endpoint labels
+        are searched; with it disabled every leaf of every query is searched.
+        Both paths yield identical events in identical order.
+        """
+        stopwatch_start = perf_counter() if self.config.record_latency else None
         self.throughput.start()
         edge = self.graph.ingest(
             source,
@@ -304,31 +377,71 @@ class StreamWorksEngine:
         if self.summarizer is not None:
             self.summarizer.observe(self.graph, edge)
         events: List[MatchEvent] = []
-        for registration in self.queries.values():
-            for match in registration.matcher.process_edge(edge):
-                event = MatchEvent(
-                    query_name=registration.name,
-                    match=match,
-                    detected_at=edge.timestamp,
-                    sequence=self._sequence,
-                )
-                self._sequence += 1
-                registration.match_count += 1
-                self._sinks.deliver(event)
-                events.append(event)
+        self._match_edge(edge, events, expire=True)
         self.edges_processed += 1
+        self._maybe_auto_replan()
+        self.throughput.add(1)
+        self.throughput.stop()
+        if stopwatch_start is not None:
+            self.latency.record(perf_counter() - stopwatch_start)
+        return events
+
+    def _match_edge(self, edge: Edge, events: List[MatchEvent], expire: bool) -> None:
+        """Run the registered queries against one ingested edge, appending events.
+
+        ``expire=False`` skips the per-matcher expiry sweep (the batched path
+        sweeps once per batch instead).
+        """
+        if self.config.use_dispatch_index:
+            source_label = (
+                self.graph.vertex(edge.source).label if self.graph.has_vertex(edge.source) else None
+            )
+            target_label = (
+                self.graph.vertex(edge.target).label if self.graph.has_vertex(edge.target) else None
+            )
+            for owner, leaf_ids in self.dispatch.candidates(edge.label, source_label, target_label):
+                registration = self.queries.get(owner)
+                if registration is None:  # pragma: no cover - defensive
+                    continue
+                matcher = registration.matcher
+                if expire:
+                    matcher.expire_partials(edge.timestamp)
+                leaves = [matcher.tree.node(leaf_id) for leaf_id in leaf_ids]
+                self._emit_matches(registration, matcher.process_edge_leaves(edge, leaves), edge, events)
+        else:
+            for registration in self.queries.values():
+                matcher = registration.matcher
+                if expire:
+                    matches = matcher.process_edge(edge)
+                else:
+                    matches = matcher.process_edge_leaves(edge, matcher.tree.leaves())
+                self._emit_matches(registration, matches, edge, events)
+
+    def _emit_matches(
+        self,
+        registration: RegisteredQuery,
+        matches: Sequence,
+        edge: Edge,
+        events: List[MatchEvent],
+    ) -> None:
+        for match in matches:
+            event = MatchEvent(
+                query_name=registration.name,
+                match=match,
+                detected_at=edge.timestamp,
+                sequence=self._sequence,
+            )
+            self._sequence += 1
+            registration.match_count += 1
+            self._sinks.deliver(event)
+            events.append(event)
+
+    def _maybe_auto_replan(self) -> None:
         if (
             self.config.auto_replan_interval is not None
             and self.edges_processed % self.config.auto_replan_interval == 0
         ):
             self.replan_all()
-        self.throughput.add(1)
-        self.throughput.stop()
-        if stopwatch_start is not None:
-            from time import perf_counter
-
-            self.latency.record(perf_counter() - stopwatch_start)
-        return events
 
     def process_record(self, record: StreamEdge) -> List[MatchEvent]:
         """Ingest one :class:`StreamEdge` record."""
@@ -345,10 +458,82 @@ class StreamWorksEngine:
         )
 
     def process_batch(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
-        """Ingest a batch of records; returns all events raised by the batch."""
-        events: List[MatchEvent] = []
+        """Ingest a batch of records; returns all events raised by the batch.
+
+        With the dispatch index enabled this takes the batched fast path
+        (the paper's section 2.1 formulation is batch-oriented):
+
+        1. the whole batch is ingested into the graph with eviction deferred
+           (evicting against the batch's latest timestamp up front could
+           remove edges that its earlier edges can still legally match);
+        2. the summarizer folds the batch in one call;
+        3. partial-match expiry runs **once per matcher per batch**, anchored
+           at the batch's earliest timestamp (the conservative anchor: any
+           partial it drops would also have been dropped by the per-edge
+           path before the first edge of the batch);
+        4. every edge is dispatched through the index;
+        5. one deferred graph-eviction sweep closes the batch.
+
+        Per-edge latency samples recorded in batch mode time the dispatch
+        and matching step only -- ingest, expiry and eviction are amortised
+        batch-level work -- so they are not directly comparable with
+        :meth:`process_edge` samples, which include ingest.
+
+        Steps 1-5 produce exactly the same complete matches as feeding the
+        records through :meth:`process_record` one at a time.  An embedding
+        whose edges all lie inside the batch may be *detected* on an earlier
+        edge than in single-edge mode (its remaining edges are already in the
+        graph), in which case the duplicate detection on the later edge is
+        suppressed -- the reported match set is identical either way.
+
+        The equivalence argument requires timestamps to be non-decreasing
+        *within* the batch (lateness relative to earlier batches is fine):
+        with an internally out-of-order batch, deferred eviction would let a
+        late edge match history that the per-edge path had already evicted.
+        Such batches therefore take the exact per-record path instead.
+        """
+        records = list(records)
+        if not records:
+            return []
+        if not self.config.use_dispatch_index or not _non_decreasing(records):
+            events: List[MatchEvent] = []
+            for record in records:
+                events.extend(self.process_record(record))
+            return events
+        self.throughput.start()
+        ingested: List[Edge] = []
         for record in records:
-            events.extend(self.process_record(record))
+            ingested.append(
+                self.graph.ingest(
+                    record.source,
+                    record.target,
+                    record.label,
+                    record.timestamp,
+                    record.attrs,
+                    source_label=record.source_label,
+                    target_label=record.target_label,
+                    source_attrs=record.source_attrs,
+                    target_attrs=record.target_attrs,
+                    evict=False,
+                )
+            )
+        if self.summarizer is not None:
+            self.summarizer.observe_batch(self.graph, ingested)
+        batch_start = min(edge.timestamp for edge in ingested)
+        for registration in self.queries.values():
+            registration.matcher.expire_partials(batch_start)
+        events = []
+        record_latency = self.config.record_latency
+        for edge in ingested:
+            stopwatch_start = perf_counter() if record_latency else None
+            self._match_edge(edge, events, expire=False)
+            self.edges_processed += 1
+            self._maybe_auto_replan()
+            if stopwatch_start is not None:
+                self.latency.record(perf_counter() - stopwatch_start)
+        self.graph.evict_expired()
+        self.throughput.add(len(ingested))
+        self.throughput.stop()
         return events
 
     def process_stream(self, stream: Iterable[StreamEdge]) -> List[MatchEvent]:
@@ -387,6 +572,7 @@ class StreamWorksEngine:
             "edges_evicted": self.graph.edges_evicted,
             "throughput": self.throughput.summary(),
             "latency": self.latency.summary(),
+            "dispatch": self.dispatch.stats(),
             "queries": {
                 name: registration.matcher.stats.to_dict()
                 for name, registration in self.queries.items()

@@ -90,6 +90,10 @@ class ContinuousQueryMatcher:
     store_complete_matches:
         Keep complete matches in the root's collection (Property 3 applied to
         the root).  Disable to save memory on very high match-rate streams.
+    expiry_min_interval:
+        Minimum stream-time gap between partial-match expiry sweeps; ``0.0``
+        (default) sweeps on every :meth:`process_edge`.  The engine's batched
+        ingest fast path instead calls :meth:`expire_partials` once per batch.
     """
 
     def __init__(
@@ -100,6 +104,7 @@ class ContinuousQueryMatcher:
         window: Optional[TimeWindow] = None,
         dedupe_structural: bool = False,
         store_complete_matches: bool = True,
+        expiry_min_interval: float = 0.0,
     ):
         self.query = query
         self.decomposition = decomposition
@@ -107,6 +112,9 @@ class ContinuousQueryMatcher:
         self.window = window if window is not None else TimeWindow(None)
         self.dedupe_structural = dedupe_structural
         self.store_complete_matches = store_complete_matches
+        #: Minimum stream-time gap between expiry sweeps (0.0 sweeps on every
+        #: call); see :meth:`SJTree.expire_matches` for why skipping is safe.
+        self.expiry_min_interval = expiry_min_interval
         self.tree: SJTree = decomposition.build_tree()
         self.tree.validate()
         self.local_searcher = LocalSearcher(graph, self.window)
@@ -115,17 +123,33 @@ class ContinuousQueryMatcher:
         self._reported_identities: Set[tuple] = set()
 
     # ------------------------------------------------------------------
-    # main entry point
+    # main entry points
     # ------------------------------------------------------------------
-    def process_edge(self, edge: Edge) -> List[Match]:
-        """Process one newly-ingested edge; return the new complete matches."""
+    def expire_partials(self, now: float) -> int:
+        """Sweep partial matches that can no longer complete; return the count dropped.
+
+        Expiry is a pure memory/perf optimisation: an expired partial would be
+        rejected by the window check at join or emit time anyway, so sweeping
+        less often (as the engine's batched ingest fast path does -- once per
+        batch instead of once per edge) never changes the match set.
+        """
+        if not self.window.bounded:
+            return 0
+        dropped = self.tree.expire_matches(self.window, now, self.expiry_min_interval)
+        self.stats.partial_matches_expired += dropped
+        return dropped
+
+    def process_edge_leaves(self, edge: Edge, leaves) -> List[Match]:
+        """Run local search for ``edge`` on a subset of SJ-Tree leaves.
+
+        This is the per-leaf entry point the engine's dispatch index uses:
+        when the index proves an edge can only seed some of the leaves, only
+        those are searched.  Callers are responsible for expiry cadence (see
+        :meth:`expire_partials`); :meth:`process_edge` composes both.
+        """
         self.stats.edges_processed += 1
-        if self.window.bounded:
-            self.stats.partial_matches_expired += self.tree.expire_matches(
-                self.window, edge.timestamp
-            )
         new_matches: List[Match] = []
-        for leaf in self.tree.leaves():
+        for leaf in leaves:
             primitive_matches = self.local_searcher.find(leaf.subgraph, edge)
             self.stats.leaf_matches_found += len(primitive_matches)
             for match in primitive_matches:
@@ -135,11 +159,26 @@ class ContinuousQueryMatcher:
             self.stats.peak_stored_matches = stored
         return new_matches
 
+    def process_edge(self, edge: Edge) -> List[Match]:
+        """Process one newly-ingested edge; return the new complete matches."""
+        self.expire_partials(edge.timestamp)
+        return self.process_edge_leaves(edge, self.tree.leaves())
+
     def process_edges(self, edges) -> List[Match]:
-        """Process a batch of edges (already ingested) and return all new matches."""
+        """Process a batch of edges (already ingested) and return all new matches.
+
+        The expiry sweep is amortised: one sweep anchored at the batch's
+        earliest timestamp (the conservative choice -- sweeping with a later
+        timestamp could drop a partial that an earlier edge of the batch can
+        still legally complete), then one per-edge matching pass.
+        """
+        edges = list(edges)
+        if not edges:
+            return []
+        self.expire_partials(min(edge.timestamp for edge in edges))
         results: List[Match] = []
         for edge in edges:
-            results.extend(self.process_edge(edge))
+            results.extend(self.process_edge_leaves(edge, self.tree.leaves()))
         return results
 
     # ------------------------------------------------------------------

@@ -126,6 +126,10 @@ class SJTreeNode:
         if not window.bounded:
             return 0
         threshold = window.expiry_threshold(now)
+        oldest = self._expiry.peek_oldest()
+        if oldest is None or oldest[0] > threshold:
+            # nothing stored is old enough -- skip without touching the heap
+            return 0
         dropped = 0
         for key, identity in self._expiry.pop_expired(threshold, inclusive=window.strict):
             bucket = self._matches.get(key)
@@ -208,6 +212,9 @@ class SJTree:
         self.leaf_ids: List[int] = []
         self.root_id: int = -1
         self._next_id = 0
+        #: Stream time of the last expiry sweep (cadence hook, see
+        #: :meth:`expire_matches`).
+        self._last_expiry_sweep: Optional[float] = None
         self._build(list(leaf_subgraphs), shape)
         self._assign_key_vertices()
 
@@ -318,6 +325,7 @@ class SJTree:
         """Drop every stored partial match (query structure is kept)."""
         for node in self.nodes.values():
             node.clear_matches()
+        self._last_expiry_sweep = None
 
     # ------------------------------------------------------------------
     # invariants (Properties 1, 2, 4 and decomposition sanity)
@@ -363,8 +371,24 @@ class SJTree:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def expire_matches(self, window: TimeWindow, now: float) -> int:
-        """Expire partial matches in every node; return the total dropped."""
+    def expire_matches(self, window: TimeWindow, now: float, min_interval: float = 0.0) -> int:
+        """Expire partial matches in every node; return the total dropped.
+
+        ``min_interval`` is the expiry *cadence* hook used by batched ingest:
+        when positive, a sweep is skipped unless stream time has advanced at
+        least that far since the previous sweep.  Skipping sweeps is always
+        safe -- expired partials are rejected by the window check at join and
+        emit time -- it only trades a little memory for less heap churn.
+        """
+        if not window.bounded:
+            return 0
+        if (
+            min_interval > 0.0
+            and self._last_expiry_sweep is not None
+            and now - self._last_expiry_sweep < min_interval
+        ):
+            return 0
+        self._last_expiry_sweep = now
         return sum(node.expire_matches(window, now) for node in self.nodes.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -98,6 +98,7 @@ class DynamicGraph:
         target_label: str = "node",
         source_attrs: Optional[Mapping[str, Any]] = None,
         target_attrs: Optional[Mapping[str, Any]] = None,
+        evict: bool = True,
     ) -> Edge:
         """Ingest a single raw edge and return the stored :class:`Edge`.
 
@@ -105,6 +106,13 @@ class DynamicGraph:
         fallen out of the retention window.  ``source_attrs`` / ``target_attrs``
         are merged into the endpoint vertices (created if missing), which is
         how streams convey vertex attributes such as a keyword's topic label.
+
+        ``evict=False`` defers the eviction sweep: the engine's batched ingest
+        fast path ingests a whole batch before matching any of its edges, and
+        evicting eagerly against the *latest* timestamp of the batch would
+        remove edges that earlier edges of the same batch can still legally
+        match against.  Callers deferring eviction must call
+        :meth:`evict_expired` themselves once the batch has been processed.
         """
         timestamp = float(timestamp)
         if source_attrs:
@@ -130,7 +138,8 @@ class DynamicGraph:
         if timestamp > self._current_time:
             self._current_time = timestamp
         self._expiry.push(timestamp, edge.id)
-        self.evict_expired()
+        if evict:
+            self.evict_expired()
         return edge
 
     def ingest_edge(self, edge: Edge, source_label: str = "node", target_label: str = "node") -> Edge:

@@ -14,6 +14,7 @@ DESIGN.md section 4 and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,7 @@ from ..core.planner import PlannerConfig, QueryPlanner
 from ..graph.dynamic_graph import DynamicGraph
 from ..graph.window import TimeWindow
 from ..isomorphism.vf2 import SubgraphMatcher
+from ..query.query_graph import QueryGraph
 from ..queries.cyber import (
     data_exfiltration_query,
     port_scan_query,
@@ -56,6 +58,7 @@ __all__ = [
     "experiment_tab3_selectivity_ablation",
     "experiment_tab4_summarization",
     "experiment_tab5_window_sweep",
+    "experiment_multiquery_dispatch",
     "ALL_EXPERIMENTS",
 ]
 
@@ -751,6 +754,182 @@ def experiment_tab5_window_sweep(scale: float = 1.0, seed: int = 47) -> Dict[str
     }
 
 
+# ----------------------------------------------------------------------
+# E11: cross-query dispatch index under heavy multi-query registration
+# ----------------------------------------------------------------------
+def _label_disjoint_chain_queries(query_count: int, chain_length: int) -> List[QueryGraph]:
+    """Build ``query_count`` path queries over mutually disjoint edge labels."""
+    queries = []
+    for index in range(query_count):
+        query = QueryGraph(f"chain{index}")
+        for position in range(chain_length + 1):
+            query.add_vertex(f"v{position}", "Host")
+        for position in range(chain_length):
+            query.add_edge(f"v{position}", f"v{position + 1}", f"rel{index}_{position}")
+        queries.append(query)
+    return queries
+
+
+def _multiquery_dispatch_stream(
+    query_count: int,
+    edge_count: int,
+    seed: int,
+    chain_length: int,
+    vertex_pool: int = 40,
+    plant_probability: float = 0.08,
+    interarrival: float = 0.02,
+) -> List[StreamEdge]:
+    """Generate a stream whose edges each target exactly one query's labels.
+
+    Most records are single noise edges carrying a random label of a random
+    query; occasionally a complete chain instance is planted so every query
+    fires now and then.
+    """
+    rng = random.Random(seed)
+    records: List[StreamEdge] = []
+    timestamp = 0.0
+    while len(records) < edge_count:
+        query_index = rng.randrange(query_count)
+        if rng.random() < plant_probability:
+            vertices = [
+                f"q{query_index}v{rng.randrange(vertex_pool)}" for _ in range(chain_length + 1)
+            ]
+            for position in range(chain_length):
+                timestamp += interarrival
+                records.append(
+                    StreamEdge(
+                        vertices[position],
+                        vertices[position + 1],
+                        f"rel{query_index}_{position}",
+                        timestamp,
+                        source_label="Host",
+                        target_label="Host",
+                    )
+                )
+        else:
+            timestamp += interarrival
+            records.append(
+                StreamEdge(
+                    f"q{query_index}v{rng.randrange(vertex_pool)}",
+                    f"q{query_index}v{rng.randrange(vertex_pool)}",
+                    f"rel{query_index}_{rng.randrange(chain_length)}",
+                    timestamp,
+                    source_label="Host",
+                    target_label="Host",
+                )
+            )
+    return records[:edge_count]
+
+
+def experiment_multiquery_dispatch(
+    scale: float = 1.0,
+    seed: int = 53,
+    query_count: int = 20,
+    chain_length: int = 6,
+    batch_size: int = 200,
+) -> Dict[str, object]:
+    """Measure the cross-query dispatch index under heavy multi-query load.
+
+    ``query_count`` label-disjoint chain queries are registered, so any edge
+    can seed the leaves of exactly one query.  The same stream is replayed
+    through three configurations:
+
+    * ``seed_scan`` -- dispatch index disabled: every leaf of every query is
+      searched per edge (the pre-index hot loop, per-edge cost linear in the
+      total number of registered primitives);
+    * ``indexed`` -- dispatch index enabled, edge-at-a-time ingest;
+    * ``indexed_batched`` -- dispatch index plus the batched ingest fast path.
+
+    All three must report the identical set of complete matches; the indexed
+    configurations should be several times faster since they only touch the
+    one query an edge can affect.
+    """
+    edge_count = max(400, int(4000 * scale))
+    window = 10.0
+    queries = _label_disjoint_chain_queries(query_count, chain_length)
+    records = _multiquery_dispatch_stream(query_count, edge_count, seed, chain_length)
+
+    def build_engine(use_index: bool) -> StreamWorksEngine:
+        engine = StreamWorksEngine(
+            config=EngineConfig(
+                collect_statistics=False,
+                record_latency=False,
+                use_dispatch_index=use_index,
+            )
+        )
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"chain{index}", window=window)
+        return engine
+
+    modes = [
+        ("seed_scan", False, "single"),
+        ("indexed", True, "single"),
+        ("indexed_batched", True, "batched"),
+    ]
+    rows = []
+    match_sets: Dict[str, set] = {}
+    event_orders: Dict[str, List[tuple]] = {}
+    dispatch_stats: Dict[str, object] = {}
+    for mode_name, use_index, ingest_mode in modes:
+        engine = build_engine(use_index)
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        if ingest_mode == "batched":
+            for start in range(0, len(records), batch_size):
+                engine.process_batch(records[start : start + batch_size])
+        else:
+            for record in records:
+                engine.process_record(record)
+        elapsed = stopwatch.stop()
+        keyed = [
+            (event.query_name, event.match.identity()) for event in engine.collector.events
+        ]
+        match_sets[mode_name] = set(keyed)
+        event_orders[mode_name] = keyed
+        if use_index and ingest_mode == "single":
+            dispatch_stats = engine.dispatch.stats()
+        rows.append(
+            {
+                "mode": mode_name,
+                "edges": len(records),
+                "elapsed_s": elapsed,
+                "edges_per_s": len(records) / elapsed if elapsed > 0 else float("inf"),
+                "events": len(keyed),
+                # deterministic work measure: how many (edge, matcher) visits
+                # actually ran (the seed scan visits every matcher per edge)
+                "matcher_edge_visits": sum(
+                    registration.matcher.stats.edges_processed
+                    for registration in engine.queries.values()
+                ),
+            }
+        )
+    by_mode = {row["mode"]: row for row in rows}
+    seed_elapsed = by_mode["seed_scan"]["elapsed_s"]
+    for row in rows:
+        row["speedup_vs_seed"] = (
+            seed_elapsed / row["elapsed_s"] if row["elapsed_s"] > 0 else float("inf")
+        )
+    return {
+        "experiment": "E11_multiquery_dispatch",
+        "query_count": query_count,
+        "registered_leaves": query_count * -(-chain_length // 2),
+        "stream_edges": len(records),
+        "batch_size": batch_size,
+        "match_sets_identical": (
+            match_sets["seed_scan"] == match_sets["indexed"] == match_sets["indexed_batched"]
+        ),
+        "event_order_identical": event_orders["seed_scan"] == event_orders["indexed"],
+        "speedup_indexed": by_mode["indexed"]["speedup_vs_seed"],
+        "speedup_batched": by_mode["indexed_batched"]["speedup_vs_seed"],
+        "work_reduction": (
+            by_mode["seed_scan"]["matcher_edge_visits"]
+            / max(1, by_mode["indexed"]["matcher_edge_visits"])
+        ),
+        "dispatch": dispatch_stats,
+        "rows": rows,
+    }
+
+
 #: Experiment id -> callable, used by the CLI runner and the benchmarks.
 ALL_EXPERIMENTS = {
     "E1": experiment_fig2_news_decomposition,
@@ -763,4 +942,5 @@ ALL_EXPERIMENTS = {
     "E8": experiment_tab3_selectivity_ablation,
     "E9": experiment_tab4_summarization,
     "E10": experiment_tab5_window_sweep,
+    "E11": experiment_multiquery_dispatch,
 }

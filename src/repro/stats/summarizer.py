@@ -144,6 +144,18 @@ class StreamSummarizer:
         if self.track_triads:
             self.triads.observe_new_edge(graph, edge)
 
+    def observe_batch(self, graph, edges) -> None:
+        """Fold a batch of freshly-ingested edges into the summary.
+
+        Used by the engine's batched ingest fast path.  Edges must already be
+        stored in ``graph`` (so endpoint labels resolve); with deferred
+        eviction the graph may transiently retain slightly more history than
+        the per-edge path, which only perturbs the sampled triad census, not
+        the type/signature counts the planner relies on.
+        """
+        for edge in edges:
+            self.observe(graph, edge)
+
     def retract(self, graph, edge: Edge) -> None:
         """Remove an evicted edge's contribution to the type/signature counts.
 

@@ -9,6 +9,7 @@ from .events import (
     EventSink,
     MatchEvent,
     MultiSink,
+    QueryFilterSink,
 )
 from .metrics import LatencyRecorder, Stopwatch, ThroughputMeter
 
@@ -23,6 +24,7 @@ __all__ = [
     "LatencyRecorder",
     "MatchEvent",
     "MultiSink",
+    "QueryFilterSink",
     "Stopwatch",
     "StreamEdge",
     "ThroughputMeter",

@@ -24,6 +24,7 @@ __all__ = [
     "CallbackSink",
     "CountingSink",
     "MultiSink",
+    "QueryFilterSink",
 ]
 
 
@@ -110,6 +111,23 @@ class CallbackSink(EventSink):
         self.callback(event)
 
 
+class QueryFilterSink(EventSink):
+    """Forward only the events of one named query to an inner sink.
+
+    The engine wraps per-query ``on_match`` callbacks in this filter so a
+    callback registered for query A never sees query B's events (and can be
+    detached as a unit when A is unregistered).
+    """
+
+    def __init__(self, query_name: str, inner: EventSink):
+        self.query_name = query_name
+        self.inner = inner
+
+    def deliver(self, event: MatchEvent) -> None:
+        if event.query_name == self.query_name:
+            self.inner.deliver(event)
+
+
 class CountingSink(EventSink):
     """Count events per query without retaining them (cheap for benchmarks)."""
 
@@ -131,6 +149,14 @@ class MultiSink(EventSink):
     def add(self, sink: EventSink) -> None:
         """Attach another sink."""
         self.sinks.append(sink)
+
+    def remove(self, sink: EventSink) -> bool:
+        """Detach a sink; returns ``False`` when it was not attached."""
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            return False
+        return True
 
     def deliver(self, event: MatchEvent) -> None:
         for sink in self.sinks:

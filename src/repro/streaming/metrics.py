@@ -9,6 +9,7 @@ external dependency.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -47,17 +48,50 @@ class Stopwatch:
 class LatencyRecorder:
     """Collect per-operation latencies and report percentiles.
 
-    Latencies are stored in seconds.  Percentile computation uses the
-    nearest-rank method on the sorted sample, which is exact and avoids a
-    numpy dependency in the hot path.
+    Latencies are recorded in seconds.  Storage is a bounded reservoir
+    (Vitter's Algorithm R with a deterministic seed): the first ``cap``
+    samples are kept verbatim, after which each new sample replaces a random
+    retained one with probability ``cap / count`` -- a uniform sample of the
+    whole stream, so memory stays bounded on arbitrarily long runs.  Mean,
+    max and count are tracked exactly over *all* recorded samples;
+    percentiles use the nearest-rank method on the (cached) sorted reservoir,
+    which is exact until the cap is first exceeded and an unbiased estimate
+    afterwards.
+
+    Parameters
+    ----------
+    cap:
+        Maximum retained samples; ``None`` keeps every sample (the old
+        unbounded behaviour, for short diagnostic runs only).
     """
 
-    def __init__(self) -> None:
+    DEFAULT_CAP = 8192
+
+    def __init__(self, cap: Optional[int] = DEFAULT_CAP, seed: int = 9) -> None:
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive or None")
+        self._cap = cap
+        self._rng = random.Random(seed)
         self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
 
     def record(self, seconds: float) -> None:
         """Record one latency sample."""
-        self._samples.append(seconds)
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+        if self._cap is None or len(self._samples) < self._cap:
+            self._samples.append(seconds)
+            self._sorted = None
+            return
+        slot = self._rng.randrange(self._count)
+        if slot < self._cap:
+            self._samples[slot] = seconds
+            self._sorted = None
 
     def time(self) -> Stopwatch:
         """Return a stopwatch whose ``stop()`` value the caller records manually."""
@@ -65,18 +99,23 @@ class LatencyRecorder:
 
     @property
     def count(self) -> int:
-        """Number of samples recorded."""
+        """Total number of samples recorded (not just those retained)."""
+        return self._count
+
+    @property
+    def retained(self) -> int:
+        """Number of samples currently held in the reservoir."""
         return len(self._samples)
 
     def mean(self) -> float:
-        """Mean latency in seconds (0.0 with no samples)."""
-        if not self._samples:
+        """Mean latency in seconds over all recorded samples (0.0 with none)."""
+        if self._count == 0:
             return 0.0
-        return sum(self._samples) / len(self._samples)
+        return self._sum / self._count
 
     def max(self) -> float:
-        """Maximum latency in seconds (0.0 with no samples)."""
-        return max(self._samples) if self._samples else 0.0
+        """Maximum latency in seconds over all recorded samples (0.0 with none)."""
+        return self._max
 
     def percentile(self, q: float) -> float:
         """Return the ``q``-quantile (``q`` in [0, 1]) by nearest rank."""
@@ -84,7 +123,9 @@ class LatencyRecorder:
             raise ValueError("quantile must be in [0, 1]")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
         return ordered[rank]
 
@@ -100,9 +141,23 @@ class LatencyRecorder:
         }
 
     def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
-        """Return a new recorder containing both sample sets."""
-        merged = LatencyRecorder()
-        merged._samples = self._samples + other._samples
+        """Return a new recorder combining both sample sets.
+
+        The merged reservoir re-records every retained sample from both
+        inputs (capped at the larger of the two caps); exact totals (count,
+        sum, max) are carried over so mean/max stay exact.
+        """
+        if self._cap is None or other._cap is None:
+            cap: Optional[int] = None
+        else:
+            cap = max(self._cap, other._cap)
+        merged = LatencyRecorder(cap=cap)
+        for sample in self._samples + other._samples:
+            merged.record(sample)
+        # replace the approximate totals accumulated above with exact ones
+        merged._count = self._count + other._count
+        merged._sum = self._sum + other._sum
+        merged._max = max(self._max, other._max)
         return merged
 
 

@@ -130,6 +130,27 @@ class TestEngineRegistration:
         engine.unregister_query("long")
         assert engine.graph.window.duration == 10.0
 
+    def test_unbounded_query_forces_unbounded_retention(self):
+        # regression: one bounded + one unbounded query used to yield a
+        # finite retention window that evicted edges the unbounded query
+        # still needed
+        engine = StreamWorksEngine()
+        engine.register_query(common_topic_location_query(2), name="bounded", window=10.0)
+        engine.register_query(common_topic_location_query(3), name="forever", window=None)
+        assert not engine.graph.window.bounded
+        engine.unregister_query("forever")
+        assert engine.graph.window.duration == 10.0
+
+    def test_unbounded_query_overrides_default_window_retention(self):
+        engine = StreamWorksEngine(default_window=5.0)
+        # window=None falls back to the engine default, so an explicitly
+        # unbounded query is spelled with an infinite window
+        engine.register_query(common_topic_location_query(2), name="forever", window=float("inf"))
+        assert not engine.graph.window.bounded
+        # edges older than the 5s default must survive for the unbounded query
+        engine.process_stream(news_records())
+        assert engine.graph.edges_evicted == 0
+
     def test_default_window_applies_to_queries(self):
         engine = StreamWorksEngine(default_window=42.0)
         registration = engine.register_query(common_topic_location_query(2), name="q")
@@ -180,6 +201,34 @@ class TestEngineProcessing:
         engine.process_stream(news_records())
         assert len(received) == 3
         assert counting.total == 3
+
+    def test_on_match_callback_only_sees_its_own_query(self):
+        # regression: the callback used to be attached as a global sink and
+        # fired for every registered query's events
+        pairs_seen, politics_seen = [], []
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(common_topic_location_query(2), name="pairs", window=60.0,
+                              on_match=pairs_seen.append)
+        engine.register_query(labelled_topic_query("politics", article_count=2), name="politics",
+                              window=60.0, on_match=politics_seen.append)
+        engine.process_stream(news_records())
+        assert len(pairs_seen) == 3
+        assert len(politics_seen) == 3
+        assert all(event.query_name == "pairs" for event in pairs_seen)
+        assert all(event.query_name == "politics" for event in politics_seen)
+
+    def test_unregister_detaches_on_match_callback(self):
+        # regression: unregistering a query used to leave its callback sink
+        # attached, so it kept firing for other queries' events
+        received = []
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(labelled_topic_query("politics", article_count=2), name="politics",
+                              window=60.0, on_match=received.append)
+        engine.register_query(common_topic_location_query(2), name="pairs", window=60.0)
+        engine.unregister_query("politics")
+        engine.process_stream(news_records())
+        assert received == []
+        assert len(engine.events("pairs")) == 3
 
     def test_metrics_structure(self):
         engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))

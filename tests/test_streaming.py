@@ -14,6 +14,7 @@ from repro.streaming import (
     LatencyRecorder,
     MatchEvent,
     MultiSink,
+    QueryFilterSink,
     StreamEdge,
     Stopwatch,
     ThroughputMeter,
@@ -158,6 +159,24 @@ class TestEvents:
         assert counting.total == 2
         assert counting.per_query == {"a": 2}
 
+    def test_query_filter_sink_routes_by_query_name(self):
+        seen = []
+        sink = QueryFilterSink("a", CallbackSink(seen.append))
+        sink.deliver(self.make_event(0, "a"))
+        sink.deliver(self.make_event(1, "b"))
+        sink.deliver(self.make_event(2, "a"))
+        assert [event.sequence for event in seen] == [0, 2]
+        assert all(event.query_name == "a" for event in seen)
+
+    def test_multi_sink_remove(self):
+        seen = []
+        callback = CallbackSink(seen.append)
+        multi = MultiSink([callback])
+        assert multi.remove(callback)
+        assert not multi.remove(callback)
+        multi.deliver(self.make_event(0, "a"))
+        assert seen == []
+
 
 class TestMetrics:
     def test_stopwatch(self):
@@ -198,6 +217,38 @@ class TestMetrics:
         merged = first.merge(second)
         assert merged.count == 2
         assert merged.mean() == pytest.approx(2.0)
+
+    def test_latency_reservoir_bounds_memory(self):
+        recorder = LatencyRecorder(cap=100)
+        for index in range(10_000):
+            recorder.record(index * 0.001)
+        assert recorder.count == 10_000
+        assert recorder.retained == 100
+        # mean and max stay exact over all samples, not just the reservoir
+        assert recorder.mean() == pytest.approx(sum(i * 0.001 for i in range(10_000)) / 10_000)
+        assert recorder.max() == pytest.approx(9.999)
+        # percentiles come from a uniform sample of the stream
+        assert 0.0 <= recorder.percentile(0.5) <= 9.999
+        assert recorder.percentile(0.1) <= recorder.percentile(0.9)
+
+    def test_latency_percentiles_exact_below_cap(self):
+        recorder = LatencyRecorder(cap=100)
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            recorder.record(value)
+        assert recorder.percentile(0.0) == 1.0
+        assert recorder.percentile(0.5) == 3.0
+        assert recorder.percentile(1.0) == 5.0
+        # cached sorted view must invalidate on new samples
+        recorder.record(0.5)
+        assert recorder.percentile(0.0) == 0.5
+
+    def test_latency_cap_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(cap=0)
+        unbounded = LatencyRecorder(cap=None)
+        for index in range(500):
+            unbounded.record(float(index))
+        assert unbounded.retained == 500
 
     def test_throughput_meter(self):
         meter = ThroughputMeter()
