@@ -10,6 +10,9 @@ High-level entry points
 -----------------------
 :class:`repro.core.engine.StreamWorksEngine`
     Register continuous queries, feed edges, receive match events.
+:class:`repro.core.sharded.ShardedStreamEngine`
+    The same contract with queries partitioned across N shards (serial or
+    multiprocessing), emitting the identical event stream.
 :class:`repro.query.builder.QueryBuilder` / :func:`repro.query.parser.parse_query`
     Construct query graphs programmatically or from text.
 :mod:`repro.workloads`

@@ -17,6 +17,7 @@ from .join import joined_span, try_join
 from .local_search import LocalSearcher, find_primitive_matches
 from .matcher import ContinuousQueryMatcher, MatcherStats
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
+from .sharded import ShardConfig, ShardedQuery, ShardedStreamEngine
 from .sjtree import SJTree, SJTreeInvariantError, SJTreeNode
 
 __all__ = [
@@ -35,6 +36,9 @@ __all__ = [
     "SJTree",
     "SJTreeInvariantError",
     "SJTreeNode",
+    "ShardConfig",
+    "ShardedQuery",
+    "ShardedStreamEngine",
     "Strategy",
     "StreamWorksEngine",
     "decompose",

@@ -55,7 +55,7 @@ from .dispatch import DispatchIndex
 from .matcher import ContinuousQueryMatcher
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 
-__all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine"]
+__all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine", "required_retention"]
 
 
 def _non_decreasing(records: Sequence[StreamEdge]) -> bool:
@@ -66,6 +66,28 @@ def _non_decreasing(records: Sequence[StreamEdge]) -> bool:
             return False
         previous = record.timestamp
     return True
+
+
+def required_retention(
+    windows: Iterable[TimeWindow], default_window: Optional[float]
+) -> TimeWindow:
+    """Return the graph retention implied by a set of query windows.
+
+    A single unbounded query window forces unbounded retention: evicting
+    anything could remove edges that query still needs.  Otherwise retention
+    is the longest bounded window (folding in the engine-level default).
+    The single engine and the sharded engine must agree on this formula --
+    shard eviction is pinned to it -- so both call here.
+    """
+    windows = list(windows)
+    if any(not window.bounded for window in windows):
+        return TimeWindow(None)
+    durations = [window.duration for window in windows if window.bounded]
+    if default_window is not None:
+        durations.append(float(default_window))
+    if not durations:
+        return TimeWindow(None)
+    return TimeWindow(max(durations))
 
 
 class EngineConfig:
@@ -322,22 +344,10 @@ class StreamWorksEngine:
             self.replan_query(name, strategy=strategy)
 
     def _update_retention(self) -> None:
-        """Keep the graph retention window at least as long as every query window.
-
-        A single registered query with an unbounded window forces unbounded
-        retention: evicting anything could remove edges that query still
-        needs, no matter how short the bounded queries' windows are.
-        """
-        if any(not q.window.bounded for q in self.queries.values()):
-            self.graph.window = TimeWindow(None)
-            return
-        durations = [q.window.duration for q in self.queries.values() if q.window.bounded]
-        if self.config.default_window is not None:
-            durations.append(float(self.config.default_window))
-        if not durations:
-            self.graph.window = TimeWindow(None)
-        else:
-            self.graph.window = TimeWindow(max(durations))
+        """Keep the graph retention window at least as long as every query window."""
+        self.graph.window = required_retention(
+            (q.window for q in self.queries.values()), self.config.default_window
+        )
 
     # ------------------------------------------------------------------
     # stream processing
@@ -430,6 +440,10 @@ class StreamWorksEngine:
                 match=match,
                 detected_at=edge.timestamp,
                 sequence=self._sequence,
+                # both ingest paths bump edges_processed only after matching
+                # the edge, so at emission time it is the index of the
+                # triggering edge within this engine's ingest stream
+                trigger_index=self.edges_processed,
             )
             self._sequence += 1
             registration.match_count += 1
@@ -442,6 +456,22 @@ class StreamWorksEngine:
             and self.edges_processed % self.config.auto_replan_interval == 0
         ):
             self.replan_all()
+
+    def expire_all_partials(self, now: float) -> int:
+        """Sweep every matcher's stored partial matches against ``now``.
+
+        The batched ingest path runs this sweep (at the batch's expiry
+        anchor) for every batch it processes.  The sharded engine calls it
+        directly to deliver that same batch-cadence sweep to a shard that
+        received *no* records in a batch -- the sweep sequence, not just
+        the final clock, determines which partials survive once streams may
+        carry late records, so a shard must not skip the sweeps the single
+        engine ran.  Returns the number of partials dropped.
+        """
+        return sum(
+            registration.matcher.expire_partials(now)
+            for registration in self.queries.values()
+        )
 
     def process_record(self, record: StreamEdge) -> List[MatchEvent]:
         """Ingest one :class:`StreamEdge` record."""
@@ -457,8 +487,21 @@ class StreamWorksEngine:
             target_attrs=record.target_attrs,
         )
 
-    def process_batch(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
+    def process_batch(
+        self,
+        records: Sequence[StreamEdge],
+        expiry_anchor: Optional[float] = None,
+    ) -> List[MatchEvent]:
         """Ingest a batch of records; returns all events raised by the batch.
+
+        ``expiry_anchor`` overrides the partial-match expiry anchor (step 3
+        below) with an *earlier* time.  Expiry is a pruning optimisation --
+        anything it drops could never complete -- so an earlier anchor only
+        retains more state and never changes the match set.  The sharded
+        engine passes the global batch minimum here so a shard sweeping its
+        own (later-starting) sub-batch keeps exactly the partials the
+        single engine keeps, which matters when later batches may still
+        carry late records that could complete them.
 
         With the dispatch index enabled this takes the batched fast path
         (the paper's section 2.1 formulation is batch-oriented):
@@ -520,6 +563,8 @@ class StreamWorksEngine:
         if self.summarizer is not None:
             self.summarizer.observe_batch(self.graph, ingested)
         batch_start = min(edge.timestamp for edge in ingested)
+        if expiry_anchor is not None:
+            batch_start = min(batch_start, expiry_anchor)
         for registration in self.queries.values():
             registration.matcher.expire_partials(batch_start)
         events = []

@@ -1,0 +1,950 @@
+"""Query-sharded parallel engine: N shard engines behind one façade.
+
+The single :class:`~repro.core.engine.StreamWorksEngine` already makes
+multi-query ingest sub-linear in the number of registered queries (the
+shared dispatch index only touches the (query, leaf) pairs an edge can
+bind).  The next scaling axis is *parallelism*: registered queries are
+partitioned across N shards, each shard owning a full private engine --
+graph window store, summarizer, dispatch index, matchers -- so shards share
+no mutable state and can run on separate cores.
+
+Correctness is by construction:
+
+* **Partitioning** is greedy balance over estimated plan cost
+  (:func:`repro.stats.plan_cost.plan_cost` over the
+  :class:`~repro.core.planner.QueryPlanner`'s plan), so heavy standing
+  queries spread across shards instead of piling onto one.
+* **Routing**: a merged label->shard map
+  (:class:`~repro.streaming.partition.BatchRouter`) fans each incoming
+  batch out only to the shards whose queries could bind it; a record no
+  query can bind is dropped before any shard sees it.  Every shard receives
+  *every* record its own queries could match, so no shard needs another
+  shard's state.
+* **Merging**: every emitted event carries the local index of the edge that
+  triggered it (:attr:`~repro.streaming.events.MatchEvent.trigger_index`);
+  the router tags each routed record with its global stream index, so the
+  per-shard event streams merge back into exactly the order the single
+  engine would have produced -- (global trigger index, query registration
+  order, per-shard emission order) -- and are then renumbered with global
+  sequence numbers.  Feeding the same batches to a sharded engine (any
+  shard count) and to a single engine yields identical event lists.
+
+Two schedulers are provided, selected by :class:`ShardConfig`:
+
+* ``workers=0`` (default): shards execute serially in-process -- zero
+  dependencies, deterministic, what the conformance tests run;
+* ``workers=N``: shards execute in a pool of N persistent worker processes
+  (``multiprocessing``, fork-based where available), one message round-trip
+  per worker per batch with pickle-safe :class:`StreamEdge` sub-batches.
+  Register every query *before* the first batch; the pool is started
+  lazily on first use and shard state then lives in the workers.
+
+Conformance envelope: routing by label is necessary-condition filtering and
+never changes the match set, given the data model's rule that a vertex
+identity has exactly one type -- a stream that names the same vertex id
+with *different* vertex labels on different records is malformed (the
+explicit ``add_vertex`` path rejects it), and under label routing the
+shards and the single engine may resolve such a conflict to different
+first writers.  The one in-model caveat is vertex *attributes*: they are
+shared mutable state conveyed by whichever records carry
+``source_attrs``/``target_attrs``.  Those records are broadcast to every
+shard, but a shard may still evict a vertex (with its merged attributes)
+earlier than the single engine would if the vertex's only remaining edges
+were never routed to that shard.  Queries whose predicates read vertex
+attributes written by records *outside* their own label set should use
+``routing="broadcast"``, which gives every shard the full stream and makes
+shard state bit-identical to the single engine's.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import traceback
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.window import TimeWindow
+from ..query.query_graph import QueryGraph
+from ..stats.plan_cost import plan_cost
+from ..streaming.batching import batch_by_count
+from ..streaming.edge_stream import StreamEdge
+from ..streaming.events import (
+    CallbackSink,
+    CollectingSink,
+    EventSink,
+    MatchEvent,
+    MultiSink,
+    QueryFilterSink,
+)
+from ..streaming.metrics import ThroughputMeter
+from ..streaming.partition import BatchRouter, Routing, greedy_partition, least_loaded_shard
+from .engine import EngineConfig, StreamWorksEngine, _non_decreasing, required_retention
+from .planner import PlannerConfig, QueryPlanner
+
+__all__ = ["ShardConfig", "ShardedQuery", "ShardedStreamEngine"]
+
+
+class ShardConfig:
+    """Tunables of the sharded engine.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of query shards (each owns a private engine).
+    workers:
+        ``0`` runs every shard serially in-process; ``N > 0`` runs the
+        shards inside ``min(N, shard_count)`` persistent worker processes
+        (round-robin shard ownership).
+    routing:
+        :attr:`Routing.LABELS` (default) or :attr:`Routing.BROADCAST`; see
+        the module docstring for the conformance envelope of each.
+    engine:
+        :class:`EngineConfig` template applied to every shard engine (each
+        shard gets its own shallow copy).  ``auto_replan_interval`` must be
+        unset: per-shard re-planning would be driven by shard-local edge
+        counts and silently diverge from the single-engine event order.
+    default_window:
+        Convenience override for ``engine.default_window``.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 1,
+        workers: int = 0,
+        routing: str = Routing.LABELS,
+        engine: Optional[EngineConfig] = None,
+        default_window: Optional[float] = None,
+    ):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if routing not in Routing.ALL:
+            raise ValueError(f"unknown routing mode {routing!r}")
+        if engine is None:
+            engine = EngineConfig(default_window=default_window)
+        elif default_window is not None:
+            # never mutate a caller-owned config: it may also drive an
+            # unrelated engine
+            engine = copy.copy(engine)
+            engine.default_window = default_window
+        if engine.auto_replan_interval is not None:
+            raise ValueError(
+                "auto_replan_interval is not supported on sharded engines: "
+                "per-shard replans trigger on shard-local edge counts and would "
+                "diverge from the single-engine event order"
+            )
+        self.shard_count = shard_count
+        self.workers = workers
+        self.routing = routing
+        self.engine = engine
+
+
+class ShardedQuery:
+    """Registration handle for one query on the sharded engine."""
+
+    def __init__(
+        self,
+        name: str,
+        query: QueryGraph,
+        shard_id: int,
+        order: int,
+        cost: float,
+        window: Optional[TimeWindow] = None,
+    ):
+        self.name = name
+        self.query = query
+        #: Query time window (as resolved by the owning shard engine).
+        self.window = window if window is not None else TimeWindow(None)
+        #: Shard the query was assigned to.
+        self.shard_id = shard_id
+        #: Global registration order (ties the merged event order to the
+        #: order the unsharded engine would iterate its queries in).
+        self.order = order
+        #: Estimated plan cost used for greedy balancing.
+        self.cost = cost
+        self.match_count = 0
+        #: Parent-level sinks owned by this registration (``on_match``).
+        self.sinks: List[EventSink] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedQuery({self.name!r}, shard={self.shard_id}, "
+            f"cost={self.cost:.1f}, matches={self.match_count})"
+        )
+
+
+def _execute_sub_batch(
+    engine: StreamWorksEngine,
+    records: List[StreamEdge],
+    per_record: bool,
+    clock,
+) -> List[MatchEvent]:
+    """Run one routed sub-batch through a shard engine, mirroring the parent.
+
+    ``clock`` aligns the shard's eviction horizon with the *global* stream
+    time the single engine would be at: a shard only sees the records routed
+    to it, so its own ``current_time`` can lag behind the stream whenever
+    the newest records were routed elsewhere, and a lagging eviction horizon
+    would let a late edge match history the single engine had already
+    evicted.  In batched mode ``clock`` is a ``(pre, post, expiry_anchor)``
+    triple: ``pre`` (global time before the parent batch) catches the shard
+    up on the end-of-batch sweeps it missed while the stream went to other
+    shards, ``post`` (global time after the whole batch) is the deferred
+    sweep applied exactly where the single engine runs its own, and
+    ``expiry_anchor`` (the global batch minimum timestamp) anchors
+    partial-match expiry where the single engine anchors it.  In per-record
+    mode it is one global running-maximum per record, applied before the
+    record so the store matches what the single engine would hold at that
+    record's matching step.
+    """
+    if per_record:
+        events: List[MatchEvent] = []
+        for record, record_clock in zip(records, clock):
+            if record_clock != float("-inf"):
+                engine.graph.evict_expired(record_clock)
+            events.extend(engine.process_record(record))
+    else:
+        pre_clock, post_clock, expiry_anchor = clock
+        # a shard that received nothing for a while missed the sweeps the
+        # single engine ran at the end of every intervening batch -- catch
+        # its store up to the pre-batch global time BEFORE matching, or a
+        # late edge could match history the single engine already evicted
+        if pre_clock != float("-inf"):
+            engine.graph.evict_expired(pre_clock)
+        # anchor partial-match expiry at the GLOBAL batch minimum: the
+        # shard's own sub-batch may start later (or be empty), and sweeping
+        # at a later time -- or skipping the sweep -- would diverge from
+        # the single engine's per-batch sweep sequence, which decides what
+        # a future late record (legal across batches) can still complete
+        if records:
+            events = engine.process_batch(records, expiry_anchor=expiry_anchor)
+        else:
+            engine.expire_all_partials(expiry_anchor)
+            events = []
+        engine.graph.evict_expired(post_clock)
+    # the parent's collector is authoritative; dropping the shard-local copy
+    # keeps shard memory bounded
+    engine.collector.clear()
+    return events
+
+
+def _shard_worker_main(conn, engines: Dict[int, StreamWorksEngine]) -> None:
+    """Worker-process loop: own a set of shard engines, serve batch requests.
+
+    Messages from the parent are tuples tagged by their first element:
+    ``("batch", per_record, [(shard id, records, clock), ...])`` processes
+    each sub-batch and replies ``("events", [(shard id, events), ...])``;
+    ``("metrics",)`` replies with every owned shard's metrics; ``("stop",)``
+    acknowledges and exits.  Any exception is reported back as
+    ``("error", traceback)`` instead of killing the worker silently.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        kind = message[0]
+        try:
+            if kind == "batch":
+                per_record = message[1]
+                replies: List[Tuple[int, List[MatchEvent]]] = []
+                for shard_id, records, clock in message[2]:
+                    events = _execute_sub_batch(engines[shard_id], records, per_record, clock)
+                    replies.append((shard_id, events))
+                conn.send(("events", replies))
+            elif kind == "metrics":
+                conn.send(
+                    ("metrics", {shard_id: engine.metrics() for shard_id, engine in engines.items()})
+                )
+            elif kind == "stop":
+                conn.send(("stopped",))
+                return
+            else:
+                conn.send(("error", f"unknown message kind {kind!r}"))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+class _WorkerHandle:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+
+class ShardedStreamEngine:
+    """Continuous multi-query matching with queries partitioned across shards.
+
+    Mirrors the :class:`StreamWorksEngine` surface (``register_query`` /
+    ``process_record`` / ``process_batch`` / ``process_stream`` / ``events``
+    / ``metrics``) and produces, batch for batch, the identical event list a
+    single engine would -- same matches, same order, same sequence numbers,
+    same detection timestamps.
+
+    Usable as a context manager; :meth:`close` shuts the worker pool down
+    (a no-op for the serial scheduler).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ShardConfig] = None,
+        shard_count: Optional[int] = None,
+        workers: Optional[int] = None,
+        default_window: Optional[float] = None,
+        routing: Optional[str] = None,
+    ):
+        if config is None:
+            config = ShardConfig(
+                shard_count=shard_count if shard_count is not None else 1,
+                workers=workers if workers is not None else 0,
+                routing=routing if routing is not None else Routing.LABELS,
+                default_window=default_window,
+            )
+        else:
+            if shard_count is not None and shard_count != config.shard_count:
+                raise ValueError("pass shard_count either via config or directly, not both")
+            if workers is not None and workers != config.workers:
+                raise ValueError("pass workers either via config or directly, not both")
+            if default_window is not None:
+                engine_config = copy.copy(config.engine)
+                engine_config.default_window = default_window
+                config = ShardConfig(
+                    shard_count=config.shard_count,
+                    workers=config.workers,
+                    routing=config.routing,
+                    engine=engine_config,
+                )
+            if routing is not None and routing != config.routing:
+                raise ValueError("pass routing either via config or directly, not both")
+        self.config = config
+        #: One private engine per shard (state moves into the worker
+        #: processes once a pool scheduler starts).
+        self.shards: List[StreamWorksEngine] = [
+            StreamWorksEngine(config=copy.copy(config.engine))
+            for _ in range(config.shard_count)
+        ]
+        # with the dispatch index off, the single engine's exhaustive loop
+        # touches (and expires) every matcher on every record; mirroring
+        # that exactly requires every shard to see the full stream, so
+        # label routing is forced to broadcast in that configuration
+        routing_mode = config.routing if config.engine.use_dispatch_index else Routing.BROADCAST
+        self.router = BatchRouter(config.shard_count, mode=routing_mode)
+        self.queries: Dict[str, ShardedQuery] = {}
+        self._shard_loads: List[float] = [0.0] * config.shard_count
+        self._registration_seq = 0
+        self.collector = CollectingSink()
+        self._sinks = MultiSink([self.collector])
+        self._sequence = 0
+        self.edges_processed = 0
+        self.throughput = ThroughputMeter()
+        #: Records sent to each shard so far -- maps a shard event's
+        #: ``trigger_index`` back into the in-flight sub-batch.
+        self._records_sent: List[int] = [0] * config.shard_count
+        #: Global stream time (largest timestamp offered so far); shards are
+        #: evicted against this clock so their windows behave exactly as the
+        #: single engine's would, even for records routed elsewhere.
+        self._clock = float("-inf")
+        #: Minimum timestamp of the batch currently being processed (the
+        #: global partial-expiry anchor handed to every shard).
+        self._batch_min = float("-inf")
+        self._started = False
+        self._closed = False
+        self._workers: Optional[List[_WorkerHandle]] = None
+        self._worker_of: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # query registration / partitioning
+    # ------------------------------------------------------------------
+    def register_query(
+        self,
+        query: QueryGraph,
+        name: Optional[str] = None,
+        window: Optional[float] = None,
+        strategy: Optional[str] = None,
+        on_match: Optional[callable] = None,
+        dedupe_structural: Optional[bool] = None,
+        shard: Optional[int] = None,
+        _cost: Optional[float] = None,
+    ) -> ShardedQuery:
+        """Register a continuous query, assigning it to a shard.
+
+        The shard is chosen greedily: the query's plan is costed with
+        :func:`~repro.stats.plan_cost.plan_cost` and the query goes to the
+        currently least-loaded shard (``shard`` overrides the choice).
+        ``on_match`` callbacks run in the parent, after the merge, so they
+        observe globally ordered events regardless of the scheduler.
+
+        Every query must be registered before the first batch is processed,
+        under either scheduler.  Label routing means a shard only holds the
+        history *its* queries needed; a query registered mid-stream would
+        land on a shard missing the in-window edges routing skipped, and
+        silently miss matches the single engine would report.  (The single
+        engine supports live registration because its one graph holds
+        everything; supporting it here would require a history backfill.)
+        """
+        query_name = name or query.name
+        if query_name in self.queries:
+            raise ValueError(f"a query named {query_name!r} is already registered")
+        self._check_mutable("register_query")
+        # keyed on ingest, not on scheduler state: close() resets _started
+        # on serial engines, but the missing-history problem is about
+        # records already routed past the new query's shard
+        if self.edges_processed > 0:
+            raise RuntimeError(
+                "register_query is not allowed once the sharded engine has "
+                "processed records: the new query's shard would be missing the "
+                "graph history that routing skipped for it; register every "
+                "query up front (or build a new engine)"
+            )
+        if shard is not None and not 0 <= shard < self.config.shard_count:
+            raise ValueError(f"shard must be in [0, {self.config.shard_count})")
+
+        if _cost is None:
+            _cost = self._plan_cost_of(query, strategy)
+        cost = _cost
+        if shard is None:
+            shard = least_loaded_shard(self._shard_loads)
+        shard_registration = self.shards[shard].register_query(
+            query,
+            name=query_name,
+            window=window,
+            strategy=strategy,
+            dedupe_structural=dedupe_structural,
+        )
+        self.router.add_query(shard, query)
+        registration = ShardedQuery(
+            query_name, query, shard, self._registration_seq, cost,
+            window=shard_registration.window,
+        )
+        self._registration_seq += 1
+        self._shard_loads[shard] += cost
+        self.queries[query_name] = registration
+        self._sync_retention()
+        if on_match is not None:
+            sink = QueryFilterSink(query_name, CallbackSink(on_match))
+            registration.sinks.append(sink)
+            self._sinks.add(sink)
+        return registration
+
+    def register_queries(self, queries: Sequence) -> List[ShardedQuery]:
+        """Register several queries at once with offline (LPT) balancing.
+
+        ``queries`` is a sequence of :class:`QueryGraph` objects or
+        ``(query, kwargs)`` pairs, where ``kwargs`` are forwarded to
+        :meth:`register_query` (``name``, ``window``, ``strategy``,
+        ``on_match``, ``dedupe_structural``).  Unlike one-at-a-time
+        registration -- which greedily places each arrival on the currently
+        lightest shard -- the whole set is costed first and partitioned with
+        :func:`~repro.streaming.partition.greedy_partition` (sorted by
+        descending cost), which balances skewed cost mixes noticeably
+        better.  Event ordering follows the sequence order, exactly as if
+        each query had been registered individually.
+        """
+        allowed_kwargs = {"name", "window", "strategy", "on_match", "dedupe_structural"}
+        specs: List[Tuple[QueryGraph, Dict[str, Any]]] = []
+        for item in queries:
+            if isinstance(item, tuple):
+                query, kwargs = item
+                kwargs = dict(kwargs)
+            else:
+                query, kwargs = item, {}
+            # validate before registering anything so a bad spec mid-batch
+            # cannot leave the batch half-registered
+            unknown = set(kwargs) - allowed_kwargs
+            if unknown:
+                raise ValueError(
+                    f"unsupported register_queries kwargs for {kwargs.get('name') or query.name!r}: "
+                    f"{sorted(unknown)} (shard assignment is computed by the batch)"
+                )
+            specs.append((query, kwargs))
+        costs: Dict[str, float] = {}
+        for query, kwargs in specs:
+            query_name = kwargs.get("name") or query.name
+            if query_name in costs:
+                raise ValueError(f"duplicate query name {query_name!r} in batch registration")
+            if query_name in self.queries:
+                # check the whole batch up front so a collision cannot leave
+                # it half-registered
+                raise ValueError(f"a query named {query_name!r} is already registered")
+            costs[query_name] = self._plan_cost_of(query, kwargs.get("strategy"))
+        # seed the partition with the current loads so batch registration
+        # composes with queries that are already registered
+        assignment = greedy_partition(
+            costs, self.config.shard_count, initial_loads=self._shard_loads
+        )
+        registered: List[ShardedQuery] = []
+        try:
+            for query, kwargs in specs:
+                query_name = kwargs.get("name") or query.name
+                registered.append(
+                    self.register_query(
+                        query,
+                        shard=assignment[query_name],
+                        _cost=costs[query_name],
+                        **kwargs,
+                    )
+                )
+        except Exception:
+            # a per-query rejection (e.g. a bad window value) must not leave
+            # the batch half-registered: roll back what already landed
+            for handle in registered:
+                self.unregister_query(handle.name)
+            raise
+        return registered
+
+    def _plan_cost_of(self, query: QueryGraph, strategy: Optional[str]) -> float:
+        """Plan the query (statistics-free) and score it for balancing.
+
+        The shard engine plans again inside its own ``register_query`` --
+        deliberately: forwarding this throwaway plan's decomposition would
+        force the shard's plan to record the MANUAL strategy, corrupting
+        plan metadata, and registration is not a hot path.
+        """
+        planner = QueryPlanner(
+            config=PlannerConfig(
+                strategy=strategy or self.config.engine.plan_strategy,
+                primitive_size=self.config.engine.primitive_size,
+            ),
+        )
+        return plan_cost(planner.plan(query, strategy=strategy))
+
+    def unregister_query(self, name: str) -> None:
+        """Remove a registered query from its shard (partial matches discarded)."""
+        if name not in self.queries:
+            raise KeyError(name)
+        self._check_mutable("unregister_query")
+        registration = self.queries.pop(name)
+        self.shards[registration.shard_id].unregister_query(name)
+        self.router.remove_query(registration.shard_id, registration.query)
+        self._shard_loads[registration.shard_id] -= registration.cost
+        self._sync_retention()
+        for sink in registration.sinks:
+            self._sinks.remove(sink)
+        registration.sinks.clear()
+
+    def _sync_retention(self) -> None:
+        """Pin every shard's graph retention to the *global* retention window.
+
+        The single engine retains ``max`` over every registered query's
+        window (unbounded if any query is unbounded).  Each shard engine
+        computes that maximum over its own queries only, which would let a
+        shard with short-windowed queries evict -- and on duplicate edges,
+        re-create -- graph state earlier than the single engine does.  That
+        never changes the match set (admissibility is checked per query
+        window) but it perturbs enumeration order and vertex-attribute
+        retention, so every shard is pinned to the global window instead,
+        computed with the single engine's own formula.
+        """
+        retention = required_retention(
+            (q.window for q in self.queries.values()), self.config.engine.default_window
+        )
+        for engine in self.shards:
+            engine.graph.window = retention
+
+    def _check_mutable(self, operation: str) -> None:
+        if self._closed:
+            raise RuntimeError(f"{operation} is not allowed on a closed sharded engine")
+        if self._started and self.config.workers > 0:
+            raise RuntimeError(
+                f"{operation} is not allowed after the worker pool has started: "
+                "shard state lives in the worker processes; close() the engine "
+                "and build a new one to change the registered queries"
+            )
+
+    def assignments(self) -> Dict[str, int]:
+        """Return ``{query name: shard id}`` for every registered query."""
+        return {name: registration.shard_id for name, registration in self.queries.items()}
+
+    def shard_loads(self) -> List[float]:
+        """Return the summed plan-cost load per shard."""
+        return list(self._shard_loads)
+
+    def add_sink(self, sink: EventSink) -> None:
+        """Attach an additional event sink (delivered merged, in global order)."""
+        self._sinks.add(sink)
+
+    # ------------------------------------------------------------------
+    # scheduler lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fork_available() -> bool:
+        """Return ``True`` when fork-based worker processes are supported."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def start(self) -> None:
+        """Start the scheduler (lazy; called automatically on first batch).
+
+        The worker pool prefers the ``fork`` start method -- the workers
+        inherit the fully-registered shard engines with no pickling.  On
+        platforms without fork the engines are pickled to spawned workers.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this sharded engine has been closed: its stream state was "
+                "lost with the worker pool; build a new engine"
+            )
+        if self._started:
+            return
+        self._started = True
+        if self.config.workers <= 0:
+            return
+        method = "fork" if self.fork_available() else None
+        context = multiprocessing.get_context(method)
+        worker_count = min(self.config.workers, self.config.shard_count)
+        self._worker_of = {
+            shard_id: shard_id % worker_count for shard_id in range(self.config.shard_count)
+        }
+        self._workers = []
+        for worker_index in range(worker_count):
+            owned = {
+                shard_id: self.shards[shard_id]
+                for shard_id, owner in self._worker_of.items()
+                if owner == worker_index
+            }
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, owned),
+                daemon=True,
+                name=f"shard-worker-{worker_index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(process, parent_conn))
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for the serial scheduler).
+
+        Closing a pool-mode engine (``workers > 0``) makes it unusable --
+        whether or not the pool had started -- because a started pool's
+        shard state dies with the workers, and allowing reuse of a
+        never-started one would silently spawn a fresh pool outside the
+        caller's lifecycle management.  Further ingest or metrics calls
+        raise.  Serial engines keep all state in-process and stay usable.
+        """
+        if self.config.workers > 0:
+            self._closed = True
+        workers, self._workers = self._workers, None
+        self._started = False
+        if not workers:
+            return
+        for handle in workers:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in workers:
+            try:
+                if handle.conn.poll(1.0):
+                    handle.conn.recv()
+            except (EOFError, OSError):
+                pass
+            handle.conn.close()
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - defensive
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+
+    def __enter__(self) -> "ShardedStreamEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # stream processing
+    # ------------------------------------------------------------------
+    def process_record(self, record: StreamEdge) -> List[MatchEvent]:
+        """Ingest one record (mirrors single-engine ``process_record``)."""
+        return self._run_batch([record], per_record=True)
+
+    def process_batch(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
+        """Ingest a batch; returns the merged, globally ordered events.
+
+        Mirrors the single engine exactly: an internally out-of-order batch
+        takes the exact per-record path (the single engine's batched-ingest
+        equivalence argument needs non-decreasing timestamps within the
+        batch), otherwise each shard runs its batched fast path over its
+        sub-batch.
+        """
+        records = list(records)
+        if not records:
+            return []
+        # mirror the single engine's fallback condition exactly: with the
+        # dispatch index off, every shard engine would take its internal
+        # per-record path anyway, and routing per_record=True through the
+        # parent keeps the per-record global eviction clocks in play (a
+        # shard's own clock lags the stream whenever newer records were
+        # routed elsewhere)
+        per_record = not self.config.engine.use_dispatch_index or not _non_decreasing(records)
+        return self._run_batch(records, per_record=per_record)
+
+    def process_stream(
+        self, stream: Iterable[StreamEdge], batch_size: Optional[int] = None
+    ) -> List[MatchEvent]:
+        """Ingest an entire stream, optionally sliced into count batches."""
+        events: List[MatchEvent] = []
+        if batch_size is None:
+            for record in stream:
+                events.extend(self.process_record(record))
+        else:
+            for batch in batch_by_count(stream, batch_size):
+                events.extend(self.process_batch(batch))
+        return events
+
+    def _run_batch(self, records: List[StreamEdge], per_record: bool) -> List[MatchEvent]:
+        self.start()
+        self.throughput.start()
+        base_index = self.edges_processed
+        self.edges_processed += len(records)
+        # global stream clock: shards evict against the whole stream's time,
+        # not just the sub-stream routed to them.  For the per-record path
+        # each entry is the running maximum *before* that record -- the
+        # single engine's store state at the moment the record arrives (its
+        # own timestamp joins the eviction horizon only after ingest, which
+        # matters for vertex-isolation eviction); the batched path uses the
+        # running maximum after the whole batch (the deferred sweep's time).
+        clocks: List[float] = []
+        clock = self._clock
+        for record in records:
+            clocks.append(clock)
+            if record.timestamp > clock:
+                clock = record.timestamp
+        self._clock = clock
+        self._batch_min = min(record.timestamp for record in records)
+        per_shard = self.router.route(records, base_index)
+        if not per_record:
+            # the single engine's batched path sweeps EVERY matcher's
+            # partials once per batch; a shard with no records this batch
+            # must still receive that sweep (the sweep sequence determines
+            # which partials survive when later batches can carry late
+            # records), so every shard joins the fan-out
+            for shard_id in range(self.config.shard_count):
+                per_shard.setdefault(shard_id, [])
+        #: ``(global trigger index, query registration order, event)``
+        tagged: List[Tuple[int, int, MatchEvent]] = []
+        if self._workers is None:
+            for shard_id in sorted(per_shard):
+                tagged.extend(
+                    self._run_shard_serial(
+                        shard_id, per_shard[shard_id], per_record, clocks, base_index
+                    )
+                )
+        else:
+            tagged.extend(self._run_shards_pooled(per_shard, per_record, clocks, base_index))
+        # a query lives in exactly one shard, so events tied on (trigger,
+        # registration order) all come from one shard and the stable sort
+        # preserves their emission order -- this is precisely the order the
+        # single engine emits in
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        merged: List[MatchEvent] = []
+        for _, _, event in tagged:
+            event.sequence = self._sequence
+            self._sequence += 1
+            self.queries[event.query_name].match_count += 1
+            self._sinks.deliver(event)
+            merged.append(event)
+        self.throughput.add(len(records))
+        self.throughput.stop()
+        return merged
+
+    def _sub_batch_clock(
+        self,
+        sub_batch: List[Tuple[int, StreamEdge]],
+        per_record: bool,
+        clocks: List[float],
+        base_index: int,
+    ):
+        """Return the eviction clock payload for one shard's sub-batch."""
+        if per_record:
+            return [clocks[global_index - base_index] for global_index, _ in sub_batch]
+        # batched mode: sweep the shard up to the pre-batch global time
+        # before matching (clocks[0] is the running max before the parent
+        # batch's first record), run the deferred sweep at the global time
+        # after the whole batch (self._clock, advanced in _run_batch), and
+        # anchor partial expiry at the global batch minimum
+        return (clocks[0], self._clock, self._batch_min)
+
+    def _run_shard_serial(
+        self,
+        shard_id: int,
+        sub_batch: List[Tuple[int, StreamEdge]],
+        per_record: bool,
+        clocks: List[float],
+        base_index: int,
+    ) -> List[Tuple[int, int, MatchEvent]]:
+        engine = self.shards[shard_id]
+        local_base = self._records_sent[shard_id]
+        self._records_sent[shard_id] += len(sub_batch)
+        events = _execute_sub_batch(
+            engine,
+            [record for _, record in sub_batch],
+            per_record,
+            self._sub_batch_clock(sub_batch, per_record, clocks, base_index),
+        )
+        return self._tag_events(events, sub_batch, local_base)
+
+    def _run_shards_pooled(
+        self,
+        per_shard: Dict[int, List[Tuple[int, StreamEdge]]],
+        per_record: bool,
+        clocks: List[float],
+        base_index: int,
+    ) -> List[Tuple[int, int, MatchEvent]]:
+        by_worker: Dict[int, List[Tuple[int, List[Tuple[int, StreamEdge]], int]]] = {}
+        for shard_id in sorted(per_shard):
+            sub_batch = per_shard[shard_id]
+            local_base = self._records_sent[shard_id]
+            self._records_sent[shard_id] += len(sub_batch)
+            by_worker.setdefault(self._worker_of[shard_id], []).append(
+                (shard_id, sub_batch, local_base)
+            )
+        pending: List[Tuple[int, List[Tuple[int, List[Tuple[int, StreamEdge]], int]]]] = []
+        for worker_index in sorted(by_worker):
+            items = by_worker[worker_index]
+            payload = [
+                (
+                    shard_id,
+                    [record for _, record in sub_batch],
+                    self._sub_batch_clock(sub_batch, per_record, clocks, base_index),
+                )
+                for shard_id, sub_batch, _ in items
+            ]
+            self._workers[worker_index].conn.send(("batch", per_record, payload))
+            pending.append((worker_index, items))
+        tagged: List[Tuple[int, int, MatchEvent]] = []
+        for worker_index, items in pending:
+            reply = self._receive(worker_index)
+            for (shard_id, sub_batch, local_base), (reply_shard, events) in zip(items, reply[1]):
+                if reply_shard != shard_id:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"worker {worker_index} replied for shard {reply_shard}, "
+                        f"expected {shard_id}"
+                    )
+                tagged.extend(self._tag_events(events, sub_batch, local_base))
+        return tagged
+
+    def _tag_events(
+        self,
+        events: List[MatchEvent],
+        sub_batch: List[Tuple[int, StreamEdge]],
+        local_base: int,
+    ) -> List[Tuple[int, int, MatchEvent]]:
+        tagged = []
+        for event in events:
+            global_index = sub_batch[event.trigger_index - local_base][0]
+            event.trigger_index = global_index
+            tagged.append((global_index, self.queries[event.query_name].order, event))
+        return tagged
+
+    def _receive(self, worker_index: int):
+        try:
+            reply = self._workers[worker_index].conn.recv()
+        except (EOFError, OSError) as exc:
+            self.close()
+            raise RuntimeError(f"shard worker {worker_index} died mid-request") from exc
+        if reply[0] == "error":
+            # other workers may still have replies queued for this request;
+            # the pipe protocol is desynchronized, so tear the pool down and
+            # leave the engine closed rather than let a later metrics() or
+            # process_batch() read a stale reply
+            self.close()
+            raise RuntimeError(f"shard worker {worker_index} failed:\n{reply[1]}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # results and introspection
+    # ------------------------------------------------------------------
+    def events(self, query_name: Optional[str] = None) -> List[MatchEvent]:
+        """Return collected merged events, optionally filtered by query name."""
+        if query_name is None:
+            return list(self.collector.events)
+        return self.collector.for_query(query_name)
+
+    def match_counts(self) -> Dict[str, int]:
+        """Return ``{query name: complete matches so far}``."""
+        return {name: registration.match_count for name, registration in self.queries.items()}
+
+    def metrics(self) -> Dict[str, Any]:
+        """Return merged metrics: routing, throughput, per-shard engine metrics.
+
+        Per-shard metrics are fetched from the worker processes when a pool
+        scheduler is running; shard-level totals (edges, graph sizes,
+        stored partial matches) are folded into ``totals``.  Collect them
+        before :meth:`close` on a pool engine -- the shard state dies with
+        the workers.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this sharded engine has been closed: per-shard metrics were "
+                "lost with the worker pool; collect metrics before close()"
+            )
+        if self._workers:
+            shard_metrics: Dict[int, Dict[str, Any]] = {}
+            for handle in self._workers:
+                handle.conn.send(("metrics",))
+            for worker_index in range(len(self._workers)):
+                reply = self._receive(worker_index)
+                shard_metrics.update(reply[1])
+        else:
+            shard_metrics = {
+                shard_id: engine.metrics() for shard_id, engine in enumerate(self.shards)
+            }
+        totals = {
+            "shard_edges_processed": sum(m["edges_processed"] for m in shard_metrics.values()),
+            "graph_vertices": sum(m["graph_vertices"] for m in shard_metrics.values()),
+            "graph_edges": sum(m["graph_edges"] for m in shard_metrics.values()),
+            "edges_evicted": sum(m["edges_evicted"] for m in shard_metrics.values()),
+            "stored_partial_matches": sum(
+                sum(m["stored_partial_matches"].values()) for m in shard_metrics.values()
+            ),
+        }
+        return {
+            "shard_count": self.config.shard_count,
+            "workers": len(self._workers) if self._workers else 0,
+            "edges_processed": self.edges_processed,
+            "events_emitted": self._sequence,
+            "routing": self.router.stats(),
+            "throughput": self.throughput.summary(),
+            "shard_loads": self.shard_loads(),
+            "assignments": self.assignments(),
+            "totals": totals,
+            "shards": {shard_id: shard_metrics[shard_id] for shard_id in sorted(shard_metrics)},
+        }
+
+    def describe(self) -> str:
+        """Return a human-readable status report of the sharded engine."""
+        scheduler = (
+            f"pool({len(self._workers)} workers)" if self._workers else "serial"
+        )
+        lines = [
+            f"ShardedStreamEngine: {self.config.shard_count} shards ({scheduler}), "
+            f"{len(self.queries)} queries, {self.edges_processed} records offered, "
+            f"{self._sequence} events emitted",
+        ]
+        for shard_id in range(self.config.shard_count):
+            names = sorted(
+                name for name, registration in self.queries.items()
+                if registration.shard_id == shard_id
+            )
+            lines.append(
+                f"  shard {shard_id}: load={self._shard_loads[shard_id]:.1f}, "
+                f"queries={names}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedStreamEngine(shards={self.config.shard_count}, "
+            f"workers={self.config.workers}, queries={len(self.queries)})"
+        )

@@ -24,11 +24,19 @@ class AdjacencyIndex:
     The index stores only edge identifiers; the caller resolves them through
     the owning graph.  Removal is supported so that the sliding-window store
     can evict expired edges.
+
+    Edge ids are held in insertion-ordered dictionaries (used as ordered
+    sets), so incident edges always enumerate in ingest order.  This is a
+    correctness property, not a nicety: the sharded engine compares and
+    merges matches across engines whose edge ids differ (each shard numbers
+    its own ingest stream), and hash-ordered ``set`` iteration would make
+    the enumeration order -- and therefore the emitted event order -- depend
+    on the numeric ids rather than on the stream.
     """
 
     def __init__(self) -> None:
-        # vertex -> direction -> label -> set of edge ids
-        self._by_vertex: Dict[VertexId, Dict[str, Dict[str, Set[EdgeId]]]] = {}
+        # vertex -> direction -> label -> ordered set (dict) of edge ids
+        self._by_vertex: Dict[VertexId, Dict[str, Dict[str, Dict[EdgeId, None]]]] = {}
         # vertex -> total incident edge count (in + out, self loops count twice)
         self._degree: Dict[VertexId, int] = defaultdict(int)
 
@@ -37,8 +45,8 @@ class AdjacencyIndex:
     # ------------------------------------------------------------------
     def add_edge(self, edge: Edge) -> None:
         """Register ``edge`` under both of its endpoints."""
-        self._slot(edge.source, Direction.OUT, edge.label).add(edge.id)
-        self._slot(edge.target, Direction.IN, edge.label).add(edge.id)
+        self._slot(edge.source, Direction.OUT, edge.label)[edge.id] = None
+        self._slot(edge.target, Direction.IN, edge.label)[edge.id] = None
         self._degree[edge.source] += 1
         self._degree[edge.target] += 1
 
@@ -145,10 +153,10 @@ class AdjacencyIndex:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _slot(self, vertex_id: VertexId, direction: str, label: str) -> Set[EdgeId]:
+    def _slot(self, vertex_id: VertexId, direction: str, label: str) -> Dict[EdgeId, None]:
         per_direction = self._by_vertex.setdefault(vertex_id, {})
         per_label = per_direction.setdefault(direction, {})
-        return per_label.setdefault(label, set())
+        return per_label.setdefault(label, {})
 
     def _discard(self, vertex_id: VertexId, direction: str, label: str, edge_id: EdgeId) -> None:
         per_direction = self._by_vertex.get(vertex_id)
@@ -160,7 +168,7 @@ class AdjacencyIndex:
         edge_ids = per_label.get(label)
         if not edge_ids:
             return
-        edge_ids.discard(edge_id)
+        edge_ids.pop(edge_id, None)
         if not edge_ids:
             del per_label[label]
         if not per_label:

@@ -49,8 +49,12 @@ class PropertyGraph:
         self._vertices: Dict[VertexId, Vertex] = {}
         self._edges: Dict[EdgeId, Edge] = {}
         self._adjacency = AdjacencyIndex()
-        self._edges_by_label: Dict[str, Set[EdgeId]] = defaultdict(set)
-        self._vertices_by_label: Dict[str, Set[VertexId]] = defaultdict(set)
+        # label indexes are insertion-ordered dicts used as ordered sets:
+        # label-filtered iteration must follow ingest order, not the hash
+        # order of engine-local ids, so that engines fed the same stream
+        # enumerate (and emit) in the same order regardless of id numbering
+        self._edges_by_label: Dict[str, Dict[EdgeId, None]] = defaultdict(dict)
+        self._vertices_by_label: Dict[str, Dict[VertexId, None]] = defaultdict(dict)
         self._next_edge_id: int = 0
 
     # ------------------------------------------------------------------
@@ -74,7 +78,7 @@ class PropertyGraph:
         if existing is None:
             vertex = Vertex(vertex_id, label, attrs)
             self._vertices[vertex_id] = vertex
-            self._vertices_by_label[label].add(vertex_id)
+            self._vertices_by_label[label][vertex_id] = None
             return vertex
         if existing.label != label:
             from .types import DuplicateVertexError
@@ -130,7 +134,7 @@ class PropertyGraph:
         for edge_id in incident:
             if edge_id in self._edges:
                 self.remove_edge(edge_id)
-        self._vertices_by_label[vertex.label].discard(vertex_id)
+        self._vertices_by_label[vertex.label].pop(vertex_id, None)
         if not self._vertices_by_label[vertex.label]:
             del self._vertices_by_label[vertex.label]
         del self._vertices[vertex_id]
@@ -176,7 +180,7 @@ class PropertyGraph:
 
         edge = Edge(edge_id, source, target, label, timestamp, attrs)
         self._edges[edge_id] = edge
-        self._edges_by_label[label].add(edge_id)
+        self._edges_by_label[label][edge_id] = None
         self._adjacency.add_edge(edge)
         return edge
 
@@ -240,7 +244,7 @@ class PropertyGraph:
         """Remove an edge by id and return it."""
         edge = self.edge(edge_id)
         del self._edges[edge_id]
-        self._edges_by_label[edge.label].discard(edge_id)
+        self._edges_by_label[edge.label].pop(edge_id, None)
         if not self._edges_by_label[edge.label]:
             del self._edges_by_label[edge.label]
         self._adjacency.remove_edge(edge)

@@ -14,6 +14,7 @@ DESIGN.md section 4 and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -22,6 +23,7 @@ from ..baselines.naive_incremental import NaiveIncrementalEngine
 from ..baselines.repeated_search import RepeatedSearchEngine
 from ..core.decomposition import Strategy
 from ..core.engine import EngineConfig, StreamWorksEngine
+from ..core.sharded import ShardConfig, ShardedStreamEngine
 from ..core.matcher import ContinuousQueryMatcher
 from ..core.planner import PlannerConfig, QueryPlanner
 from ..graph.dynamic_graph import DynamicGraph
@@ -59,6 +61,7 @@ __all__ = [
     "experiment_tab4_summarization",
     "experiment_tab5_window_sweep",
     "experiment_multiquery_dispatch",
+    "experiment_sharded_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -930,6 +933,149 @@ def experiment_multiquery_dispatch(
     }
 
 
+# ----------------------------------------------------------------------
+# E12: query-sharded engine scaling and conformance
+# ----------------------------------------------------------------------
+def experiment_sharded_scaling(
+    scale: float = 1.0,
+    seed: int = 61,
+    query_count: int = 20,
+    chain_length: int = 6,
+    batch_size: int = 200,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    workers: int = 4,
+) -> Dict[str, object]:
+    """Measure query sharding on a label-disjoint multi-query workload.
+
+    ``query_count`` label-disjoint chain queries are registered (so routing
+    sends each record to exactly one shard) and the same stream is replayed
+    through:
+
+    * ``single`` -- the unsharded :class:`StreamWorksEngine` (batched);
+    * ``serial xN`` -- :class:`ShardedStreamEngine` with N shards on the
+      in-process serial scheduler, for each N in ``shard_counts``;
+    * ``pool x<max>`` -- the largest shard count again, on the
+      ``multiprocessing`` worker-pool scheduler (skipped when the platform
+      cannot fork).
+
+    Every configuration must produce the identical event list (same
+    matches, same order, same sequence numbers) -- ``conformant`` reports
+    that.  Serial sharding is a correctness baseline, not an optimisation:
+    it pays routing overhead without parallel execution, so its throughput
+    sits at or slightly below the single engine's.  The parallel payoff is
+    ``speedup_parallel`` (pool vs. the smallest serial shard count run,
+    ``baseline_mode``), which needs real cores:
+    ``cpu_count`` records what the host offered, and callers asserting
+    scaling thresholds should gate on it.
+    """
+    edge_count = max(400, int(4000 * scale))
+    window = 10.0
+    queries = _label_disjoint_chain_queries(query_count, chain_length)
+    records = _multiquery_dispatch_stream(query_count, edge_count, seed, chain_length)
+
+    def engine_config() -> EngineConfig:
+        return EngineConfig(collect_statistics=False, record_latency=False)
+
+    def register_all(engine) -> None:
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"chain{index}", window=window)
+
+    def canonical(events) -> List[tuple]:
+        return [
+            (event.query_name, event.match.portable_identity(), event.detected_at, event.sequence)
+            for event in events
+        ]
+
+    def replay(engine) -> list:
+        collected = []
+        for start in range(0, len(records), batch_size):
+            collected.extend(engine.process_batch(records[start : start + batch_size]))
+        return collected
+
+    pool_shards = max(shard_counts)
+    # the pool row is a real worker pool or nothing: with workers=0 (or no
+    # fork) it would silently measure another serial run under a parallel
+    # label
+    pool_ok = workers > 0 and ShardedStreamEngine.fork_available()
+    modes: List[Tuple[str, Optional[int], int]] = [("single", None, 0)]
+    modes.extend((f"serial x{count}", count, 0) for count in shard_counts)
+    if pool_ok:
+        modes.append((f"pool x{pool_shards}", pool_shards, workers))
+
+    rows = []
+    canonical_events: Dict[str, List[tuple]] = {}
+    routing_stats: Dict[str, object] = {}
+    for mode_name, shard_count, mode_workers in modes:
+        if shard_count is None:
+            engine = StreamWorksEngine(config=engine_config())
+        else:
+            engine = ShardedStreamEngine(
+                config=ShardConfig(
+                    shard_count=shard_count, workers=mode_workers, engine=engine_config()
+                )
+            )
+        register_all(engine)
+        if shard_count is not None:
+            # pay the one-time scheduler startup (pool fork/spawn) outside
+            # the stopwatch; the measurement is steady-state throughput
+            engine.start()
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        collected = replay(engine)
+        elapsed = stopwatch.stop()
+        # canonicalisation (frozensets + sorts per match) happens outside
+        # the stopwatch -- the measurement is ingest throughput
+        keyed = canonical(collected)
+        canonical_events[mode_name] = keyed
+        if shard_count == pool_shards and mode_workers == 0:
+            routing_stats = engine.router.stats()
+        if shard_count is not None:
+            engine.close()
+        rows.append(
+            {
+                "mode": mode_name,
+                "shards": shard_count if shard_count is not None else 1,
+                "workers": mode_workers,
+                "edges": len(records),
+                "elapsed_s": elapsed,
+                "edges_per_s": len(records) / elapsed if elapsed > 0 else float("inf"),
+                "events": len(keyed),
+            }
+        )
+
+    reference = canonical_events["single"]
+    conformant = all(keyed == reference for keyed in canonical_events.values())
+    by_mode = {row["mode"]: row for row in rows}
+    # the speedup baseline is the smallest serial shard count actually run
+    # (callers may pass shard_counts without 1)
+    baseline_mode = f"serial x{min(shard_counts)}"
+    baseline_elapsed = by_mode[baseline_mode]["elapsed_s"]
+    for row in rows:
+        row["speedup_vs_baseline"] = (
+            baseline_elapsed / row["elapsed_s"] if row["elapsed_s"] > 0 else float("inf")
+        )
+    pool_mode = f"pool x{pool_shards}"
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        cpu_count = os.cpu_count() or 1
+    return {
+        "experiment": "E12_sharded_scaling",
+        "query_count": query_count,
+        "stream_edges": len(records),
+        "batch_size": batch_size,
+        "shard_counts": list(shard_counts),
+        "conformant": conformant,
+        "parallel_capable": pool_ok,
+        "cpu_count": cpu_count,
+        "baseline_mode": baseline_mode,
+        "speedup_serial_max": by_mode[f"serial x{pool_shards}"]["speedup_vs_baseline"],
+        "speedup_parallel": by_mode[pool_mode]["speedup_vs_baseline"] if pool_ok else None,
+        "routing": routing_stats,
+        "rows": rows,
+    }
+
+
 #: Experiment id -> callable, used by the CLI runner and the benchmarks.
 ALL_EXPERIMENTS = {
     "E1": experiment_fig2_news_decomposition,
@@ -943,4 +1089,5 @@ ALL_EXPERIMENTS = {
     "E9": experiment_tab4_summarization,
     "E10": experiment_tab5_window_sweep,
     "E11": experiment_multiquery_dispatch,
+    "E12": experiment_sharded_scaling,
 }

@@ -226,6 +226,29 @@ class Match:
         """Return the set of data edge ids -- identity up to query automorphisms."""
         return self.data_edge_ids()
 
+    def portable_identity(self) -> Tuple:
+        """Return a hashable identity independent of graph-local edge ids.
+
+        :meth:`identity` keys on the data edge ids assigned by the ingesting
+        graph, which makes it unusable for comparing matches found by *two
+        different* engines over the same stream (e.g. a sharded engine,
+        whose shards each assign their own local ids, against a single
+        engine).  This variant keys every bound edge on its content --
+        ``(source, target, label, timestamp)`` -- which the stream fixes
+        identically for every consumer.  Two ingested copies of the same
+        record are indistinguishable here, so conformance comparisons should
+        compare ordered lists (multisets), not sets.
+        """
+        return (
+            frozenset(self.vertex_map.items()),
+            tuple(
+                sorted(
+                    (qe, edge.source, edge.target, edge.label, edge.timestamp)
+                    for qe, edge in self.edge_map.items()
+                )
+            ),
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Match):
             return NotImplemented

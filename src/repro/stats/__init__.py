@@ -8,6 +8,7 @@ uses through the :class:`SelectivityEstimator`.
 
 from .degree import DegreeDistribution, StreamingDegreeTracker
 from .labels import EdgeSignature, LabelDistribution, SignatureDistribution
+from .plan_cost import plan_cost
 from .selectivity import SelectivityEstimator
 from .summarizer import GraphSummary, StreamSummarizer
 from .triads import TriadCensus, TriadKey, wedge_key_for_query
@@ -23,5 +24,6 @@ __all__ = [
     "StreamingDegreeTracker",
     "TriadCensus",
     "TriadKey",
+    "plan_cost",
     "wedge_key_for_query",
 ]

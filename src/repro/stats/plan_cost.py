@@ -1,0 +1,41 @@
+"""Plan-cost scoring used to balance registered queries across shards.
+
+The sharded engine partitions queries greedily by how expensive each query's
+plan is expected to be, so that no single shard ends up owning all the heavy
+standing queries (the predicate-evaluation cost-sharing idea: balance the
+per-update work, not the query count).
+
+The score is duck-typed over :class:`~repro.core.planner.QueryPlan` (kept
+import-free of :mod:`repro.core` because the planner itself imports this
+package): when the plan carries cardinality estimates those dominate the
+per-edge join work, so their sum is the cost; without statistics the
+structural proxy ``query edges + primitives`` is used -- more query edges
+mean more stream labels to react to, more primitives mean more local
+searches and deeper join chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["plan_cost"]
+
+
+def plan_cost(plan: Any) -> float:
+    """Return the estimated relative processing cost of one query plan.
+
+    ``plan`` needs ``estimates`` (``{primitive name: cardinality}``),
+    ``query`` (with ``edge_count()``) and ``primitive_count()`` -- the shape
+    of :class:`~repro.core.planner.QueryPlan`.  The returned cost is only
+    meaningful relative to other plans scored the same way.
+    """
+    structural = float(plan.query.edge_count() + plan.primitive_count())
+    estimates = getattr(plan, "estimates", None)
+    if estimates:
+        estimated = float(sum(estimates.values()))
+        if estimated > 0.0:
+            # scale the cardinality mass by the structural size: a plan that
+            # both expects many partial matches and has many join levels is
+            # the worst shard-mate
+            return estimated * structural
+    return structural

@@ -10,25 +10,32 @@ from .events import (
     MatchEvent,
     MultiSink,
     QueryFilterSink,
+    merge_events,
 )
 from .metrics import LatencyRecorder, Stopwatch, ThroughputMeter
+from .partition import BatchRouter, LabelShardMap, Routing, greedy_partition
 
 __all__ = [
     "BatchReplay",
     "BatchResult",
+    "BatchRouter",
     "CallbackSink",
     "CollectingSink",
     "CountingSink",
     "EdgeStream",
     "EventSink",
+    "LabelShardMap",
     "LatencyRecorder",
     "MatchEvent",
     "MultiSink",
     "QueryFilterSink",
+    "Routing",
     "Stopwatch",
     "StreamEdge",
     "ThroughputMeter",
     "batch_by_count",
     "batch_by_time",
+    "greedy_partition",
+    "merge_events",
     "merge_streams",
 ]

@@ -216,8 +216,20 @@ def merge_streams(*streams: EdgeStream, name: str = "merged") -> EdgeStream:
     """Merge several streams into one, ordered by timestamp.
 
     Uses a heap merge so already-sorted inputs merge in O(n log k); unsorted
-    inputs are sorted first.
+    inputs are sorted first (stably).  Timestamp ties are broken
+    deterministically by the position of the stream in the argument list and
+    then by the record's position within its (sorted) stream, so merging the
+    same streams always yields the same record order -- an explicit contract
+    rather than an accident of the heap implementation, because downstream
+    engines derive event sequence numbers from the merged record order.
     """
-    iterables = [stream.sorted_by_time() for stream in streams]
-    merged = heapq.merge(*iterables, key=lambda edge: edge.timestamp)
-    return EdgeStream(merged, name=name)
+
+    def keyed(stream_index: int, stream: EdgeStream) -> Iterator[tuple]:
+        for position, edge in enumerate(stream.sorted_by_time()):
+            yield (edge.timestamp, stream_index, position), edge
+
+    merged = heapq.merge(
+        *(keyed(index, stream) for index, stream in enumerate(streams)),
+        key=lambda item: item[0],
+    )
+    return EdgeStream((edge for _, edge in merged), name=name)

@@ -13,7 +13,7 @@ call back into application code, or print a log line.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..isomorphism.match import Match
 
@@ -25,21 +25,34 @@ __all__ = [
     "CountingSink",
     "MultiSink",
     "QueryFilterSink",
+    "merge_events",
 ]
 
 
 class MatchEvent:
     """A complete match of a registered query, as delivered to the user."""
 
-    __slots__ = ("query_name", "match", "detected_at", "sequence")
+    __slots__ = ("query_name", "match", "detected_at", "sequence", "trigger_index")
 
-    def __init__(self, query_name: str, match: Match, detected_at: float, sequence: int):
+    def __init__(
+        self,
+        query_name: str,
+        match: Match,
+        detected_at: float,
+        sequence: int,
+        trigger_index: Optional[int] = None,
+    ):
         self.query_name = query_name
         self.match = match
         #: Stream time (timestamp of the edge that completed the match).
         self.detected_at = detected_at
         #: Monotone per-engine event number.
         self.sequence = sequence
+        #: Index (within the emitting engine's ingest stream, 0-based) of the
+        #: edge whose arrival completed the match; ``None`` when the emitter
+        #: does not track it.  The sharded engine uses this to merge
+        #: per-shard events back into the exact single-engine order.
+        self.trigger_index = trigger_index
 
     @property
     def detection_latency(self) -> float:
@@ -138,6 +151,31 @@ class CountingSink(EventSink):
     def deliver(self, event: MatchEvent) -> None:
         self.total += 1
         self.per_query[event.query_name] = self.per_query.get(event.query_name, 0) + 1
+
+
+def merge_events(*event_lists: Sequence[MatchEvent]) -> List[MatchEvent]:
+    """Merge several event lists into one deterministic order.
+
+    Events are ordered by ``(detected_at, sequence, query name)`` -- the
+    detection timestamp first, with ties broken by the emitting engine's
+    sequence number and then the query name.  Events fully tied on all
+    three keys (possible when merging outputs of independent engines, whose
+    sequence numbers collide) keep concatenation order: stable within each
+    input list, and between lists in the order the lists are passed.
+
+    This is the generic merger for event lists that share (or don't care
+    about) a sequence space -- splitting one engine's output by query and
+    recombining, interleaving replay runs, and the like.  It is *not* how
+    the sharded engine reconstructs single-engine order: that requires the
+    triggering edge's global stream index, which
+    :class:`~repro.core.sharded.ShardedStreamEngine` tracks internally via
+    :attr:`MatchEvent.trigger_index`.
+    """
+    combined: List[MatchEvent] = []
+    for events in event_lists:
+        combined.extend(events)
+    combined.sort(key=lambda event: (event.detected_at, event.sequence, event.query_name))
+    return combined
 
 
 class MultiSink(EventSink):

@@ -1,0 +1,120 @@
+"""Unit tests for the query-shard partitioning and routing layer."""
+
+import pytest
+
+from repro.query import QueryGraph
+from repro.streaming import BatchRouter, LabelShardMap, Routing, StreamEdge, greedy_partition
+
+
+def query_with_labels(name, labels, wildcard=False):
+    query = QueryGraph(name)
+    query.add_vertex("a")
+    query.add_vertex("b")
+    for label in labels:
+        query.add_edge("a", "b", label)
+    if wildcard:
+        query.add_edge("a", "b", None)
+    return query
+
+
+class TestGreedyPartition:
+    def test_balances_by_cost_not_count(self):
+        # LPT: the one heavy item gets a shard to itself
+        costs = {"heavy": 10.0, "a": 3.0, "b": 3.0, "c": 2.0, "d": 2.0}
+        assignment = greedy_partition(costs, 2)
+        heavy_shard = assignment["heavy"]
+        others = [assignment[name] for name in ("a", "b", "c", "d")]
+        assert all(shard != heavy_shard for shard in others)
+
+    def test_deterministic_under_ties(self):
+        costs = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+        assert greedy_partition(costs, 2) == greedy_partition(costs, 2)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            greedy_partition({"a": 1.0}, 0)
+
+    def test_initial_loads_bias_assignment(self):
+        assignment = greedy_partition({"a": 1.0}, 2, initial_loads=[5.0, 0.0])
+        assert assignment == {"a": 1}
+        with pytest.raises(ValueError):
+            greedy_partition({"a": 1.0}, 2, initial_loads=[5.0])
+
+
+class TestLabelShardMap:
+    def test_signature_of_extracts_labels_and_wildcard(self):
+        labels, wildcard = LabelShardMap.signature_of(
+            query_with_labels("q", ["x", "y"], wildcard=True)
+        )
+        assert labels == frozenset({"x", "y"})
+        assert wildcard
+
+    def test_lookup_unions_wildcard_shards(self):
+        shard_map = LabelShardMap()
+        shard_map.add_query(0, ["x"], False)
+        shard_map.add_query(1, [], True)
+        assert shard_map.shards_for_label("x") == [0, 1]
+        assert shard_map.shards_for_label("unknown") == [1]
+        assert shard_map.wildcard_shards() == [1]
+
+    def test_reference_counted_removal(self):
+        shard_map = LabelShardMap()
+        shard_map.add_query(0, ["x"], False)
+        shard_map.add_query(0, ["x"], False)
+        shard_map.remove_query(0, ["x"], False)
+        assert shard_map.shards_for_label("x") == [0]  # one query still uses x
+        shard_map.remove_query(0, ["x"], False)
+        assert shard_map.shards_for_label("x") == []
+        assert shard_map.labels() == []
+
+
+class TestBatchRouter:
+    def make_router(self):
+        router = BatchRouter(3)
+        router.add_query(0, query_with_labels("q0", ["x"]))
+        router.add_query(1, query_with_labels("q1", ["y"]))
+        router.add_query(2, query_with_labels("q2", [], wildcard=True))
+        return router
+
+    def test_routes_by_label_plus_wildcard(self):
+        router = self.make_router()
+        assert list(router.shards_for(StreamEdge("a", "b", "x", 1.0))) == [0, 2]
+        assert list(router.shards_for(StreamEdge("a", "b", "zzz", 1.0))) == [2]
+
+    def test_route_tags_global_indices_and_counts(self):
+        router = BatchRouter(2)
+        router.add_query(0, query_with_labels("q0", ["x"]))
+        records = [
+            StreamEdge("a", "b", "x", 1.0),
+            StreamEdge("a", "b", "nobody", 1.1),
+            StreamEdge("c", "d", "x", 1.2),
+        ]
+        per_shard = router.route(records, base_index=100)
+        assert sorted(per_shard) == [0]
+        assert [(index, record.source) for index, record in per_shard[0]] == [
+            (100, "a"),
+            (102, "c"),
+        ]
+        stats = router.stats()
+        assert stats["records_seen"] == 3
+        assert stats["records_dropped"] == 1
+        assert stats["mean_fanout"] == 1.0
+
+    def test_vertex_attr_records_broadcast_in_labels_mode(self):
+        router = BatchRouter(2)
+        router.add_query(0, query_with_labels("q0", ["x"]))
+        attrs_record = StreamEdge("a", "b", "nobody", 1.0, target_attrs={"k": 1})
+        assert list(router.shards_for(attrs_record)) == [0, 1]
+
+    def test_broadcast_mode_sends_everything_everywhere(self):
+        router = BatchRouter(2, mode=Routing.BROADCAST)
+        router.add_query(0, query_with_labels("q0", ["x"]))
+        per_shard = router.route([StreamEdge("a", "b", "unrelated", 1.0)], 0)
+        assert sorted(per_shard) == [0, 1]
+        assert router.stats()["records_broadcast"] == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            BatchRouter(0)
+        with pytest.raises(ValueError):
+            BatchRouter(2, mode="telepathy")

@@ -18,15 +18,23 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import ContinuousQueryMatcher, Strategy, decompose
+from repro.core import (
+    ContinuousQueryMatcher,
+    EngineConfig,
+    ShardConfig,
+    ShardedStreamEngine,
+    Strategy,
+    decompose,
+)
 from repro.core.sjtree import SJTree
 from repro.graph import DynamicGraph, PropertyGraph, TimeWindow
 from repro.graph.types import Edge
 from repro.graph.window import ExpiryQueue
 from repro.isomorphism import Match, SubgraphMatcher
-from repro.query import QueryBuilder
+from repro.query import QueryBuilder, QueryGraph
 from repro.queries.news import common_topic_location_query
 from repro.stats import GraphSummary, SelectivityEstimator
+from repro.streaming import StreamEdge
 
 SUPPRESS = [HealthCheck.too_slow]
 
@@ -233,3 +241,127 @@ class TestIncrementalEquivalenceProperty:
                                 source_label=source_label, target_label=target_label)
             reported.extend(matcher.process_edge(edge))
         assert all(match.span < window for match in reported)
+
+
+# ----------------------------------------------------------------------
+# Sharded engine: batching is transparent under arbitrary batch splits
+# ----------------------------------------------------------------------
+def sharded_chain_query(name, labels):
+    query = QueryGraph(name)
+    for position in range(len(labels) + 1):
+        query.add_vertex(f"v{position}")
+    for position, label in enumerate(labels):
+        query.add_edge(f"v{position}", f"v{position + 1}", label)
+    return query
+
+
+def sharded_stream_records(rng, edge_count, out_of_order):
+    """Random multi-label records; optionally with local timestamp jitter."""
+    records = []
+    timestamp = 0.0
+    for _ in range(edge_count):
+        timestamp += rng.random() * 0.2
+        stamp = timestamp
+        if out_of_order and rng.random() < 0.3:
+            stamp = max(0.0, timestamp - rng.random())
+        label = rng.choice(["rel_a", "rel_b", "rel_c"])
+        records.append(
+            StreamEdge(f"n{rng.randrange(10)}", f"n{rng.randrange(10)}", label, stamp)
+        )
+    return records
+
+
+def random_splits(rng, total):
+    """Split ``range(total)`` into contiguous chunks of random sizes."""
+    boundaries = []
+    position = 0
+    while position < total:
+        size = rng.randint(1, 12)
+        boundaries.append((position, min(total, position + size)))
+        position += size
+    return boundaries
+
+
+class TestShardedBatchSplitEquivalence:
+    """`process_batch` over any split == `process_record` one at a time.
+
+    This pins the sharded engine's batching transparency, including the
+    out-of-order fallback (an internally out-of-order batch must take the
+    exact per-record path) and the cross-shard event merge: the batched
+    run must reproduce the per-record run's events byte for byte.
+    """
+
+    @staticmethod
+    def build_engine(shard_count):
+        engine = ShardedStreamEngine(
+            config=ShardConfig(
+                shard_count=shard_count,
+                engine=EngineConfig(collect_statistics=False),
+            )
+        )
+        engine.register_query(sharded_chain_query("ab", ["rel_a", "rel_b"]), name="ab", window=2.0)
+        engine.register_query(sharded_chain_query("bc", ["rel_b", "rel_c"]), name="bc", window=1.0)
+        engine.register_query(sharded_chain_query("ca", ["rel_c", "rel_a"]), name="ca", window=3.0)
+        return engine
+
+    @staticmethod
+    def canonical(events):
+        return [
+            (event.query_name, event.match.portable_identity(), event.detected_at, event.sequence)
+            for event in events
+        ]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shard_count=st.sampled_from([1, 2, 3]),
+           out_of_order=st.booleans())
+    @settings(max_examples=20, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_batch_splits_equal_per_record(self, seed, shard_count, out_of_order):
+        rng = random.Random(seed)
+        records = sharded_stream_records(rng, 60, out_of_order)
+        splits = random_splits(rng, len(records))
+
+        per_record_engine = self.build_engine(shard_count)
+        per_record_events = []
+        for record in records:
+            per_record_events.extend(per_record_engine.process_record(record))
+
+        batched_engine = self.build_engine(shard_count)
+        batched_events = []
+        for start, end in splits:
+            batched_events.extend(batched_engine.process_batch(records[start:end]))
+
+        # batching may detect a match earlier (on an earlier in-batch edge),
+        # so compare the reported match multisets per query plus the global
+        # ordering invariants rather than raw detection metadata
+        batched_multiset = {}
+        for event in batched_events:
+            key = (event.query_name, event.match.portable_identity())
+            batched_multiset[key] = batched_multiset.get(key, 0) + 1
+        per_record_multiset = {}
+        for event in per_record_events:
+            key = (event.query_name, event.match.portable_identity())
+            per_record_multiset[key] = per_record_multiset.get(key, 0) + 1
+        assert batched_multiset == per_record_multiset
+        assert [event.sequence for event in batched_events] == list(range(len(batched_events)))
+        assert batched_engine.match_counts() == per_record_engine.match_counts()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           shard_count=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=15, deadline=None, suppress_health_check=SUPPRESS)
+    def test_out_of_order_batches_fall_back_to_per_record_exactly(self, seed, shard_count):
+        # when every batch is internally out of order the fallback makes the
+        # batched run EXACTLY the per-record run, events byte for byte
+        rng = random.Random(seed)
+        records = sharded_stream_records(rng, 50, out_of_order=True)
+        # force disorder inside every split by prepending a late record
+        records.insert(0, StreamEdge("n0", "n1", "rel_a", 100.0))
+
+        per_record_engine = self.build_engine(shard_count)
+        per_record_events = []
+        for record in records:
+            per_record_events.extend(per_record_engine.process_record(record))
+
+        batched_engine = self.build_engine(shard_count)
+        batched_events = list(batched_engine.process_batch(records))
+
+        assert self.canonical(batched_events) == self.canonical(per_record_events)

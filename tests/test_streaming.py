@@ -20,6 +20,7 @@ from repro.streaming import (
     ThroughputMeter,
     batch_by_count,
     batch_by_time,
+    merge_events,
     merge_streams,
 )
 from repro.isomorphism import Match
@@ -93,6 +94,26 @@ class TestEdgeStream:
         assert [edge.timestamp for edge in merged] == [1.0, 2.0, 4.0, 5.0]
         assert len(merged) == 4
 
+    def test_merge_streams_timestamp_ties_break_by_stream_then_position(self):
+        # regression: timestamp ties must merge deterministically -- records
+        # from the earlier argument stream first, original order within a
+        # stream -- not however the underlying heap happens to settle
+        first = EdgeStream([record("a1", "b", "x", 1.0), record("a2", "b", "x", 1.0),
+                            record("a3", "b", "x", 2.0)])
+        second = EdgeStream([record("c1", "d", "y", 1.0), record("c2", "d", "y", 2.0)])
+        third = EdgeStream([record("e1", "f", "z", 1.0)])
+        merged = list(merge_streams(first, second, third))
+        assert [edge.source for edge in merged] == ["a1", "a2", "c1", "e1", "a3", "c2"]
+        # merging the same inputs twice yields the identical order
+        again = list(merge_streams(first, second, third))
+        assert [edge.source for edge in again] == [edge.source for edge in merged]
+
+    def test_merge_streams_sorts_unsorted_inputs_stably(self):
+        jumbled = EdgeStream([record("late", "b", "x", 3.0), record("tie1", "b", "x", 1.0),
+                              record("tie2", "b", "x", 1.0)])
+        merged = list(merge_streams(jumbled))
+        assert [edge.source for edge in merged] == ["tie1", "tie2", "late"]
+
 
 class TestBatching:
     def test_batch_by_count(self):
@@ -147,6 +168,34 @@ class TestEvents:
         assert len(sink.for_query("a")) == 1
         sink.clear()
         assert len(sink) == 0
+
+    def make_timed_event(self, query, detected_at, sequence):
+        match = Match({"x": "a"}, {0: Edge(0, "a", "b", "r", detected_at)})
+        return MatchEvent(query, match, detected_at=detected_at, sequence=sequence)
+
+    def test_merge_events_ties_break_by_sequence_then_query_name(self):
+        # regression: on identical timestamps the merged order must be pinned
+        # by (sequence, query name), not by argument order or sort whims
+        left = [
+            self.make_timed_event("zeta", 1.0, 0),
+            self.make_timed_event("zeta", 5.0, 1),
+        ]
+        right = [
+            self.make_timed_event("alpha", 1.0, 0),
+            self.make_timed_event("alpha", 1.0, 2),
+        ]
+        merged = merge_events(left, right)
+        assert [(e.query_name, e.detected_at, e.sequence) for e in merged] == [
+            ("alpha", 1.0, 0),  # ties (t=1.0, seq=0): query name decides
+            ("zeta", 1.0, 0),
+            ("alpha", 1.0, 2),  # then the higher sequence
+            ("zeta", 5.0, 1),
+        ]
+        # argument order must not matter
+        swapped = merge_events(right, left)
+        assert [(e.query_name, e.detected_at, e.sequence) for e in swapped] == [
+            (e.query_name, e.detected_at, e.sequence) for e in merged
+        ]
 
     def test_callback_counting_multi_sinks(self):
         seen = []
