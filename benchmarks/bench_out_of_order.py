@@ -1,0 +1,105 @@
+"""E13 / event-time reordering under disordered streams (section 2.1 semantics).
+
+The paper defines match admissibility over *event time* (a match's temporal
+extent within ``tW``), but real feeds deliver records late and out of order.
+Before the reorder subsystem, any internally out-of-order batch silently
+demoted ``process_batch`` to the per-record path -- the most realistic
+workload ran on the slowest code.  This benchmark replays the same shuffled
+multi-query stream (bounded displacement, the shape of a feed merged from
+slightly-skewed collectors) through the old fallbacks, the inversion-split
+batched path, and the event-time path (``allowed_lateness`` reorder buffer +
+watermark), plus the sorted stream as the oracle.
+
+Assertions, deliberately separated:
+
+* **Conformance is unconditional**: the reordered modes (single engine and
+  sharded) must emit exactly the sorted-stream oracle's match multiset, with
+  zero late records, and every record must ride the batched fast path (the
+  deterministic ``ingest_paths`` counters, asserted at every scale).
+* **Throughput is asserted at full scale only**: the reordered path must be
+  >= 2x the engine's slowest standing out-of-order path (the dispatch-off
+  per-record scan, the same baseline E11 uses) and must at least match the
+  indexed per-record fallback -- which it beats while *also* closing the
+  fallback's silent recall gap (the per-record path loses matches whenever
+  disorder approaches a query window).
+
+Runnable standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_out_of_order.py --tiny
+"""
+
+from repro.harness.experiments import experiment_out_of_order_throughput
+from repro.harness.reporting import format_report
+
+#: Reordered-vs-seed-scan wall-clock threshold (full scale only).
+REQUIRED_SPEEDUP_SEED_SCAN = 2.0
+#: The reordered path must not lose to the indexed per-record fallback.
+REQUIRED_SPEEDUP_PER_RECORD = 1.0
+
+
+def check_result(result, assert_speedup=True):
+    """Shared assertions for the pytest and CLI entry points."""
+    assert result["reordered_exact"], "reordered run diverged from the sorted-stream oracle"
+    assert result["reordered_sharded_exact"], (
+        "sharded reordered run diverged from the sorted-stream oracle"
+    )
+    assert result["fast_path_retained"], (
+        "shuffled records fell off the batched fast path despite the reorder buffer"
+    )
+    if assert_speedup:
+        assert result["speedup_vs_seed_scan"] >= REQUIRED_SPEEDUP_SEED_SCAN, (
+            f"reordered speedup {result['speedup_vs_seed_scan']:.2f}x vs the "
+            f"out-of-order seed scan is below {REQUIRED_SPEEDUP_SEED_SCAN}x"
+        )
+        assert result["speedup_vs_per_record"] >= REQUIRED_SPEEDUP_PER_RECORD, (
+            f"reordered speedup {result['speedup_vs_per_record']:.2f}x vs the "
+            f"indexed per-record fallback is below {REQUIRED_SPEEDUP_PER_RECORD}x"
+        )
+
+
+def test_out_of_order_throughput(run_experiment):
+    result = run_experiment(
+        experiment_out_of_order_throughput,
+        "E13 -- event-time reordering vs the out-of-order fallbacks (shuffled stream)",
+    )
+    check_result(result)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test scale (CI): conformance and fast-path retention "
+        "asserted, wall-clock thresholds skipped",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    parser.add_argument(
+        "--displacement", type=int, default=64, help="bounded shuffle displacement (records)"
+    )
+    args = parser.parse_args()
+
+    scale = 0.1 if args.tiny else args.scale
+    result = experiment_out_of_order_throughput(
+        scale=scale, max_displacement=args.displacement
+    )
+    print(
+        format_report(
+            "E13 -- event-time reordering vs the out-of-order fallbacks (shuffled stream)",
+            result,
+        )
+    )
+    # --tiny streams are noise-dominated; conformance and the deterministic
+    # fast-path counters are asserted there, wall-clock only at full scale
+    check_result(result, assert_speedup=not args.tiny)
+    print("conformance OK; fast path retained", end="")
+    if not args.tiny:
+        print(
+            f"; reordered {result['speedup_vs_seed_scan']:.2f}x vs seed scan, "
+            f"{result['speedup_vs_per_record']:.2f}x vs per-record fallback "
+            f"(recall {result['fallback_recall']:.3f} -> 1.000)"
+        )
+    else:
+        print("; speedup thresholds skipped (--tiny smoke)")

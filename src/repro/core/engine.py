@@ -19,7 +19,13 @@ every-leaf-every-edge loop (the two are match-for-match equivalent).
 :meth:`StreamWorksEngine.process_batch` additionally amortises work across a
 batch: the whole batch is ingested (with eviction deferred), expiry is swept
 once per matcher instead of once per edge, and each edge is then dispatched
-through the index.
+through the index.  Internally out-of-order batches are split at their
+inversion points so the ordered runs keep that fast path, and
+``EngineConfig(allowed_lateness=...)`` enables full event-time ingestion: a
+bounded-lateness reorder buffer re-sorts disorder inside the lateness
+horizon, releases watermark-closed prefixes as in-order fast-path batches,
+and applies an explicit late-data policy (drop / process degraded, with
+counters) to anything older than the watermark.
 
 Typical use::
 
@@ -41,6 +47,7 @@ from ..graph.window import TimeWindow
 from ..query.query_graph import QueryGraph
 from ..stats.summarizer import StreamSummarizer
 from ..streaming.edge_stream import StreamEdge
+from ..streaming.reorder import LatePolicy, ReorderBuffer, ordered_run_slices
 from ..streaming.events import (
     CallbackSink,
     CollectingSink,
@@ -56,16 +63,6 @@ from .matcher import ContinuousQueryMatcher
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 
 __all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine", "required_retention"]
-
-
-def _non_decreasing(records: Sequence[StreamEdge]) -> bool:
-    """Return ``True`` when the records' timestamps never move backwards."""
-    previous = float("-inf")
-    for record in records:
-        if record.timestamp < previous:
-            return False
-        previous = record.timestamp
-    return True
 
 
 def required_retention(
@@ -107,8 +104,10 @@ class EngineConfig:
         auto_replan_interval: Optional[int] = None,
         use_dispatch_index: bool = True,
         latency_sample_cap: Optional[int] = LatencyRecorder.DEFAULT_CAP,
+        allowed_lateness: Optional[float] = None,
+        late_policy: str = LatePolicy.DROP,
     ):
-        self.default_window = default_window
+        self.default_window = self.validate_default_window(default_window)
         self.collect_statistics = collect_statistics
         self.track_triads = track_triads
         self.triad_sample_cap = triad_sample_cap
@@ -135,6 +134,51 @@ class EngineConfig:
         if auto_replan_interval is not None and auto_replan_interval <= 0:
             raise ValueError("auto_replan_interval must be positive or None")
         self.auto_replan_interval = auto_replan_interval
+        #: Event-time ingestion: when set, the engine owns a
+        #: :class:`~repro.streaming.reorder.ReorderBuffer` with this lateness
+        #: horizon.  ``process_record`` / ``process_batch`` then admit records
+        #: into the buffer and process watermark-closed prefixes as in-order
+        #: batches on the batched fast path; genuinely-late records follow
+        #: ``late_policy``.  ``None`` (default) processes records exactly as
+        #: they arrive.
+        if allowed_lateness is not None:
+            allowed_lateness = float(allowed_lateness)
+            if not allowed_lateness >= 0.0:  # also rejects NaN
+                raise ValueError(
+                    "allowed_lateness must be >= 0 in stream-time units "
+                    "(or None to disable event-time reordering)"
+                )
+        self.allowed_lateness = allowed_lateness
+        if late_policy not in LatePolicy.ALL:
+            raise ValueError(
+                f"unknown late policy {late_policy!r}; expected one of {LatePolicy.ALL}"
+            )
+        #: What to do with a record below the watermark (see
+        #: :class:`~repro.streaming.reorder.LatePolicy`): ``"drop"`` discards
+        #: and counts it; ``"process_degraded"`` processes it immediately on
+        #: the exact per-record path against whatever history is retained.
+        self.late_policy = late_policy
+
+    @staticmethod
+    def validate_default_window(value: Optional[float]) -> Optional[float]:
+        """Normalise and validate a ``default_window`` value at configuration time.
+
+        A negative (or zero, or NaN) window used to slip through construction
+        and only blow up much later inside ``required_retention`` /
+        ``TimeWindow`` -- far from the misconfiguration.  Every path that
+        assigns ``default_window`` (constructors and the engine-level
+        overrides) routes through here instead, so the error names the
+        actual mistake.
+        """
+        if value is None:
+            return None
+        value = float(value)
+        if not value > 0.0:  # also rejects NaN
+            raise ValueError(
+                f"default_window must be a positive duration in stream-time "
+                f"units (or None for unbounded), got {value!r}"
+            )
+        return value
 
 
 class RegisteredQuery:
@@ -178,10 +222,36 @@ class StreamWorksEngine:
         if config is None:
             config = EngineConfig(default_window=default_window)
         elif default_window is not None:
-            config.default_window = default_window
+            config.default_window = EngineConfig.validate_default_window(default_window)
         self.config = config
         retention = TimeWindow(config.default_window) if config.default_window else TimeWindow(None)
         self.graph = DynamicGraph(window=retention)
+        #: Event-time reorder buffer (``None`` unless
+        #: ``EngineConfig(allowed_lateness=...)`` is set).
+        self.reorder: Optional[ReorderBuffer] = (
+            ReorderBuffer(config.allowed_lateness, late_policy=config.late_policy)
+            if config.allowed_lateness is not None
+            else None
+        )
+        #: Records processed through the batched fast path vs. the exact
+        #: per-record path -- the deterministic signal that a workload kept
+        #: (or lost) the fast path, independent of wall-clock noise.
+        self.records_batched = 0
+        self.records_per_record = 0
+        #: Per-record-path records evicted by their own ingest (see
+        #: :meth:`process_edge`); never matched.
+        self.records_dead_on_arrival = 0
+        #: Event-time horizon stamped by the event-time machinery: the
+        #: reorder buffer's watermark when event-time ingestion is
+        #: configured, or the global watermark a sharded parent attaches to
+        #: every dispatched :class:`ShardBatch` (which keeps the horizon
+        #: visible in per-shard ``metrics()`` even under the pool
+        #: scheduler, where shard state lives in the workers).  Stays
+        #: ``-inf`` on a plain direct-ingest engine; ``metrics()`` then
+        #: reports the engine's own stream clock (largest timestamp
+        #: offered) instead, and an end-of-stream ``flush`` can likewise
+        #: carry a shard's reported horizon past the stamped watermark.
+        self.event_time_watermark = float("-inf")
         self.summarizer: Optional[StreamSummarizer] = None
         if config.collect_statistics:
             self.summarizer = StreamSummarizer(
@@ -370,9 +440,22 @@ class StreamWorksEngine:
         pairs whose primitives can bind the edge's label and endpoint labels
         are searched; with it disabled every leaf of every query is searched.
         Both paths yield identical events in identical order.
+
+        An edge so late that it falls outside the retention horizon on
+        arrival (``timestamp <= stream clock - retention``) is evicted by
+        its own ingest and is **not** matched: it is counted in
+        ``records_dead_on_arrival`` instead.  Matching it used to be
+        erratic -- the evicted edge only found partners when *unrelated*
+        edges happened to keep its endpoint vertices alive, and with
+        statistics enabled the summarizer crashed on the evicted
+        endpoints -- whereas skipping it is deterministic.  Streams that
+        genuinely carry such records belong on the event-time path
+        (``allowed_lateness`` + late policy), which handles them
+        explicitly.
         """
         stopwatch_start = perf_counter() if self.config.record_latency else None
         self.throughput.start()
+        self.records_per_record += 1
         edge = self.graph.ingest(
             source,
             target,
@@ -384,10 +467,16 @@ class StreamWorksEngine:
             source_attrs=source_attrs,
             target_attrs=target_attrs,
         )
-        if self.summarizer is not None:
-            self.summarizer.observe(self.graph, edge)
         events: List[MatchEvent] = []
-        self._match_edge(edge, events, expire=True)
+        if self.graph.has_edge(edge.id):
+            if self.summarizer is not None:
+                self.summarizer.observe(self.graph, edge)
+            self._match_edge(edge, events, expire=True)
+        else:
+            # dead on arrival: the ingest's own eviction sweep removed the
+            # edge (it is outside the retention horizon), so there is
+            # nothing coherent to match it against
+            self.records_dead_on_arrival += 1
         self.edges_processed += 1
         self._maybe_auto_replan()
         self.throughput.add(1)
@@ -474,7 +563,21 @@ class StreamWorksEngine:
         )
 
     def process_record(self, record: StreamEdge) -> List[MatchEvent]:
-        """Ingest one :class:`StreamEdge` record."""
+        """Ingest one :class:`StreamEdge` record.
+
+        With event-time ingestion configured (``allowed_lateness``) the
+        record is admitted into the reorder buffer instead of being
+        processed immediately; the returned events belong to whatever
+        watermark-closed prefix the admission released (possibly empty, and
+        possibly triggered by *earlier* records).  Call :meth:`flush` at end
+        of stream to release the tail.
+        """
+        if self.reorder is not None:
+            return self._process_with_reorder([record])
+        return self._process_record_direct(record)
+
+    def _process_record_direct(self, record: StreamEdge) -> List[MatchEvent]:
+        """Run one record through the exact per-record path, bypassing reorder."""
         return self.process_edge(
             record.source,
             record.target,
@@ -530,20 +633,107 @@ class StreamWorksEngine:
         suppressed -- the reported match set is identical either way.
 
         The equivalence argument requires timestamps to be non-decreasing
-        *within* the batch (lateness relative to earlier batches is fine):
-        with an internally out-of-order batch, deferred eviction would let a
-        late edge match history that the per-edge path had already evicted.
-        Such batches therefore take the exact per-record path instead.
+        *within* a fast-path run (lateness relative to earlier batches is
+        fine): with a disordered run, deferred eviction would let a late
+        edge match history that the per-edge path had already evicted.  An
+        internally out-of-order batch is therefore split at its inversion
+        points into maximal non-decreasing runs, and steps 1-5 execute once
+        per run -- the ordered stretches keep the fast path instead of the
+        whole batch demoting to the per-record loop (which remains only as
+        the ``use_dispatch_index=False`` path).  The contract is
+        compositional: processing a disordered batch is *exactly* (event
+        for event) processing each of its maximal ordered runs as its own
+        batch, in arrival order.  Batch boundaries already carry semantic
+        weight once records may be late -- the per-batch expiry sweep
+        sequence decides which partials a late record can still complete,
+        and eager per-record eviction prunes against the processing-order
+        clock -- so, as with any batch split of a late-carrying stream,
+        the run-split result can legitimately retain (event-time
+        admissible) matches that the per-record path's eager eviction
+        would have discarded.  For in-order input the two paths report
+        identical match multisets, as before.  Streams whose disorder
+        should be *repaired* rather than split around belong on the
+        event-time path below.
+
+        With event-time ingestion configured (``allowed_lateness``) the
+        batch is admitted into the reorder buffer instead: the
+        watermark-closed prefix is released and processed as a single
+        in-order fast-path batch, and genuinely-late records follow the
+        configured late policy.  ``expiry_anchor`` is reserved for direct
+        (unbuffered) ingestion and rejected in that mode.
         """
         records = list(records)
+        if self.reorder is not None:
+            if expiry_anchor is not None:
+                raise ValueError(
+                    "expiry_anchor is not supported with event-time ingestion: "
+                    "the reorder buffer decides when records are processed"
+                )
+            return self._process_with_reorder(records)
         if not records:
             return []
-        if not self.config.use_dispatch_index or not _non_decreasing(records):
+        return self._process_batch_direct(records, expiry_anchor)
+
+    def _process_with_reorder(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
+        """Admit records into the reorder buffer; process what it releases.
+
+        The watermark-closed prefix (if any) is processed first as an
+        in-order batch on the fast path, then any late records the
+        ``process_degraded`` policy handed back run on the exact per-record
+        path -- after the prefix, so they see the most history the store
+        can still offer.  Under the ``drop`` policy late records are only
+        counted (see ``metrics()["reorder"]``).
+        """
+        late = self.reorder.offer_all(records)
+        ready = self.reorder.drain_ready()
+        self.event_time_watermark = self.reorder.watermark
+        events: List[MatchEvent] = []
+        if ready:
+            events.extend(self._process_batch_direct(ready))
+        for record in late:
+            events.extend(self._process_record_direct(record))
+        return events
+
+    def flush(self) -> List[MatchEvent]:
+        """Release and process everything still held by the reorder buffer.
+
+        Call at end of stream (nothing will arrive to advance the watermark
+        past the buffered tail).  A no-op returning ``[]`` when event-time
+        ingestion is not configured.
+        """
+        if self.reorder is None:
+            return []
+        remainder = self.reorder.flush()
+        if not remainder:
+            return []
+        return self._process_batch_direct(remainder)
+
+    def _process_batch_direct(
+        self,
+        records: List[StreamEdge],
+        expiry_anchor: Optional[float] = None,
+    ) -> List[MatchEvent]:
+        """Process a batch immediately: fast path per ordered run (see above)."""
+        if not self.config.use_dispatch_index:
             events: List[MatchEvent] = []
             for record in records:
-                events.extend(self.process_record(record))
+                events.extend(self._process_record_direct(record))
             return events
         self.throughput.start()
+        events = []
+        for start, end in ordered_run_slices(records):
+            self._run_fast_path(records[start:end], expiry_anchor, events)
+        self.throughput.add(len(records))
+        self.throughput.stop()
+        return events
+
+    def _run_fast_path(
+        self,
+        records: Sequence[StreamEdge],
+        expiry_anchor: Optional[float],
+        events: List[MatchEvent],
+    ) -> None:
+        """Steps 1-5 of the batched fast path over one non-decreasing run."""
         ingested: List[Edge] = []
         for record in records:
             ingested.append(
@@ -560,14 +750,14 @@ class StreamWorksEngine:
                     evict=False,
                 )
             )
+        self.records_batched += len(ingested)
         if self.summarizer is not None:
             self.summarizer.observe_batch(self.graph, ingested)
-        batch_start = min(edge.timestamp for edge in ingested)
+        batch_start = ingested[0].timestamp  # the run is non-decreasing
         if expiry_anchor is not None:
             batch_start = min(batch_start, expiry_anchor)
         for registration in self.queries.values():
             registration.matcher.expire_partials(batch_start)
-        events = []
         record_latency = self.config.record_latency
         for edge in ingested:
             stopwatch_start = perf_counter() if record_latency else None
@@ -577,15 +767,17 @@ class StreamWorksEngine:
             if stopwatch_start is not None:
                 self.latency.record(perf_counter() - stopwatch_start)
         self.graph.evict_expired()
-        self.throughput.add(len(ingested))
-        self.throughput.stop()
-        return events
 
     def process_stream(self, stream: Iterable[StreamEdge]) -> List[MatchEvent]:
-        """Ingest an entire stream; returns all events (also kept in ``collector``)."""
+        """Ingest an entire stream; returns all events (also kept in ``collector``).
+
+        With event-time ingestion configured the buffered tail is flushed
+        once the stream is exhausted, so the returned events are complete.
+        """
         events: List[MatchEvent] = []
         for record in stream:
             events.extend(self.process_record(record))
+        events.extend(self.flush())
         return events
 
     # ------------------------------------------------------------------
@@ -618,6 +810,19 @@ class StreamWorksEngine:
             "throughput": self.throughput.summary(),
             "latency": self.latency.summary(),
             "dispatch": self.dispatch.stats(),
+            "ingest_paths": {
+                "batched_fast_path": self.records_batched,
+                "per_record_path": self.records_per_record,
+                "dead_on_arrival": self.records_dead_on_arrival,
+            },
+            # on the direct ingest path nothing stamps the attribute, so the
+            # horizon is the stream clock itself (largest timestamp offered);
+            # a stamped value (reorder path, or a sharded parent's dispatch)
+            # is always >= this engine's own clock
+            "event_time_watermark": max(self.event_time_watermark, self.graph.current_time)
+            if self.reorder is None
+            else self.event_time_watermark,
+            "reorder": self.reorder.stats() if self.reorder is not None else None,
             "queries": {
                 name: registration.matcher.stats.to_dict()
                 for name, registration in self.queries.items()

@@ -29,6 +29,17 @@ Correctness is by construction:
   sequence numbers.  Feeding the same batches to a sharded engine (any
   shard count) and to a single engine yields identical event lists.
 
+Event-time ingestion composes with sharding at the parent: when the
+:class:`EngineConfig` template sets ``allowed_lateness``, one
+:class:`~repro.streaming.reorder.ReorderBuffer` lives in front of the
+router, re-sorts the *global* stream within the lateness horizon, and fans
+watermark-closed prefixes out as in-order batches (shards never buffer
+again -- their config copies strip the lateness).  Batches that are
+internally out of order without a buffer are split at their global
+inversion points and every shard processes per-run segments on the batched
+fast path; see :func:`_execute_sub_batch` for why the segment boundaries
+must follow the global runs.
+
 Two schedulers are provided, selected by :class:`ShardConfig`:
 
 * ``workers=0`` (default): shards execute serially in-process -- zero
@@ -77,8 +88,15 @@ from ..streaming.events import (
     QueryFilterSink,
 )
 from ..streaming.metrics import ThroughputMeter
-from ..streaming.partition import BatchRouter, Routing, greedy_partition, least_loaded_shard
-from .engine import EngineConfig, StreamWorksEngine, _non_decreasing, required_retention
+from ..streaming.partition import (
+    BatchRouter,
+    Routing,
+    ShardBatch,
+    greedy_partition,
+    least_loaded_shard,
+)
+from ..streaming.reorder import ReorderBuffer, ordered_run_slices
+from .engine import EngineConfig, StreamWorksEngine, required_retention
 from .planner import PlannerConfig, QueryPlanner
 
 __all__ = ["ShardConfig", "ShardedQuery", "ShardedStreamEngine"]
@@ -127,7 +145,7 @@ class ShardConfig:
             # never mutate a caller-owned config: it may also drive an
             # unrelated engine
             engine = copy.copy(engine)
-            engine.default_window = default_window
+            engine.default_window = EngineConfig.validate_default_window(default_window)
         if engine.auto_replan_interval is not None:
             raise ValueError(
                 "auto_replan_interval is not supported on sharded engines: "
@@ -179,6 +197,7 @@ def _execute_sub_batch(
     records: List[StreamEdge],
     per_record: bool,
     clock,
+    watermark: float = float("-inf"),
 ) -> List[MatchEvent]:
     """Run one routed sub-batch through a shard engine, mirroring the parent.
 
@@ -187,42 +206,64 @@ def _execute_sub_batch(
     to it, so its own ``current_time`` can lag behind the stream whenever
     the newest records were routed elsewhere, and a lagging eviction horizon
     would let a late edge match history the single engine had already
-    evicted.  In batched mode ``clock`` is a ``(pre, post, expiry_anchor)``
-    triple: ``pre`` (global time before the parent batch) catches the shard
-    up on the end-of-batch sweeps it missed while the stream went to other
-    shards, ``post`` (global time after the whole batch) is the deferred
-    sweep applied exactly where the single engine runs its own, and
-    ``expiry_anchor`` (the global batch minimum timestamp) anchors
-    partial-match expiry where the single engine anchors it.  In per-record
-    mode it is one global running-maximum per record, applied before the
-    record so the store matches what the single engine would hold at that
-    record's matching step.
+    evicted.  In batched mode ``clock`` is a
+    ``(pre, [(count, anchor, post), ...])`` pair: ``pre`` (global time
+    before the parent batch) catches the shard up on the end-of-batch
+    sweeps it missed while the stream went to other shards, and each
+    subsequent entry describes one *ordered run* of the parent batch (the
+    parent splits internally out-of-order batches at their global inversion
+    points).  ``count`` is how many of this shard's records fall inside the
+    run -- the shard processes that segment with the batched fast path, or,
+    when the run routed it nothing, still sweeps every matcher's partials
+    (the single engine sweeps all matchers once per run, and with late
+    records legal across batches the sweep *sequence* decides what
+    survives).  ``anchor`` is the run's global minimum timestamp (where the
+    single engine anchors that sweep) and ``post`` the global running
+    maximum after the run (the deferred eviction the single engine applies
+    there).  Aligning shard segments to the global run boundaries -- rather
+    than re-splitting the shard's own sub-batch, which is often *coarser*
+    because routing removed the inverting records -- is what keeps events
+    byte-identical: a coarser segment would pre-ingest edges across a
+    global run boundary and detect cross-run matches on earlier trigger
+    edges than the single engine does.  In per-record mode ``clock`` is one
+    global running-maximum per record, applied before the record so the
+    store matches what the single engine would hold at that record's
+    matching step.
+
+    ``watermark`` is the parent's event-time horizon at dispatch (the
+    reorder buffer's watermark, or the global stream clock without one);
+    it is stamped onto the shard engine so per-shard ``metrics()`` expose
+    it even when shard state lives in a worker process.
     """
+    engine.event_time_watermark = watermark
     if per_record:
         events: List[MatchEvent] = []
         for record, record_clock in zip(records, clock):
             if record_clock != float("-inf"):
                 engine.graph.evict_expired(record_clock)
+                # pin the shard's stream clock to the global one BEFORE the
+                # record ingests: the single engine's ingest-time eviction
+                # runs at the global clock, so a dead-on-arrival late record
+                # (already outside retention) dies there before matching --
+                # a shard whose own clock lags (its newest records were
+                # routed elsewhere) would otherwise keep it and report
+                # matches the single engine never emits
+                engine.graph.advance_time(record_clock)
             events.extend(engine.process_record(record))
     else:
-        pre_clock, post_clock, expiry_anchor = clock
-        # a shard that received nothing for a while missed the sweeps the
-        # single engine ran at the end of every intervening batch -- catch
-        # its store up to the pre-batch global time BEFORE matching, or a
-        # late edge could match history the single engine already evicted
+        pre_clock, run_slices = clock
         if pre_clock != float("-inf"):
             engine.graph.evict_expired(pre_clock)
-        # anchor partial-match expiry at the GLOBAL batch minimum: the
-        # shard's own sub-batch may start later (or be empty), and sweeping
-        # at a later time -- or skipping the sweep -- would diverge from
-        # the single engine's per-batch sweep sequence, which decides what
-        # a future late record (legal across batches) can still complete
-        if records:
-            events = engine.process_batch(records, expiry_anchor=expiry_anchor)
-        else:
-            engine.expire_all_partials(expiry_anchor)
-            events = []
-        engine.graph.evict_expired(post_clock)
+        events = []
+        offset = 0
+        for count, anchor, post_clock in run_slices:
+            segment = records[offset : offset + count]
+            offset += count
+            if segment:
+                events.extend(engine.process_batch(segment, expiry_anchor=anchor))
+            else:
+                engine.expire_all_partials(anchor)
+            engine.graph.evict_expired(post_clock)
     # the parent's collector is authoritative; dropping the shard-local copy
     # keeps shard memory bounded
     engine.collector.clear()
@@ -233,8 +274,8 @@ def _shard_worker_main(conn, engines: Dict[int, StreamWorksEngine]) -> None:
     """Worker-process loop: own a set of shard engines, serve batch requests.
 
     Messages from the parent are tuples tagged by their first element:
-    ``("batch", per_record, [(shard id, records, clock), ...])`` processes
-    each sub-batch and replies ``("events", [(shard id, events), ...])``;
+    ``("batch", per_record, [ShardBatch, ...])`` processes each shard batch
+    and replies ``("events", [(shard id, events), ...])``;
     ``("metrics",)`` replies with every owned shard's metrics; ``("stop",)``
     acknowledges and exits.  Any exception is reported back as
     ``("error", traceback)`` instead of killing the worker silently.
@@ -249,9 +290,15 @@ def _shard_worker_main(conn, engines: Dict[int, StreamWorksEngine]) -> None:
             if kind == "batch":
                 per_record = message[1]
                 replies: List[Tuple[int, List[MatchEvent]]] = []
-                for shard_id, records, clock in message[2]:
-                    events = _execute_sub_batch(engines[shard_id], records, per_record, clock)
-                    replies.append((shard_id, events))
+                for batch in message[2]:
+                    events = _execute_sub_batch(
+                        engines[batch.shard_id],
+                        batch.records(),
+                        per_record,
+                        batch.clock,
+                        batch.watermark,
+                    )
+                    replies.append((batch.shard_id, events))
                 conn.send(("events", replies))
             elif kind == "metrics":
                 conn.send(
@@ -311,7 +358,9 @@ class ShardedStreamEngine:
                 raise ValueError("pass workers either via config or directly, not both")
             if default_window is not None:
                 engine_config = copy.copy(config.engine)
-                engine_config.default_window = default_window
+                engine_config.default_window = EngineConfig.validate_default_window(
+                    default_window
+                )
                 config = ShardConfig(
                     shard_count=config.shard_count,
                     workers=config.workers,
@@ -321,10 +370,22 @@ class ShardedStreamEngine:
             if routing is not None and routing != config.routing:
                 raise ValueError("pass routing either via config or directly, not both")
         self.config = config
+        #: Event-time ingestion happens once, in the parent, *before*
+        #: routing: a single reorder buffer re-sorts the global stream and
+        #: its watermark-closed prefixes fan out as in-order batches, so the
+        #: per-shard engines must not buffer again (their copy of the
+        #: config has the lateness stripped).
+        self.reorder: Optional[ReorderBuffer] = (
+            ReorderBuffer(config.engine.allowed_lateness, late_policy=config.engine.late_policy)
+            if config.engine.allowed_lateness is not None
+            else None
+        )
+        shard_engine_config = copy.copy(config.engine)
+        shard_engine_config.allowed_lateness = None
         #: One private engine per shard (state moves into the worker
         #: processes once a pool scheduler starts).
         self.shards: List[StreamWorksEngine] = [
-            StreamWorksEngine(config=copy.copy(config.engine))
+            StreamWorksEngine(config=copy.copy(shard_engine_config))
             for _ in range(config.shard_count)
         ]
         # with the dispatch index off, the single engine's exhaustive loop
@@ -348,9 +409,6 @@ class ShardedStreamEngine:
         #: evicted against this clock so their windows behave exactly as the
         #: single engine's would, even for records routed elsewhere.
         self._clock = float("-inf")
-        #: Minimum timestamp of the batch currently being processed (the
-        #: global partial-expiry anchor handed to every shard).
-        self._batch_min = float("-inf")
         self._started = False
         self._closed = False
         self._workers: Optional[List[_WorkerHandle]] = None
@@ -666,33 +724,75 @@ class ShardedStreamEngine:
     # ------------------------------------------------------------------
     def process_record(self, record: StreamEdge) -> List[MatchEvent]:
         """Ingest one record (mirrors single-engine ``process_record``)."""
+        if self.reorder is not None:
+            return self._process_with_reorder([record])
         return self._run_batch([record], per_record=True)
 
     def process_batch(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
         """Ingest a batch; returns the merged, globally ordered events.
 
-        Mirrors the single engine exactly: an internally out-of-order batch
-        takes the exact per-record path (the single engine's batched-ingest
-        equivalence argument needs non-decreasing timestamps within the
-        batch), otherwise each shard runs its batched fast path over its
-        sub-batch.
+        Mirrors the single engine exactly.  An internally out-of-order
+        batch is split at its *global* inversion points and each shard runs
+        the batched fast path over its per-run segments (see
+        :func:`_execute_sub_batch`); the parent-level per-record path
+        remains only for ``use_dispatch_index=False``, where the single
+        engine's exhaustive loop runs per record anyway and routing
+        per_record=True through the parent keeps the per-record global
+        eviction clocks in play (a shard's own clock lags the stream
+        whenever newer records were routed elsewhere).  With event-time
+        ingestion configured the batch is admitted into the parent's
+        reorder buffer instead, exactly as the single engine does.
         """
         records = list(records)
+        if self.reorder is not None:
+            return self._process_with_reorder(records)
         if not records:
             return []
-        # mirror the single engine's fallback condition exactly: with the
-        # dispatch index off, every shard engine would take its internal
-        # per-record path anyway, and routing per_record=True through the
-        # parent keeps the per-record global eviction clocks in play (a
-        # shard's own clock lags the stream whenever newer records were
-        # routed elsewhere)
-        per_record = not self.config.engine.use_dispatch_index or not _non_decreasing(records)
+        per_record = not self.config.engine.use_dispatch_index
         return self._run_batch(records, per_record=per_record)
+
+    def _process_with_reorder(self, records: List[StreamEdge]) -> List[MatchEvent]:
+        """Admit records into the parent reorder buffer; process the releases.
+
+        Mirrors the single engine's event-time path: the watermark-closed
+        prefix fans out as one in-order batch, then late records handed
+        back by the ``process_degraded`` policy run on the exact per-record
+        path in arrival order.
+        """
+        late = self.reorder.offer_all(records)
+        ready = self.reorder.drain_ready()
+        events: List[MatchEvent] = []
+        if ready:
+            events.extend(
+                self._run_batch(ready, per_record=not self.config.engine.use_dispatch_index)
+            )
+        for record in late:
+            events.extend(self._run_batch([record], per_record=True))
+        return events
+
+    def flush(self) -> List[MatchEvent]:
+        """Release and process the reorder buffer's tail (end of stream).
+
+        A no-op returning ``[]`` when event-time ingestion is not
+        configured; mirrors single-engine :meth:`StreamWorksEngine.flush`.
+        """
+        if self.reorder is None:
+            return []
+        remainder = self.reorder.flush()
+        if not remainder:
+            return []
+        return self._run_batch(
+            remainder, per_record=not self.config.engine.use_dispatch_index
+        )
 
     def process_stream(
         self, stream: Iterable[StreamEdge], batch_size: Optional[int] = None
     ) -> List[MatchEvent]:
-        """Ingest an entire stream, optionally sliced into count batches."""
+        """Ingest an entire stream, optionally sliced into count batches.
+
+        With event-time ingestion configured the buffered tail is flushed
+        once the stream is exhausted.
+        """
         events: List[MatchEvent] = []
         if batch_size is None:
             for record in stream:
@@ -700,6 +800,7 @@ class ShardedStreamEngine:
         else:
             for batch in batch_by_count(stream, batch_size):
                 events.extend(self.process_batch(batch))
+        events.extend(self.flush())
         return events
 
     def _run_batch(self, records: List[StreamEdge], per_record: bool) -> List[MatchEvent]:
@@ -712,36 +813,75 @@ class ShardedStreamEngine:
         # each entry is the running maximum *before* that record -- the
         # single engine's store state at the moment the record arrives (its
         # own timestamp joins the eviction horizon only after ingest, which
-        # matters for vertex-isolation eviction); the batched path uses the
-        # running maximum after the whole batch (the deferred sweep's time).
+        # matters for vertex-isolation eviction); the batched path evicts at
+        # the running maximum after each ordered run (the deferred sweeps'
+        # times).
         clocks: List[float] = []
+        pre_batch_clock = self._clock
         clock = self._clock
         for record in records:
             clocks.append(clock)
             if record.timestamp > clock:
                 clock = record.timestamp
         self._clock = clock
-        self._batch_min = min(record.timestamp for record in records)
         per_shard = self.router.route(records, base_index)
-        if not per_record:
-            # the single engine's batched path sweeps EVERY matcher's
-            # partials once per batch; a shard with no records this batch
-            # must still receive that sweep (the sweep sequence determines
-            # which partials survive when later batches can carry late
-            # records), so every shard joins the fan-out
-            for shard_id in range(self.config.shard_count):
-                per_shard.setdefault(shard_id, [])
-        #: ``(global trigger index, query registration order, event)``
-        tagged: List[Tuple[int, int, MatchEvent]] = []
-        if self._workers is None:
+        watermark = self.reorder.watermark if self.reorder is not None else self._clock
+        batches: List[ShardBatch] = []
+        if per_record:
             for shard_id in sorted(per_shard):
-                tagged.extend(
-                    self._run_shard_serial(
-                        shard_id, per_shard[shard_id], per_record, clocks, base_index
+                entries = per_shard[shard_id]
+                batches.append(
+                    ShardBatch(
+                        shard_id,
+                        entries,
+                        watermark=watermark,
+                        clock=[clocks[index - base_index] for index, _ in entries],
                     )
                 )
         else:
-            tagged.extend(self._run_shards_pooled(per_shard, per_record, clocks, base_index))
+            # split the parent batch at its GLOBAL inversion points; each
+            # shard processes its per-run segments with the batched fast
+            # path.  The single engine's fast path sweeps EVERY matcher's
+            # partials once per run, so every shard joins the fan-out (an
+            # empty segment still delivers that sweep -- with late records
+            # legal across batches the sweep sequence decides what
+            # survives), and the segment boundaries must follow the global
+            # runs, not the shard's own (often coarser) inversion structure
+            # (see _execute_sub_batch).
+            run_meta: List[Tuple[int, float, float]] = []
+            post_clock = pre_batch_clock
+            for start, end in ordered_run_slices(records):
+                if records[end - 1].timestamp > post_clock:
+                    post_clock = records[end - 1].timestamp
+                run_meta.append((base_index + end, records[start].timestamp, post_clock))
+            for shard_id in range(self.config.shard_count):
+                entries = per_shard.get(shard_id, [])
+                run_slices: List[Tuple[int, float, float]] = []
+                pointer = 0
+                for end_index, anchor, run_post in run_meta:
+                    count = 0
+                    while (
+                        pointer + count < len(entries)
+                        and entries[pointer + count][0] < end_index
+                    ):
+                        count += 1
+                    pointer += count
+                    run_slices.append((count, anchor, run_post))
+                batches.append(
+                    ShardBatch(
+                        shard_id,
+                        entries,
+                        watermark=watermark,
+                        clock=(pre_batch_clock, run_slices),
+                    )
+                )
+        #: ``(global trigger index, query registration order, event)``
+        tagged: List[Tuple[int, int, MatchEvent]] = []
+        if self._workers is None:
+            for batch in batches:
+                tagged.extend(self._run_shard_serial(batch, per_record))
+        else:
+            tagged.extend(self._run_shards_pooled(batches, per_record))
         # a query lives in exactly one shard, so events tied on (trigger,
         # registration order) all come from one shard and the stable sort
         # preserves their emission order -- this is precisely the order the
@@ -758,80 +898,44 @@ class ShardedStreamEngine:
         self.throughput.stop()
         return merged
 
-    def _sub_batch_clock(
-        self,
-        sub_batch: List[Tuple[int, StreamEdge]],
-        per_record: bool,
-        clocks: List[float],
-        base_index: int,
-    ):
-        """Return the eviction clock payload for one shard's sub-batch."""
-        if per_record:
-            return [clocks[global_index - base_index] for global_index, _ in sub_batch]
-        # batched mode: sweep the shard up to the pre-batch global time
-        # before matching (clocks[0] is the running max before the parent
-        # batch's first record), run the deferred sweep at the global time
-        # after the whole batch (self._clock, advanced in _run_batch), and
-        # anchor partial expiry at the global batch minimum
-        return (clocks[0], self._clock, self._batch_min)
-
     def _run_shard_serial(
-        self,
-        shard_id: int,
-        sub_batch: List[Tuple[int, StreamEdge]],
-        per_record: bool,
-        clocks: List[float],
-        base_index: int,
+        self, batch: ShardBatch, per_record: bool
     ) -> List[Tuple[int, int, MatchEvent]]:
-        engine = self.shards[shard_id]
-        local_base = self._records_sent[shard_id]
-        self._records_sent[shard_id] += len(sub_batch)
+        engine = self.shards[batch.shard_id]
+        local_base = self._records_sent[batch.shard_id]
+        self._records_sent[batch.shard_id] += len(batch)
         events = _execute_sub_batch(
-            engine,
-            [record for _, record in sub_batch],
-            per_record,
-            self._sub_batch_clock(sub_batch, per_record, clocks, base_index),
+            engine, batch.records(), per_record, batch.clock, batch.watermark
         )
-        return self._tag_events(events, sub_batch, local_base)
+        return self._tag_events(events, batch.entries, local_base)
 
     def _run_shards_pooled(
-        self,
-        per_shard: Dict[int, List[Tuple[int, StreamEdge]]],
-        per_record: bool,
-        clocks: List[float],
-        base_index: int,
+        self, batches: List[ShardBatch], per_record: bool
     ) -> List[Tuple[int, int, MatchEvent]]:
-        by_worker: Dict[int, List[Tuple[int, List[Tuple[int, StreamEdge]], int]]] = {}
-        for shard_id in sorted(per_shard):
-            sub_batch = per_shard[shard_id]
-            local_base = self._records_sent[shard_id]
-            self._records_sent[shard_id] += len(sub_batch)
-            by_worker.setdefault(self._worker_of[shard_id], []).append(
-                (shard_id, sub_batch, local_base)
+        by_worker: Dict[int, List[Tuple[ShardBatch, int]]] = {}
+        for batch in batches:
+            local_base = self._records_sent[batch.shard_id]
+            self._records_sent[batch.shard_id] += len(batch)
+            by_worker.setdefault(self._worker_of[batch.shard_id], []).append(
+                (batch, local_base)
             )
-        pending: List[Tuple[int, List[Tuple[int, List[Tuple[int, StreamEdge]], int]]]] = []
+        pending: List[Tuple[int, List[Tuple[ShardBatch, int]]]] = []
         for worker_index in sorted(by_worker):
             items = by_worker[worker_index]
-            payload = [
-                (
-                    shard_id,
-                    [record for _, record in sub_batch],
-                    self._sub_batch_clock(sub_batch, per_record, clocks, base_index),
-                )
-                for shard_id, sub_batch, _ in items
-            ]
-            self._workers[worker_index].conn.send(("batch", per_record, payload))
+            self._workers[worker_index].conn.send(
+                ("batch", per_record, [batch for batch, _ in items])
+            )
             pending.append((worker_index, items))
         tagged: List[Tuple[int, int, MatchEvent]] = []
         for worker_index, items in pending:
             reply = self._receive(worker_index)
-            for (shard_id, sub_batch, local_base), (reply_shard, events) in zip(items, reply[1]):
-                if reply_shard != shard_id:  # pragma: no cover - defensive
+            for (batch, local_base), (reply_shard, events) in zip(items, reply[1]):
+                if reply_shard != batch.shard_id:  # pragma: no cover - defensive
                     raise RuntimeError(
                         f"worker {worker_index} replied for shard {reply_shard}, "
-                        f"expected {shard_id}"
+                        f"expected {batch.shard_id}"
                     )
-                tagged.extend(self._tag_events(events, sub_batch, local_base))
+                tagged.extend(self._tag_events(events, batch.entries, local_base))
         return tagged
 
     def _tag_events(
@@ -914,6 +1018,7 @@ class ShardedStreamEngine:
             "workers": len(self._workers) if self._workers else 0,
             "edges_processed": self.edges_processed,
             "events_emitted": self._sequence,
+            "reorder": self.reorder.stats() if self.reorder is not None else None,
             "routing": self.router.stats(),
             "throughput": self.throughput.summary(),
             "shard_loads": self.shard_loads(),

@@ -66,6 +66,21 @@ class DynamicGraph:
         """Return the largest timestamp ingested so far (``-inf`` when empty)."""
         return self._current_time
 
+    def advance_time(self, now: Timestamp) -> None:
+        """Advance the stream clock to ``now`` without ingesting or evicting.
+
+        A no-op when ``now`` is behind the current clock.  The sharded
+        engine uses this to pin a shard graph's clock to the *global*
+        stream time: a shard only ingests the records routed to it, so its
+        own clock lags whenever newer records went elsewhere, and a lagging
+        clock makes the eviction inside :meth:`ingest` keep a
+        dead-on-arrival late edge (one already outside the retention
+        horizon) that the single engine would have evicted before matching
+        it.  Eviction itself stays the caller's move (:meth:`evict_expired`).
+        """
+        if now > self._current_time:
+            self._current_time = float(now)
+
     @property
     def edges_ingested(self) -> int:
         """Total number of edges ever ingested."""

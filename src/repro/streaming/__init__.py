@@ -13,7 +13,14 @@ from .events import (
     merge_events,
 )
 from .metrics import LatencyRecorder, Stopwatch, ThroughputMeter
-from .partition import BatchRouter, LabelShardMap, Routing, greedy_partition
+from .partition import BatchRouter, LabelShardMap, Routing, ShardBatch, greedy_partition
+from .reorder import (
+    LatePolicy,
+    ReorderBuffer,
+    bounded_shuffle,
+    max_time_displacement,
+    ordered_run_slices,
+)
 
 __all__ = [
     "BatchReplay",
@@ -25,17 +32,23 @@ __all__ = [
     "EdgeStream",
     "EventSink",
     "LabelShardMap",
+    "LatePolicy",
     "LatencyRecorder",
     "MatchEvent",
     "MultiSink",
     "QueryFilterSink",
+    "ReorderBuffer",
     "Routing",
+    "ShardBatch",
     "Stopwatch",
     "StreamEdge",
     "ThroughputMeter",
     "batch_by_count",
     "batch_by_time",
+    "bounded_shuffle",
     "greedy_partition",
+    "max_time_displacement",
     "merge_events",
     "merge_streams",
+    "ordered_run_slices",
 ]

@@ -42,11 +42,54 @@ from .edge_stream import StreamEdge
 
 __all__ = [
     "Routing",
+    "ShardBatch",
     "least_loaded_shard",
     "greedy_partition",
     "LabelShardMap",
     "BatchRouter",
 ]
+
+
+class ShardBatch:
+    """One shard's slice of a routed parent batch, with its time metadata.
+
+    ``entries`` are ``(global stream index, record)`` pairs in global order
+    (the index lets per-shard match events merge back into the exact
+    single-engine order).  ``watermark`` is the event-time horizon the
+    parent had reached when the batch was dispatched -- the reorder
+    buffer's watermark when event-time ingestion is configured, otherwise
+    the largest timestamp offered to the parent so far.  ``clock`` is the
+    scheduler-opaque eviction/expiry payload the owning engine attaches so
+    a worker process can mirror the single engine's sweep sequence without
+    any shared state; the stream layer never interprets it.
+    """
+
+    __slots__ = ("shard_id", "entries", "watermark", "clock")
+
+    def __init__(
+        self,
+        shard_id: int,
+        entries: List[Tuple[int, StreamEdge]],
+        watermark: float = float("-inf"),
+        clock: object = None,
+    ):
+        self.shard_id = shard_id
+        self.entries = entries
+        self.watermark = watermark
+        self.clock = clock
+
+    def records(self) -> List[StreamEdge]:
+        """Return the batch's records without their global indices."""
+        return [record for _, record in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardBatch(shard={self.shard_id}, records={len(self.entries)}, "
+            f"watermark={self.watermark})"
+        )
 
 
 class Routing:

@@ -24,6 +24,7 @@ from repro.core import (
     ShardConfig,
     ShardedStreamEngine,
     Strategy,
+    StreamWorksEngine,
     decompose,
 )
 from repro.core.sjtree import SJTree
@@ -285,10 +286,11 @@ def random_splits(rng, total):
 class TestShardedBatchSplitEquivalence:
     """`process_batch` over any split == `process_record` one at a time.
 
-    This pins the sharded engine's batching transparency, including the
-    out-of-order fallback (an internally out-of-order batch must take the
-    exact per-record path) and the cross-shard event merge: the batched
-    run must reproduce the per-record run's events byte for byte.
+    This pins the sharded engine's batching transparency, including
+    internally out-of-order batches (split at their inversion points onto
+    the batched fast path, run by run) and the cross-shard event merge:
+    the batched run must reproduce the per-record run's match multiset,
+    and the sharded run must reproduce the single engine byte for byte.
     """
 
     @staticmethod
@@ -345,23 +347,46 @@ class TestShardedBatchSplitEquivalence:
         assert [event.sequence for event in batched_events] == list(range(len(batched_events)))
         assert batched_engine.match_counts() == per_record_engine.match_counts()
 
+    @staticmethod
+    def build_single_engine():
+        engine = StreamWorksEngine(config=EngineConfig(collect_statistics=False))
+        engine.register_query(sharded_chain_query("ab", ["rel_a", "rel_b"]), name="ab", window=2.0)
+        engine.register_query(sharded_chain_query("bc", ["rel_b", "rel_c"]), name="bc", window=1.0)
+        engine.register_query(sharded_chain_query("ca", ["rel_c", "rel_a"]), name="ca", window=3.0)
+        return engine
+
     @given(seed=st.integers(min_value=0, max_value=10_000),
            shard_count=st.sampled_from([1, 2, 3]))
     @settings(max_examples=15, deadline=None, suppress_health_check=SUPPRESS)
-    def test_out_of_order_batches_fall_back_to_per_record_exactly(self, seed, shard_count):
-        # when every batch is internally out of order the fallback makes the
-        # batched run EXACTLY the per-record run, events byte for byte
+    def test_out_of_order_batches_keep_batched_path_and_conform(self, seed, shard_count):
+        # an internally out-of-order batch is split at its inversion points
+        # and the ordered runs keep the batched fast path (it no longer
+        # demotes to the per-record loop).  The contract is compositional:
+        # processing the disordered batch is event-for-event identical to
+        # feeding each maximal ordered run as its own batch -- and the
+        # sharded run stays byte-identical to the single engine.
+        from repro.streaming import ordered_run_slices
+
         rng = random.Random(seed)
         records = sharded_stream_records(rng, 50, out_of_order=True)
-        # force disorder inside every split by prepending a late record
+        # force disorder by prepending a late record (guarantees >= 2 runs)
         records.insert(0, StreamEdge("n0", "n1", "rel_a", 100.0))
+        runs = ordered_run_slices(records)
+        assert len(runs) >= 2
 
-        per_record_engine = self.build_engine(shard_count)
-        per_record_events = []
-        for record in records:
-            per_record_events.extend(per_record_engine.process_record(record))
+        single = self.build_single_engine()
+        single_events = list(single.process_batch(records))
+        # the disordered batch ran on the fast path (split into runs), not
+        # the per-record loop
+        assert single.records_batched == len(records)
+        assert single.records_per_record == 0
+
+        run_fed = self.build_single_engine()
+        run_fed_events = []
+        for start, end in runs:
+            run_fed_events.extend(run_fed.process_batch(records[start:end]))
+        assert self.canonical(single_events) == self.canonical(run_fed_events)
 
         batched_engine = self.build_engine(shard_count)
         batched_events = list(batched_engine.process_batch(records))
-
-        assert self.canonical(batched_events) == self.canonical(per_record_events)
+        assert self.canonical(batched_events) == self.canonical(single_events)

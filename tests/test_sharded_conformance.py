@@ -9,7 +9,10 @@ over seeded randomized workloads covering the paths that historically
 diverge:
 
 * in-order streams (batched fast path),
-* internally out-of-order batches (the per-record fallback),
+* internally out-of-order batches (split at inversion points, ordered runs
+  on the batched fast path),
+* heavily disordered streams whose displacement exceeds the retention
+  horizon (dead-on-arrival records must be skipped deterministically),
 * duplicate-edge streams (parallel edges with identical content, where
   id-based identities are ambiguous and enumeration order is fragile),
 * eviction-heavy streams (tiny windows, constant expiry/recreation),
@@ -81,6 +84,20 @@ def out_of_order_records(count, seed=29, jitter=0.1):
     return records
 
 
+def heavily_disordered_records(count, seed=29):
+    """R-MAT stream block-shuffled far beyond the query windows.
+
+    Displacements exceed the retention horizon, so some records arrive dead
+    (already outside retention): the regression here is that such a record
+    used to match erratically on the single engine -- only when unrelated
+    edges kept its endpoint vertices alive, which label routing does not
+    preserve -- so shard counts disagreed.
+    """
+    from repro.streaming import bounded_shuffle
+
+    return bounded_shuffle(rmat_records(count, seed=seed), 48, seed=seed + 1)
+
+
 def duplicate_records(count, seed=29):
     """R-MAT stream where every 4th record is repeated verbatim slightly later."""
     records = []
@@ -113,6 +130,7 @@ def netflow_records(count, seed=11):
 CASES = {
     "rmat_inorder": (lambda: rmat_records(300), rmat_queries),
     "rmat_out_of_order": (lambda: out_of_order_records(300), rmat_queries),
+    "rmat_heavy_disorder": (lambda: heavily_disordered_records(300), rmat_queries),
     "rmat_duplicates": (lambda: duplicate_records(240), rmat_queries),
     "rmat_eviction_heavy": (lambda: eviction_heavy_records(300), rmat_queries),
     "netflow": (lambda: netflow_records(300), netflow_queries),
