@@ -1,0 +1,90 @@
+"""E14 / crash-consistent checkpoint/restore vs replay-from-scratch.
+
+A restarted engine has exactly two ways back to its pre-crash state: restore
+a snapshot, or replay everything it ever processed.  Replay cost grows with
+the full history while snapshot cost grows only with the *live* state (the
+windowed graph plus in-flight partial matches) -- the window sweep shows
+snapshot size and checkpoint/restore time tracking the window while restore
+beats replay across the board, by the widest margin when the live window is
+small relative to the history (ROADMAP's persistence item: rebuilding the
+partial-match store by replay is what a checkpoint avoids).
+
+Assertions, deliberately separated:
+
+* **Exact resume is unconditional**: the resumed runs (single engine and
+  the sharded engine) must reproduce the uninterrupted run's event history
+  byte for byte -- matches, order, sequence numbers.  The
+  crash-at-every-boundary matrix lives in ``tests/test_checkpoint.py``;
+  this benchmark re-checks the contract at its own scale.
+* **Recovery cost is asserted at full scale only**: restoring the largest
+  window's snapshot must beat replaying the prefix from scratch.  ``--tiny``
+  streams are noise-dominated, so there only the conformance half is
+  asserted.
+
+Runnable standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --tiny
+"""
+
+from repro.harness.experiments import experiment_checkpoint_recovery
+from repro.harness.reporting import format_report
+
+#: Restore must beat replay-from-scratch at the largest window (full scale).
+REQUIRED_RESTORE_SPEEDUP = 1.0
+
+
+def check_result(result, assert_speedup=True):
+    """Shared assertions for the pytest and CLI entry points."""
+    assert result["identical_single"], (
+        "restored single engine diverged from the uninterrupted run"
+    )
+    assert result["identical_sharded"], (
+        "restored sharded engine diverged from the uninterrupted run"
+    )
+    assert all(row["snapshot_kib"] > 0 for row in result["rows"])
+    if assert_speedup:
+        largest = result["rows"][-1]
+        assert largest["restore_speedup"] >= REQUIRED_RESTORE_SPEEDUP, (
+            f"restore at window {largest['window']} is "
+            f"{largest['restore_speedup']:.2f}x replay-from-scratch, below "
+            f"{REQUIRED_RESTORE_SPEEDUP}x"
+        )
+
+
+def test_checkpoint_recovery(run_experiment):
+    result = run_experiment(
+        experiment_checkpoint_recovery,
+        "E14 -- checkpoint/restore vs replay-from-scratch (window sweep)",
+    )
+    check_result(result)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test scale (CI): exact-resume asserted, recovery-cost "
+        "thresholds skipped",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    args = parser.parse_args()
+
+    scale = 0.1 if args.tiny else args.scale
+    result = experiment_checkpoint_recovery(scale=scale)
+    print(
+        format_report(
+            "E14 -- checkpoint/restore vs replay-from-scratch (window sweep)", result
+        )
+    )
+    check_result(result, assert_speedup=not args.tiny)
+    print("exact resume OK (single + sharded)", end="")
+    if not args.tiny:
+        print(
+            f"; restore up to {result['max_restore_speedup']:.2f}x faster than "
+            f"replay-from-scratch"
+        )
+    else:
+        print("; recovery-cost thresholds skipped (--tiny smoke)")

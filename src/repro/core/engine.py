@@ -106,6 +106,8 @@ class EngineConfig:
         latency_sample_cap: Optional[int] = LatencyRecorder.DEFAULT_CAP,
         allowed_lateness: Optional[float] = None,
         late_policy: str = LatePolicy.DROP,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         self.default_window = self.validate_default_window(default_window)
         self.collect_statistics = collect_statistics
@@ -158,6 +160,20 @@ class EngineConfig:
         #: and counts it; ``"process_degraded"`` processes it immediately on
         #: the exact per-record path against whatever history is retained.
         self.late_policy = late_policy
+        #: Batch-cadence autosave: after every N ``process_batch`` calls the
+        #: engine checkpoints itself to ``checkpoint_path`` (atomic write,
+        #: monotone epoch in the manifest -- a crash mid-save leaves the
+        #: previous snapshot intact).  The sharded engine autosaves at the
+        #: parent; its shard engines get these fields stripped.  ``None``
+        #: (default) disables autosave.
+        if checkpoint_every is not None:
+            checkpoint_every = int(checkpoint_every)
+            if checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be a positive batch count or None")
+            if not checkpoint_path:
+                raise ValueError("checkpoint_every requires a checkpoint_path to save to")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
 
     @staticmethod
     def validate_default_window(value: Optional[float]) -> Optional[float]:
@@ -264,6 +280,12 @@ class StreamWorksEngine:
         self._sinks = MultiSink([self.collector])
         self._sequence = 0
         self.edges_processed = 0
+        #: ``process_batch`` invocations so far -- the autosave cadence clock.
+        self.batches_processed = 0
+        #: Monotone snapshot epoch: bumped on every :meth:`checkpoint`, carried
+        #: across :meth:`restore`, written into the snapshot manifest so the
+        #: newest of several autosaves is identifiable.
+        self.checkpoint_epoch = 0
         self.throughput = ThroughputMeter()
         self.latency = LatencyRecorder(cap=config.latency_sample_cap)
 
@@ -304,6 +326,11 @@ class StreamWorksEngine:
         query_name = name or query.name
         if query_name in self.queries:
             raise ValueError(f"a query named {query_name!r} is already registered")
+        if self.config.checkpoint_every is not None:
+            # fail at registration, not at the Nth batch: an autosaving
+            # engine can only hold queries that round-trip through the
+            # snapshot (CustomPredicate does not)
+            self._check_checkpointable(query, query_name)
         window_duration = window if window is not None else self.config.default_window
         query_window = TimeWindow(window_duration) if window_duration is not None else TimeWindow(None)
 
@@ -342,6 +369,19 @@ class StreamWorksEngine:
         self.dispatch.register(query_name, matcher.tree.leaves())
         self._update_retention()
         return registration
+
+    @staticmethod
+    def _check_checkpointable(query: QueryGraph, query_name: str) -> None:
+        """Reject queries that cannot survive a checkpoint (autosave engines)."""
+        from ..query.serialize import QuerySerializationError, query_to_dict
+
+        try:
+            query_to_dict(query)
+        except QuerySerializationError as error:
+            raise ValueError(
+                f"query {query_name!r} cannot be registered on an autosaving "
+                f"engine (checkpoint_every is set): {error}"
+            ) from error
 
     def unregister_query(self, name: str) -> None:
         """Remove a registered query (its partial matches are discarded).
@@ -669,10 +709,42 @@ class StreamWorksEngine:
                     "expiry_anchor is not supported with event-time ingestion: "
                     "the reorder buffer decides when records are processed"
                 )
-            return self._process_with_reorder(records)
-        if not records:
-            return []
-        return self._process_batch_direct(records, expiry_anchor)
+            events = self._process_with_reorder(records)
+        elif not records:
+            events = []
+        else:
+            events = self._process_batch_direct(records, expiry_anchor)
+        self.batches_processed += 1
+        self._maybe_autosave()
+        return events
+
+    def _maybe_autosave(self) -> None:
+        """Checkpoint to the configured path when the batch cadence is due.
+
+        An autosave failure must not look like a processing failure: by the
+        time the cadence fires the batch IS fully processed (state mutated,
+        events delivered to the collector), so the error is re-raised as a
+        :class:`~repro.persistence.snapshot.SnapshotError` that says so --
+        the caller recovers the batch's events from :meth:`events` and must
+        *not* re-feed the batch.
+        """
+        if (
+            self.config.checkpoint_every is None
+            or self.batches_processed % self.config.checkpoint_every != 0
+        ):
+            return
+        from ..persistence.snapshot import SnapshotError
+
+        try:
+            self.checkpoint(self.config.checkpoint_path)
+        except Exception as error:
+            raise SnapshotError(
+                f"autosave to {self.config.checkpoint_path!r} failed after batch "
+                f"{self.batches_processed}: {error}. The batch itself was fully "
+                f"processed -- its events are in engine.events(); do NOT re-feed "
+                f"it. Fix the checkpoint target (or unset checkpoint_every) and "
+                f"continue."
+            ) from error
 
     def _process_with_reorder(self, records: Sequence[StreamEdge]) -> List[MatchEvent]:
         """Admit records into the reorder buffer; process what it releases.
@@ -733,33 +805,63 @@ class StreamWorksEngine:
         expiry_anchor: Optional[float],
         events: List[MatchEvent],
     ) -> None:
-        """Steps 1-5 of the batched fast path over one non-decreasing run."""
-        ingested: List[Edge] = []
+        """Steps 1-5 of the batched fast path over one non-decreasing run.
+
+        A record already outside the retention horizon at its ingest point
+        (``timestamp`` expired against the running stream clock) is *dead on
+        arrival*: it is ingested and immediately evicted -- exactly the
+        per-record path's behaviour -- counted in
+        ``records_dead_on_arrival``, and never matched or folded into the
+        statistics.  The batched path used to keep such records alive
+        within their run (deferred eviction) and match them, which made the
+        outcome depend on how the stream happened to be batched; a
+        checkpoint/restore cycle re-batches the remainder of the stream, so
+        resume exactness requires the batching-independent skip.  Within a
+        non-decreasing run dead records precede any record that advances
+        the clock, so the mid-run eviction sweep removes only them.
+        """
+        ingested: List[Optional[Edge]] = []
+        window = self.graph.window
         for record in records:
-            ingested.append(
-                self.graph.ingest(
-                    record.source,
-                    record.target,
-                    record.label,
-                    record.timestamp,
-                    record.attrs,
-                    source_label=record.source_label,
-                    target_label=record.target_label,
-                    source_attrs=record.source_attrs,
-                    target_attrs=record.target_attrs,
-                    evict=False,
-                )
+            edge = self.graph.ingest(
+                record.source,
+                record.target,
+                record.label,
+                record.timestamp,
+                record.attrs,
+                source_label=record.source_label,
+                target_label=record.target_label,
+                source_attrs=record.source_attrs,
+                target_attrs=record.target_attrs,
+                evict=False,
             )
-        self.records_batched += len(ingested)
+            if window.bounded and window.is_expired(edge.timestamp, self.graph.current_time):
+                # dead on arrival: mirror process_edge's ingest-then-evict
+                self.graph.evict_expired()
+                self.records_dead_on_arrival += 1
+                ingested.append(None)
+            else:
+                ingested.append(edge)
+        self.records_batched += len(records)
         if self.summarizer is not None:
-            self.summarizer.observe_batch(self.graph, ingested)
-        batch_start = ingested[0].timestamp  # the run is non-decreasing
+            self.summarizer.observe_batch(
+                self.graph, [edge for edge in ingested if edge is not None]
+            )
+        # the expiry anchor is the run's raw minimum (dead records included):
+        # the sharded engine anchors at the global run minimum, and single
+        # and sharded sweeps must be identical because with late records the
+        # sweep sequence decides which partials survive
+        batch_start = records[0].timestamp  # the run is non-decreasing
         if expiry_anchor is not None:
             batch_start = min(batch_start, expiry_anchor)
         for registration in self.queries.values():
             registration.matcher.expire_partials(batch_start)
         record_latency = self.config.record_latency
         for edge in ingested:
+            if edge is None:  # dead on arrival: counted, never matched
+                self.edges_processed += 1
+                self._maybe_auto_replan()
+                continue
             stopwatch_start = perf_counter() if record_latency else None
             self._match_edge(edge, events, expire=False)
             self.edges_processed += 1
@@ -779,6 +881,55 @@ class StreamWorksEngine:
             events.extend(self.process_record(record))
         events.extend(self.flush())
         return events
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> Dict[str, Any]:
+        """Write an atomic snapshot of the engine's full state to ``path``.
+
+        The snapshot covers everything the resume contract needs: the
+        window store (index iteration orders included), every matcher's
+        partial-match collections and duplicate-suppression memory, the
+        reorder buffer (contents, watermark, late counters), the stream
+        summarizer (sampler RNG state included), registered queries with
+        their exact plans, collected events, and all deterministic
+        counters.  The write is atomic (temp file + fsync + rename) with a
+        monotone ``epoch`` in the manifest, so a crash mid-checkpoint
+        leaves the previous snapshot intact.  Returns the manifest.
+
+        ``EngineConfig(checkpoint_every=N, checkpoint_path=...)`` calls
+        this automatically every N ``process_batch`` invocations.
+        """
+        from ..persistence.snapshot import write_snapshot
+        from ..persistence.state import ENGINE_KIND, engine_sections
+
+        self.checkpoint_epoch += 1
+        return write_snapshot(path, ENGINE_KIND, self.checkpoint_epoch, engine_sections(self))
+
+    @classmethod
+    def restore(cls, path: str) -> "StreamWorksEngine":
+        """Reconstruct an engine from a :meth:`checkpoint` snapshot.
+
+        The contract is exact resume: ``restore(checkpoint(E))`` followed
+        by the remainder of the stream produces byte-for-byte the events
+        (matches, order, sequence numbers) and deterministic metrics of the
+        uninterrupted run -- the crash-at-every-boundary differential suite
+        (``tests/test_checkpoint.py``) holds this at every batch boundary.
+        ``on_match`` callbacks and custom sinks are not serialisable and
+        must be re-attached (:meth:`add_sink`) after restore.  Raises
+        :class:`~repro.persistence.snapshot.SnapshotCorruptError` on any
+        torn or damaged snapshot and
+        :class:`~repro.persistence.snapshot.SnapshotVersionError` on a
+        format-version mismatch -- never a silent partial load.
+        """
+        from ..persistence.snapshot import read_snapshot
+        from ..persistence.state import ENGINE_KIND, load_engine_sections
+
+        manifest, sections = read_snapshot(path, kind=ENGINE_KIND)
+        engine = load_engine_sections(sections)
+        engine.checkpoint_epoch = manifest["epoch"]
+        return engine
 
     # ------------------------------------------------------------------
     # results and introspection

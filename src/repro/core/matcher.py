@@ -62,6 +62,14 @@ class MatcherStats:
             "peak_stored_matches": self.peak_stored_matches,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "MatcherStats":
+        """Rebuild counters from :meth:`to_dict` output."""
+        stats = cls()
+        for name, value in payload.items():
+            setattr(stats, name, value)
+        return stats
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MatcherStats({self.to_dict()})"
 
@@ -267,3 +275,48 @@ class ContinuousQueryMatcher:
         self._reported_edge_sets.clear()
         self._reported_identities.clear()
         self.stats = MatcherStats()
+
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise the matcher's mutable state (tree collections, dedupe memory).
+
+        The plan-derived structure (decomposition, SJ-Tree shape, window) is
+        *not* stored here -- the owning engine persists the plan and rebuilds
+        the matcher from it, then calls :meth:`load_state` on the fresh
+        instance.  Dedupe identities are sets (membership-only), so their
+        serialisation order is canonicalised rather than preserved.
+        """
+        return {
+            "tree": self.tree.state_dict(),
+            "stats": self.stats.to_dict(),
+            "expiry_min_interval": self.expiry_min_interval,
+            "reported_identities": sorted(
+                (
+                    [sorted(([name, vertex] for name, vertex in vertices), key=repr),
+                     sorted([query_edge, edge_id] for query_edge, edge_id in edges)]
+                    for vertices, edges in self._reported_identities
+                ),
+                key=repr,
+            ),
+            "reported_edge_sets": sorted(
+                (sorted(edge_set) for edge_set in self._reported_edge_sets), key=repr
+            ),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict` onto a freshly-built matcher."""
+        self.tree.load_state(state["tree"])
+        self.stats = MatcherStats.from_dict(state["stats"])
+        self.expiry_min_interval = state["expiry_min_interval"]
+        self._reported_identities = {
+            (
+                frozenset((name, vertex) for name, vertex in vertices),
+                frozenset((query_edge, edge_id) for query_edge, edge_id in edges),
+            )
+            for vertices, edges in state["reported_identities"]
+        }
+        self._reported_edge_sets = {
+            frozenset(edge_set) for edge_set in state["reported_edge_sets"]
+        }

@@ -256,14 +256,28 @@ def _execute_sub_batch(
             engine.graph.evict_expired(pre_clock)
         events = []
         offset = 0
+        run_start_clock = pre_clock
         for count, anchor, post_clock in run_slices:
             segment = records[offset : offset + count]
             offset += count
+            if run_start_clock != float("-inf"):
+                # pin the shard's stream clock to the global clock at the
+                # run's start: the batched path's dead-on-arrival skip
+                # (records already outside retention at ingest) tests
+                # against the stream clock, and a shard whose own clock
+                # lags (its newest records were routed elsewhere) would
+                # keep -- and match -- a record the single engine kills.
+                # Within a run deadness depends only on the run-start
+                # clock (in-run predecessors are themselves non-decreasing
+                # and cannot make a successor dead), so pinning per run
+                # reproduces the single engine's determination exactly.
+                engine.graph.advance_time(run_start_clock)
             if segment:
                 events.extend(engine.process_batch(segment, expiry_anchor=anchor))
             else:
                 engine.expire_all_partials(anchor)
             engine.graph.evict_expired(post_clock)
+            run_start_clock = post_clock
     # the parent's collector is authoritative; dropping the shard-local copy
     # keeps shard memory bounded
     engine.collector.clear()
@@ -276,8 +290,10 @@ def _shard_worker_main(conn, engines: Dict[int, StreamWorksEngine]) -> None:
     Messages from the parent are tuples tagged by their first element:
     ``("batch", per_record, [ShardBatch, ...])`` processes each shard batch
     and replies ``("events", [(shard id, events), ...])``;
-    ``("metrics",)`` replies with every owned shard's metrics; ``("stop",)``
-    acknowledges and exits.  Any exception is reported back as
+    ``("metrics",)`` replies with every owned shard's metrics;
+    ``("state",)`` replies with every owned shard's serialised engine state
+    (snapshot section payloads, used by parent-level checkpointing);
+    ``("stop",)`` acknowledges and exits.  Any exception is reported back as
     ``("error", traceback)`` instead of killing the worker silently.
     """
     while True:
@@ -303,6 +319,12 @@ def _shard_worker_main(conn, engines: Dict[int, StreamWorksEngine]) -> None:
             elif kind == "metrics":
                 conn.send(
                     ("metrics", {shard_id: engine.metrics() for shard_id, engine in engines.items()})
+                )
+            elif kind == "state":
+                from ..persistence.state import engine_sections
+
+                conn.send(
+                    ("state", {shard_id: engine_sections(engine) for shard_id, engine in engines.items()})
                 )
             elif kind == "stop":
                 conn.send(("stopped",))
@@ -382,6 +404,10 @@ class ShardedStreamEngine:
         )
         shard_engine_config = copy.copy(config.engine)
         shard_engine_config.allowed_lateness = None
+        # autosave is a parent-level concern: a shard checkpointing itself
+        # mid-batch would race the parent's snapshot and clobber its path
+        shard_engine_config.checkpoint_every = None
+        shard_engine_config.checkpoint_path = None
         #: One private engine per shard (state moves into the worker
         #: processes once a pool scheduler starts).
         self.shards: List[StreamWorksEngine] = [
@@ -401,6 +427,10 @@ class ShardedStreamEngine:
         self._sinks = MultiSink([self.collector])
         self._sequence = 0
         self.edges_processed = 0
+        #: ``process_batch`` invocations so far (parent-level autosave cadence).
+        self.batches_processed = 0
+        #: Monotone snapshot epoch (see :attr:`StreamWorksEngine.checkpoint_epoch`).
+        self.checkpoint_epoch = 0
         self.throughput = ThroughputMeter()
         #: Records sent to each shard so far -- maps a shard event's
         #: ``trigger_index`` back into the in-flight sub-batch.
@@ -460,6 +490,10 @@ class ShardedStreamEngine:
             )
         if shard is not None and not 0 <= shard < self.config.shard_count:
             raise ValueError(f"shard must be in [0, {self.config.shard_count})")
+        if self.config.engine.checkpoint_every is not None:
+            # parent-level autosave: the shard configs are stripped, so the
+            # shard engine's own registration check never fires
+            StreamWorksEngine._check_checkpointable(query, query_name)
 
         if _cost is None:
             _cost = self._plan_cost_of(query, strategy)
@@ -745,11 +779,40 @@ class ShardedStreamEngine:
         """
         records = list(records)
         if self.reorder is not None:
-            return self._process_with_reorder(records)
-        if not records:
-            return []
-        per_record = not self.config.engine.use_dispatch_index
-        return self._run_batch(records, per_record=per_record)
+            events = self._process_with_reorder(records)
+        elif not records:
+            events = []
+        else:
+            per_record = not self.config.engine.use_dispatch_index
+            events = self._run_batch(records, per_record=per_record)
+        self.batches_processed += 1
+        self._maybe_autosave()
+        return events
+
+    def _maybe_autosave(self) -> None:
+        """Parent-level batch-cadence autosave (mirrors the single engine).
+
+        As there, an autosave failure is re-raised as a ``SnapshotError``
+        noting that the batch WAS processed (events are in :meth:`events`)
+        so the caller does not re-feed it.
+        """
+        if (
+            self.config.engine.checkpoint_every is None
+            or self.batches_processed % self.config.engine.checkpoint_every != 0
+        ):
+            return
+        from ..persistence.snapshot import SnapshotError
+
+        try:
+            self.checkpoint(self.config.engine.checkpoint_path)
+        except Exception as error:
+            raise SnapshotError(
+                f"autosave to {self.config.engine.checkpoint_path!r} failed after "
+                f"batch {self.batches_processed}: {error}. The batch itself was "
+                f"fully processed -- its events are in engine.events(); do NOT "
+                f"re-feed it. Fix the checkpoint target (or unset "
+                f"checkpoint_every) and continue."
+            ) from error
 
     def _process_with_reorder(self, records: List[StreamEdge]) -> List[MatchEvent]:
         """Admit records into the parent reorder buffer; process the releases.
@@ -965,6 +1028,66 @@ class ShardedStreamEngine:
             self.close()
             raise RuntimeError(f"shard worker {worker_index} failed:\n{reply[1]}")
         return reply
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> Dict[str, Any]:
+        """Write an atomic snapshot of the whole sharded engine to ``path``.
+
+        Captures the parent state (reorder buffer, registrations, clocks,
+        counters, collected events) plus a full per-shard engine snapshot
+        under one manifest.  With a running worker pool the shard states
+        are fetched from the workers, so a pool-mode engine checkpoints
+        exactly like a serial one.  Returns the snapshot manifest (monotone
+        ``epoch`` included).  See :meth:`restore` for the resume contract.
+        """
+        from ..persistence.snapshot import write_snapshot
+        from ..persistence.state import SHARDED_KIND, engine_sections, sharded_sections
+
+        if self._closed:
+            raise RuntimeError(
+                "checkpoint is not allowed on a closed sharded engine: its "
+                "shard state died with the worker pool"
+            )
+        if self._workers:
+            by_shard: Dict[int, Dict[str, Any]] = {}
+            for handle in self._workers:
+                handle.conn.send(("state",))
+            for worker_index in range(len(self._workers)):
+                reply = self._receive(worker_index)
+                by_shard.update(reply[1])
+            shard_states = [by_shard[shard_id] for shard_id in range(self.config.shard_count)]
+        else:
+            shard_states = [engine_sections(engine) for engine in self.shards]
+        self.checkpoint_epoch += 1
+        return write_snapshot(
+            path, SHARDED_KIND, self.checkpoint_epoch, sharded_sections(self, shard_states)
+        )
+
+    @classmethod
+    def restore(cls, path: str) -> "ShardedStreamEngine":
+        """Reconstruct a sharded engine from a :meth:`checkpoint` snapshot.
+
+        The restored engine resumes exactly at its watermark: feeding it
+        the remainder of the stream yields byte-for-byte the events
+        (matches, order, sequence numbers) of the uninterrupted run, under
+        either scheduler -- a pool-configured engine restores its shard
+        state in-process and re-forks the pool lazily on the next batch.
+        ``on_match`` callbacks and custom sinks are not serialisable and
+        must be re-attached via :meth:`add_sink`.  Raises
+        :class:`~repro.persistence.snapshot.SnapshotCorruptError` on any
+        torn or damaged snapshot and
+        :class:`~repro.persistence.snapshot.SnapshotVersionError` on a
+        format-version mismatch -- never a silent partial load.
+        """
+        from ..persistence.snapshot import read_snapshot
+        from ..persistence.state import SHARDED_KIND, load_sharded_sections
+
+        manifest, sections = read_snapshot(path, kind=SHARDED_KIND)
+        engine = load_sharded_sections(sections)
+        engine.checkpoint_epoch = manifest["epoch"]
+        return engine
 
     # ------------------------------------------------------------------
     # results and introspection

@@ -169,6 +169,41 @@ class SJTreeNode:
         self._expiry = ExpiryQueue()
         self._match_count = 0
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise the node's match collection and lifetime counters.
+
+        Matches are listed bucket by bucket in the collection's iteration
+        order.  That order is load-bearing: ``matches_for_key`` feeds join
+        candidate enumeration, which decides the order same-trigger events
+        emit in, so :meth:`load_state` re-inserts in exactly this order.
+        """
+        return {
+            "matches": [
+                match.state_dict()
+                for bucket in self._matches.values()
+                for match in bucket.values()
+            ],
+            "total_inserted": self.total_inserted,
+            "total_expired": self.total_expired,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore the match collection captured by :meth:`state_dict`.
+
+        The node must be freshly built (keys assigned, no matches stored):
+        re-inserting through :meth:`store_match` reproduces the bucket
+        layout and the expiry queue's tie-break order.
+        """
+        from ..isomorphism.match import Match
+
+        for payload in state["matches"]:
+            self.store_match(Match.from_state(payload))
+        self.total_inserted = state["total_inserted"]
+        self.total_expired = state["total_expired"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "leaf" if self.is_leaf else ("root" if self.is_root else "internal")
         return (
@@ -326,6 +361,28 @@ class SJTree:
         for node in self.nodes.values():
             node.clear_matches()
         self._last_expiry_sweep = None
+
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise every node's match collection (structure is rebuilt, not stored).
+
+        The tree *structure* is deterministic given the decomposition, so
+        only the per-node collections and the expiry-cadence clock are
+        captured; :meth:`load_state` targets a tree freshly built from the
+        same decomposition (node ids match by construction).
+        """
+        return {
+            "nodes": [[node_id, self.nodes[node_id].state_dict()] for node_id in self.nodes],
+            "last_expiry_sweep": self._last_expiry_sweep,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore per-node collections captured by :meth:`state_dict`."""
+        for node_id, node_state in state["nodes"]:
+            self.nodes[node_id].load_state(node_state)
+        self._last_expiry_sweep = state["last_expiry_sweep"]
 
     # ------------------------------------------------------------------
     # invariants (Properties 1, 2, 4 and decomposition sanity)

@@ -151,6 +151,54 @@ class AdjacencyIndex:
         return len(self._by_vertex)
 
     # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def label_order_state(self) -> List[Tuple[VertexId, str, List[str]]]:
+        """Return the per-(vertex, direction) *label key order* of the index.
+
+        Rebuilding the index by re-adding the live edges in ingest order
+        reproduces every per-label bucket exactly, but not necessarily the
+        order of the label keys themselves: a label bucket keeps its
+        original slot as long as one live edge holds it open, even after
+        the edge that *created* it was evicted, so the key order is a
+        function of the full ingest/evict history, not of the surviving
+        edges.  ``incident_edge_ids`` with ``label=None`` iterates buckets
+        in key order -- which feeds local-search enumeration and therefore
+        match emission order -- so a byte-exact restore must capture it.
+        Only slots with two or more labels are recorded (singletons cannot
+        be mis-ordered).
+        """
+        orders: List[Tuple[VertexId, str, List[str]]] = []
+        for vertex_id, per_direction in self._by_vertex.items():
+            for direction, per_label in per_direction.items():
+                if len(per_label) > 1:
+                    orders.append((vertex_id, direction, list(per_label)))
+        return orders
+
+    def apply_label_order(self, orders: Iterable[Tuple[VertexId, str, List[str]]]) -> None:
+        """Re-impose a label key order captured by :meth:`label_order_state`.
+
+        Must be called after the index has been rebuilt with the same live
+        edges; labels present in the stored order but absent from the
+        rebuilt slot are skipped (and vice versa keep their rebuilt
+        positions after the ordered prefix).
+        """
+        for vertex_id, direction, labels in orders:
+            per_direction = self._by_vertex.get(vertex_id)
+            if not per_direction:
+                continue
+            per_label = per_direction.get(direction)
+            if not per_label:
+                continue
+            reordered = {
+                label: per_label[label] for label in labels if label in per_label
+            }
+            for label, bucket in per_label.items():
+                if label not in reordered:
+                    reordered[label] = bucket
+            per_direction[direction] = reordered
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _slot(self, vertex_id: VertexId, direction: str, label: str) -> Dict[EdgeId, None]:

@@ -260,6 +260,54 @@ class DynamicGraph:
         """Return an independent copy of the currently retained graph."""
         return self.graph.copy()
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialise the windowed store (graph + clock + counters).
+
+        The expiry queue is not serialised: it is rebuilt from the retained
+        edges on :meth:`from_state`.  Stale heap entries (edges already
+        evicted out of band) are dropped by the rebuild, which is
+        behaviour-preserving -- ``pop_expired`` skips them anyway -- and the
+        rebuilt tie-break order (push order = ingest order of the live
+        edges) matches the original's for every edge that can still expire.
+        """
+        return {
+            "graph": self.graph.state_dict(),
+            "window": {
+                "duration": self.window.duration if self.window.bounded else None,
+                "strict": self.window.strict,
+            },
+            "evict_isolated_vertices": self.evict_isolated_vertices,
+            "out_of_order_tolerance": self.out_of_order_tolerance,
+            "current_time": self._current_time,
+            "edges_ingested": self._edges_ingested,
+            "edges_evicted": self._edges_evicted,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DynamicGraph":
+        """Rebuild a windowed store from :meth:`state_dict` output.
+
+        Eviction listeners are *not* restored (they are plain callables);
+        the owning engine re-attaches its own after restore when it uses
+        any.
+        """
+        window_state = state["window"]
+        graph = cls(
+            window=TimeWindow(window_state["duration"], strict=window_state["strict"]),
+            evict_isolated_vertices=state["evict_isolated_vertices"],
+            out_of_order_tolerance=state["out_of_order_tolerance"],
+        )
+        graph.graph = PropertyGraph.from_state(state["graph"])
+        graph._current_time = float(state["current_time"])
+        graph._edges_ingested = state["edges_ingested"]
+        graph._edges_evicted = state["edges_evicted"]
+        for edge in graph.graph.edges():
+            graph._expiry.push(edge.timestamp, edge.id)
+        return graph
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DynamicGraph(|V|={self.vertex_count()}, |E|={self.edge_count()}, "

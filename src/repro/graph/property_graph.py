@@ -349,6 +349,41 @@ class PropertyGraph:
         result._next_edge_id = self._next_edge_id
         return result
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise the full store into a JSON-friendly state dict.
+
+        Vertices and edges are listed in their *insertion order* (the order
+        the store enumerates them in), which is what
+        :meth:`from_state` replays to reproduce every internal index --
+        including the label buckets, whose iteration order is a correctness
+        property of the engines (see :class:`AdjacencyIndex`).  Attribute
+        values must be JSON-safe for the state to be writable.
+        """
+        return {
+            "vertices": [
+                [vertex.id, vertex.label, dict(vertex.attrs)]
+                for vertex in self._vertices.values()
+            ],
+            "edges": [
+                [edge.id, edge.source, edge.target, edge.label, edge.timestamp, dict(edge.attrs)]
+                for edge in self._edges.values()
+            ],
+            "next_edge_id": self._next_edge_id,
+            "adjacency_label_order": self._adjacency.label_order_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "PropertyGraph":
+        """Rebuild a store from :meth:`state_dict` output (exact indexes)."""
+        graph = cls()
+        for vertex_id, label, attrs in state["vertices"]:
+            graph.add_vertex(vertex_id, label, attrs)
+        for edge_id, source, target, label, timestamp, attrs in state["edges"]:
+            graph.add_edge(source, target, label, timestamp, attrs, edge_id=edge_id)
+        graph._next_edge_id = state["next_edge_id"]
+        graph._adjacency.apply_label_order(state.get("adjacency_label_order", ()))
+        return graph
+
     def clear(self) -> None:
         """Remove every vertex and edge."""
         self._vertices.clear()

@@ -64,6 +64,7 @@ __all__ = [
     "experiment_multiquery_dispatch",
     "experiment_sharded_scaling",
     "experiment_out_of_order_throughput",
+    "experiment_checkpoint_recovery",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1257,6 +1258,150 @@ def experiment_out_of_order_throughput(
     }
 
 
+# ----------------------------------------------------------------------
+# E14: crash-consistent checkpoint/restore vs replay-from-scratch
+# ----------------------------------------------------------------------
+def experiment_checkpoint_recovery(
+    scale: float = 1.0,
+    seed: int = 71,
+    query_count: int = 12,
+    chain_length: int = 4,
+    batch_size: int = 100,
+    windows: Sequence[float] = (2.5, 5.0, 10.0, 20.0),
+    shard_count: int = 2,
+) -> Dict[str, object]:
+    """Measure checkpoint/restore against replaying the stream from scratch.
+
+    Two claims are measured on the E11/E12 multi-query workload:
+
+    * **Exact resume** (the correctness half, asserted at every scale):
+      process half the stream, ``checkpoint()``, ``restore()`` into a fresh
+      engine, feed the remainder -- the full event history (matches, order,
+      sequence numbers) must be byte-identical to the uninterrupted run.
+      Checked for the single engine and the ``shard_count``-shard serial
+      sharded engine (the crash-at-every-boundary matrix lives in
+      ``tests/test_checkpoint.py``; this is the harness-level smoke).
+    * **Recovery cost** (the performance half): for each window in
+      ``windows``, restoring from a snapshot is compared with the only
+      alternative after a crash -- replaying the processed prefix from
+      scratch.  Replay cost grows with everything the engine ever saw
+      (fixed here: the same prefix re-run per window), while snapshot size
+      and checkpoint/restore time grow only with the *live* state
+      (windowed store + in-flight partials), so the sweep shows snapshot
+      cost tracking the window while restore stays ahead of replay across
+      the board -- most dramatically when the window (live state) is small
+      relative to the history.  ``rows`` reports snapshot bytes,
+      checkpoint/restore/replay seconds and the restore-vs-replay speedup
+      per window.
+    """
+    import tempfile
+
+    edge_count = max(400, int(4000 * scale))
+    queries = _label_disjoint_chain_queries(query_count, chain_length)
+    records = _multiquery_dispatch_stream(query_count, edge_count, seed, chain_length)
+    half = (len(records) // (2 * batch_size)) * batch_size or min(batch_size, len(records))
+
+    def build_single(window: float) -> StreamWorksEngine:
+        engine = StreamWorksEngine(
+            config=EngineConfig(collect_statistics=False, record_latency=False)
+        )
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"chain{index}", window=window)
+        return engine
+
+    def build_sharded(window: float) -> ShardedStreamEngine:
+        engine = ShardedStreamEngine(
+            config=ShardConfig(
+                shard_count=shard_count,
+                engine=EngineConfig(collect_statistics=False, record_latency=False),
+            )
+        )
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"chain{index}", window=window)
+        return engine
+
+    def replay(engine, slice_records) -> None:
+        for start in range(0, len(slice_records), batch_size):
+            engine.process_batch(slice_records[start : start + batch_size])
+
+    def canonical(events) -> List[tuple]:
+        return [
+            (event.query_name, event.match.portable_identity(), event.detected_at, event.sequence)
+            for event in events
+        ]
+
+    recovery_window = windows[len(windows) // 2]
+    identical: Dict[str, bool] = {}
+    with tempfile.TemporaryDirectory(prefix="streamworks-e14-") as tmp:
+        # --- exact-resume smoke: single and sharded ---------------------
+        for mode, build, engine_cls in (
+            ("single", build_single, StreamWorksEngine),
+            (f"sharded x{shard_count}", build_sharded, ShardedStreamEngine),
+        ):
+            oracle = build(recovery_window)
+            replay(oracle, records)
+            reference = canonical(oracle.events())
+            crashed = build(recovery_window)
+            replay(crashed, records[:half])
+            path = os.path.join(tmp, "recovery.snap")
+            crashed.checkpoint(path)
+            del crashed  # the crash: only the snapshot survives
+            resumed = engine_cls.restore(path)
+            replay(resumed, records[half:])
+            identical[mode] = canonical(resumed.events()) == reference
+
+        # --- recovery cost vs window size -------------------------------
+        rows = []
+        for window in windows:
+            engine = build_single(window)
+            replay(engine, records[:half])
+            path = os.path.join(tmp, f"w{window}.snap")
+            stopwatch = Stopwatch()
+            stopwatch.start()
+            engine.checkpoint(path)
+            checkpoint_s = stopwatch.stop()
+            snapshot_bytes = os.path.getsize(path)
+            stored_partials = sum(
+                registration.matcher.stored_partial_matches()
+                for registration in engine.queries.values()
+            )
+            stopwatch.start()
+            restored = StreamWorksEngine.restore(path)
+            restore_s = stopwatch.stop()
+            # the crash alternative: rebuild the same state by replaying the
+            # prefix from scratch into a fresh engine
+            fresh = build_single(window)
+            stopwatch.start()
+            replay(fresh, records[:half])
+            replay_s = stopwatch.stop()
+            rows.append(
+                {
+                    "window": window,
+                    "prefix_records": half,
+                    "graph_edges": restored.graph.edge_count(),
+                    "stored_partials": stored_partials,
+                    "snapshot_kib": snapshot_bytes / 1024.0,
+                    "checkpoint_s": checkpoint_s,
+                    "restore_s": restore_s,
+                    "replay_s": replay_s,
+                    "restore_speedup": replay_s / restore_s if restore_s > 0 else float("inf"),
+                }
+            )
+
+    return {
+        "experiment": "E14_checkpoint_recovery",
+        "query_count": query_count,
+        "stream_edges": len(records),
+        "batch_size": batch_size,
+        "checkpoint_at": half,
+        "recovery_window": recovery_window,
+        "identical_single": identical["single"],
+        "identical_sharded": identical[f"sharded x{shard_count}"],
+        "max_restore_speedup": max(row["restore_speedup"] for row in rows),
+        "rows": rows,
+    }
+
+
 #: Experiment id -> callable, used by the CLI runner and the benchmarks.
 ALL_EXPERIMENTS = {
     "E1": experiment_fig2_news_decomposition,
@@ -1272,4 +1417,5 @@ ALL_EXPERIMENTS = {
     "E11": experiment_multiquery_dispatch,
     "E12": experiment_sharded_scaling,
     "E13": experiment_out_of_order_throughput,
+    "E14": experiment_checkpoint_recovery,
 }

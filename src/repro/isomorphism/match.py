@@ -249,6 +249,32 @@ class Match:
             ),
         )
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, list]:
+        """Serialise the match into a JSON-friendly state dict.
+
+        Bound data edges are stored *by content* (id, endpoints, label,
+        timestamp, attrs), not by reference: partial matches legitimately
+        outlive their edges in the window store, so a restore rebuilds
+        independent :class:`Edge` values.  Map iteration orders are
+        preserved (``vertex_map``/``edge_map`` are rebuilt in the same
+        order they were serialised in).
+        """
+        return {
+            "v": [[name, vertex] for name, vertex in self.vertex_map.items()],
+            "e": [[query_edge, edge.to_dict()] for query_edge, edge in self.edge_map.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, list]) -> "Match":
+        """Rebuild a match from :meth:`state_dict` output."""
+        return cls(
+            {name: vertex for name, vertex in state["v"]},
+            {query_edge: Edge.from_dict(payload) for query_edge, payload in state["e"]},
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Match):
             return NotImplemented

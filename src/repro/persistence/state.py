@@ -1,0 +1,405 @@
+"""Whole-engine state capture and reconstruction (the snapshot payloads).
+
+This module turns a live :class:`~repro.core.engine.StreamWorksEngine` (or
+:class:`~repro.core.sharded.ShardedStreamEngine`) into the section payloads
+of a snapshot file and back.  The contract is *exact resume*:
+
+    ``restore(checkpoint(E))`` followed by the rest of the stream produces
+    byte-for-byte the events (matches, order, sequence numbers) and the
+    deterministic metrics the uninterrupted run produces.
+
+Everything that influences future behaviour is therefore captured
+explicitly: the window store with its index iteration orders, every
+SJ-Tree's partial-match collections (bucket order included -- it decides
+join candidate enumeration), the duplicate-suppression memory, the reorder
+buffer's pending tail and watermark, sampler RNG states, and every
+deterministic counter.  Two things are deliberately *not* captured:
+
+* wall-clock measurements (latency samples, throughput elapsed time) are
+  carried over as recorded but obviously cannot be byte-identical across a
+  crash;
+* ``on_match`` callbacks and custom sinks are arbitrary Python callables --
+  the caller re-attaches them after ``restore()`` (the engine-owned
+  collector, with its full event history, *is* restored).
+
+Because the collector is append-only and fully captured, the ``events``
+section -- and therefore autosave cost -- grows with every match ever
+emitted, not with the window.  Long-running deployments that drain events
+downstream should ``engine.collector.clear()`` periodically; future
+matching is unaffected (in-flight state lives in the matchers).
+
+Queries are persisted through :mod:`repro.query.serialize`; a query whose
+predicates cannot round-trip (``CustomPredicate``) makes the engine
+un-checkpointable and raises a :class:`~repro.persistence.snapshot.SnapshotError`
+naming the query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.decomposition import Decomposition
+from ..core.engine import EngineConfig, RegisteredQuery, StreamWorksEngine
+from ..core.matcher import ContinuousQueryMatcher
+from ..core.planner import QueryPlan
+from ..graph.dynamic_graph import DynamicGraph
+from ..graph.window import TimeWindow
+from ..isomorphism.match import Match
+from ..query.serialize import QuerySerializationError, query_from_dict, query_to_dict
+from ..stats.summarizer import StreamSummarizer
+from ..streaming.events import MatchEvent
+from ..streaming.metrics import LatencyRecorder, ThroughputMeter
+from ..streaming.reorder import ReorderBuffer
+from .snapshot import SnapshotCorruptError, SnapshotError
+
+__all__ = [
+    "ENGINE_KIND",
+    "SHARDED_KIND",
+    "engine_sections",
+    "load_engine_sections",
+    "sharded_sections",
+    "load_sharded_sections",
+]
+
+#: Snapshot ``kind`` written by the single engine.
+ENGINE_KIND = "streamworks-engine"
+#: Snapshot ``kind`` written by the sharded engine.
+SHARDED_KIND = "streamworks-sharded-engine"
+
+#: EngineConfig attributes persisted verbatim (constructor keyword names).
+_CONFIG_FIELDS = (
+    "default_window",
+    "collect_statistics",
+    "track_triads",
+    "triad_sample_cap",
+    "dedupe_structural",
+    "store_complete_matches",
+    "plan_strategy",
+    "primitive_size",
+    "record_latency",
+    "auto_replan_interval",
+    "use_dispatch_index",
+    "latency_sample_cap",
+    "allowed_lateness",
+    "late_policy",
+    "checkpoint_every",
+    "checkpoint_path",
+)
+
+
+# ----------------------------------------------------------------------
+# small shared codecs
+# ----------------------------------------------------------------------
+def _config_state(config: EngineConfig) -> Dict[str, Any]:
+    return {name: getattr(config, name) for name in _CONFIG_FIELDS}
+
+
+def _config_from_state(state: Mapping[str, Any]) -> EngineConfig:
+    return EngineConfig(**dict(state))
+
+
+def _window_state(window: TimeWindow) -> Dict[str, Any]:
+    return {
+        "duration": window.duration if window.bounded else None,
+        "strict": window.strict,
+    }
+
+
+def _window_from_state(state: Mapping[str, Any]) -> TimeWindow:
+    return TimeWindow(state["duration"], strict=state["strict"])
+
+
+def _query_to_dict_checked(query, owner: str) -> Dict[str, Any]:
+    try:
+        return query_to_dict(query)
+    except QuerySerializationError as error:
+        raise SnapshotError(
+            f"registered query {owner!r} cannot be checkpointed: {error} "
+            f"(CustomPredicate-bearing queries do not round-trip; re-register "
+            f"them after restore instead)"
+        ) from error
+
+
+def _plan_state(plan: QueryPlan, owner: str) -> Dict[str, Any]:
+    decomposition = plan.decomposition
+    return {
+        "strategy": plan.strategy,
+        "decomposition_strategy": decomposition.strategy,
+        "tree_shape": decomposition.tree_shape,
+        "primitives": [
+            _query_to_dict_checked(primitive, owner) for primitive in decomposition.primitives
+        ],
+        "estimates": [[name, value] for name, value in plan.estimates.items()],
+        "summary_edge_count": plan.summary_edge_count,
+    }
+
+
+def _plan_from_state(query, state: Mapping[str, Any]) -> QueryPlan:
+    primitives = [query_from_dict(payload) for payload in state["primitives"]]
+    estimates = {name: value for name, value in state["estimates"]}
+    decomposition = Decomposition(
+        query,
+        primitives,
+        strategy=state["decomposition_strategy"],
+        tree_shape=state["tree_shape"],
+        estimates=dict(estimates),
+    )
+    return QueryPlan(
+        query=query,
+        decomposition=decomposition,
+        strategy=state["strategy"],
+        estimates=estimates,
+        summary_edge_count=state["summary_edge_count"],
+    )
+
+
+def _event_state(event: MatchEvent) -> Dict[str, Any]:
+    return {
+        "q": event.query_name,
+        "m": event.match.state_dict(),
+        "t": event.detected_at,
+        "s": event.sequence,
+        "i": event.trigger_index,
+    }
+
+
+def _event_from_state(state: Mapping[str, Any]) -> MatchEvent:
+    return MatchEvent(
+        query_name=state["q"],
+        match=Match.from_state(state["m"]),
+        detected_at=state["t"],
+        sequence=state["s"],
+        trigger_index=state["i"],
+    )
+
+
+def _dispatch_counters(dispatch) -> Dict[str, int]:
+    return {
+        "lookups": dispatch.lookups,
+        "entries_matched": dispatch.entries_matched,
+        "entries_skipped": dispatch.entries_skipped,
+    }
+
+
+# ----------------------------------------------------------------------
+# single engine
+# ----------------------------------------------------------------------
+def engine_sections(engine: StreamWorksEngine) -> Dict[str, Any]:
+    """Capture a single engine's full state as ordered snapshot sections."""
+    queries = []
+    for name, registration in engine.queries.items():
+        matcher = registration.matcher
+        queries.append(
+            {
+                "name": name,
+                "query": _query_to_dict_checked(registration.query, name),
+                "window": _window_state(registration.window),
+                "plan": _plan_state(registration.plan, name),
+                "dedupe_structural": matcher.dedupe_structural,
+                "store_complete_matches": matcher.store_complete_matches,
+                "match_count": registration.match_count,
+                "matcher": matcher.state_dict(),
+            }
+        )
+    return {
+        "config": _config_state(engine.config),
+        "graph": engine.graph.state_dict(),
+        "summarizer": engine.summarizer.state_dict() if engine.summarizer is not None else None,
+        # `is not None`, not truthiness: an EMPTY reorder buffer is falsy
+        # (it has __len__), and dropping it would silently disable
+        # event-time ingestion on the restored engine
+        "reorder": engine.reorder.state_dict() if engine.reorder is not None else None,
+        "queries": queries,
+        "events": [_event_state(event) for event in engine.collector.events],
+        "counters": {
+            "sequence": engine._sequence,
+            "edges_processed": engine.edges_processed,
+            "records_batched": engine.records_batched,
+            "records_per_record": engine.records_per_record,
+            "records_dead_on_arrival": engine.records_dead_on_arrival,
+            "event_time_watermark": engine.event_time_watermark,
+            "batches_processed": engine.batches_processed,
+            "checkpoint_epoch": engine.checkpoint_epoch,
+            "throughput": engine.throughput.state_dict(),
+            "latency": engine.latency.state_dict(),
+            "dispatch": _dispatch_counters(engine.dispatch),
+        },
+    }
+
+
+def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
+    """Rebuild a single engine from :func:`engine_sections` payloads."""
+    try:
+        config = _config_from_state(sections["config"])
+        engine = StreamWorksEngine(config=config)
+        engine.graph = DynamicGraph.from_state(sections["graph"])
+        engine.summarizer = (
+            StreamSummarizer.from_state(sections["summarizer"])
+            if sections["summarizer"] is not None
+            else None
+        )
+        engine.reorder = (
+            ReorderBuffer.from_state(sections["reorder"])
+            if sections["reorder"] is not None
+            else None
+        )
+        for payload in sections["queries"]:
+            query = query_from_dict(payload["query"])
+            window = _window_from_state(payload["window"])
+            plan = _plan_from_state(query, payload["plan"])
+            matcher = ContinuousQueryMatcher(
+                query=query,
+                decomposition=plan.decomposition,
+                graph=engine.graph,
+                window=window,
+                dedupe_structural=payload["dedupe_structural"],
+                store_complete_matches=payload["store_complete_matches"],
+            )
+            matcher.load_state(payload["matcher"])
+            registration = RegisteredQuery(payload["name"], query, window, plan, matcher)
+            registration.match_count = payload["match_count"]
+            engine.queries[payload["name"]] = registration
+            engine.dispatch.register(payload["name"], matcher.tree.leaves())
+        counters = sections["counters"]
+        engine._sequence = counters["sequence"]
+        engine.edges_processed = counters["edges_processed"]
+        engine.records_batched = counters["records_batched"]
+        engine.records_per_record = counters["records_per_record"]
+        engine.records_dead_on_arrival = counters["records_dead_on_arrival"]
+        engine.event_time_watermark = float(counters["event_time_watermark"])
+        engine.batches_processed = counters["batches_processed"]
+        engine.checkpoint_epoch = counters["checkpoint_epoch"]
+        engine.throughput = ThroughputMeter.from_state(counters["throughput"])
+        engine.latency = LatencyRecorder.from_state(counters["latency"])
+        dispatch_counters = counters["dispatch"]
+        engine.dispatch.lookups = dispatch_counters["lookups"]
+        engine.dispatch.entries_matched = dispatch_counters["entries_matched"]
+        engine.dispatch.entries_skipped = dispatch_counters["entries_skipped"]
+        engine.collector.events.extend(
+            _event_from_state(payload) for payload in sections["events"]
+        )
+    except SnapshotError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise SnapshotCorruptError(
+            f"snapshot payload is structurally valid but not loadable: {error!r}"
+        ) from error
+    return engine
+
+
+# ----------------------------------------------------------------------
+# sharded engine
+# ----------------------------------------------------------------------
+def sharded_sections(engine, shard_states: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Capture a sharded engine's parent state plus pre-collected shard states.
+
+    ``shard_states`` is one :func:`engine_sections` payload per shard, in
+    shard-id order -- collected by the caller because only it knows whether
+    shard state lives in-process or in worker processes.
+    """
+    registrations = sorted(engine.queries.values(), key=lambda reg: reg.order)
+    sections: Dict[str, Any] = {
+        "config": {
+            "shard_count": engine.config.shard_count,
+            "workers": engine.config.workers,
+            "routing": engine.config.routing,
+            "engine": _config_state(engine.config.engine),
+        },
+        "queries": [
+            {
+                "name": registration.name,
+                "query": _query_to_dict_checked(registration.query, registration.name),
+                "shard_id": registration.shard_id,
+                "order": registration.order,
+                "cost": registration.cost,
+                "window": _window_state(registration.window),
+                "match_count": registration.match_count,
+            }
+            for registration in registrations
+        ],
+        # `is not None`: an empty parent buffer is falsy (see engine_sections)
+        "reorder": engine.reorder.state_dict() if engine.reorder is not None else None,
+        "events": [_event_state(event) for event in engine.collector.events],
+        "counters": {
+            "sequence": engine._sequence,
+            "edges_processed": engine.edges_processed,
+            "clock": engine._clock,
+            "records_sent": list(engine._records_sent),
+            "shard_loads": list(engine._shard_loads),
+            "registration_seq": engine._registration_seq,
+            "batches_processed": engine.batches_processed,
+            "checkpoint_epoch": engine.checkpoint_epoch,
+            "throughput": engine.throughput.state_dict(),
+            "router": {
+                "records_seen": engine.router.records_seen,
+                "records_dropped": engine.router.records_dropped,
+                "records_broadcast": engine.router.records_broadcast,
+                "fanout_total": engine.router.fanout_total,
+            },
+        },
+    }
+    for shard_id, shard_state in enumerate(shard_states):
+        sections[f"shard_{shard_id}"] = shard_state
+    return sections
+
+
+def load_sharded_sections(sections: Mapping[str, Any]):
+    """Rebuild a sharded engine (serial state; pool restarts lazily) from sections."""
+    from ..core.sharded import ShardConfig, ShardedQuery, ShardedStreamEngine
+
+    try:
+        config_state = sections["config"]
+        config = ShardConfig(
+            shard_count=config_state["shard_count"],
+            workers=config_state["workers"],
+            routing=config_state["routing"],
+            engine=_config_from_state(config_state["engine"]),
+        )
+        engine = ShardedStreamEngine(config=config)
+        engine.shards = [
+            load_engine_sections(sections[f"shard_{shard_id}"])
+            for shard_id in range(config.shard_count)
+        ]
+        for payload in sections["queries"]:
+            query = query_from_dict(payload["query"])
+            registration = ShardedQuery(
+                payload["name"],
+                query,
+                payload["shard_id"],
+                payload["order"],
+                payload["cost"],
+                window=_window_from_state(payload["window"]),
+            )
+            registration.match_count = payload["match_count"]
+            engine.queries[payload["name"]] = registration
+            engine.router.add_query(payload["shard_id"], query)
+        engine.reorder = (
+            ReorderBuffer.from_state(sections["reorder"])
+            if sections["reorder"] is not None
+            else None
+        )
+        counters = sections["counters"]
+        engine._sequence = counters["sequence"]
+        engine.edges_processed = counters["edges_processed"]
+        engine._clock = float(counters["clock"])
+        engine._records_sent = list(counters["records_sent"])
+        engine._shard_loads = [float(load) for load in counters["shard_loads"]]
+        engine._registration_seq = counters["registration_seq"]
+        engine.batches_processed = counters["batches_processed"]
+        engine.checkpoint_epoch = counters["checkpoint_epoch"]
+        engine.throughput = ThroughputMeter.from_state(counters["throughput"])
+        router_counters = counters["router"]
+        engine.router.records_seen = router_counters["records_seen"]
+        engine.router.records_dropped = router_counters["records_dropped"]
+        engine.router.records_broadcast = router_counters["records_broadcast"]
+        engine.router.fanout_total = router_counters["fanout_total"]
+        engine.collector.events.extend(
+            _event_from_state(payload) for payload in sections["events"]
+        )
+    except SnapshotError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise SnapshotCorruptError(
+            f"snapshot payload is structurally valid but not loadable: {error!r}"
+        ) from error
+    return engine

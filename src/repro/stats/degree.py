@@ -197,5 +197,26 @@ class StreamingDegreeTracker:
         """Snapshot the current degrees into a :class:`DegreeDistribution`."""
         return DegreeDistribution(self._degrees.values())
 
+    def state_dict(self) -> Dict[str, list]:
+        """Serialise the per-vertex degree maps (pair lists: ids may be non-string)."""
+        return {
+            "degrees": [[vertex, count] for vertex, count in self._degrees.items()],
+            "in_degrees": [[vertex, count] for vertex, count in self._in_degrees.items()],
+            "out_degrees": [[vertex, count] for vertex, count in self._out_degrees.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, list]) -> "StreamingDegreeTracker":
+        """Rebuild from :meth:`state_dict` output."""
+        tracker = cls()
+        for key, target in (
+            ("degrees", tracker._degrees),
+            ("in_degrees", tracker._in_degrees),
+            ("out_degrees", tracker._out_degrees),
+        ):
+            for vertex, count in state[key]:
+                target[vertex] = count
+        return tracker
+
     def __len__(self) -> int:
         return len(self._degrees)

@@ -69,6 +69,22 @@ class LabelDistribution:
         """Return a plain ``{label: count}`` dict."""
         return dict(self._counts)
 
+    def state_dict(self) -> list:
+        """Serialise as ``[[label, count], ...]`` preserving insertion order.
+
+        Order matters: ``most_common`` breaks count ties by insertion
+        order, and the planner's selectivity ranking reads it.
+        """
+        return [[label, count] for label, count in self._counts.items()]
+
+    @classmethod
+    def from_state(cls, state: list) -> "LabelDistribution":
+        """Rebuild from :meth:`state_dict` output."""
+        distribution = cls()
+        for label, count in state:
+            distribution._counts[label] = count
+        return distribution
+
     def __len__(self) -> int:
         return len(self._counts)
 
@@ -139,6 +155,18 @@ class SignatureDistribution:
     def to_dict(self) -> Dict[str, int]:
         """Return ``{"src|label|dst": count}`` suitable for JSON export."""
         return {"|".join(key): count for key, count in self._counts.items()}
+
+    def state_dict(self) -> list:
+        """Serialise as ``[[[src, label, dst], count], ...]`` in insertion order."""
+        return [[list(signature), count] for signature, count in self._counts.items()]
+
+    @classmethod
+    def from_state(cls, state: list) -> "SignatureDistribution":
+        """Rebuild from :meth:`state_dict` output."""
+        distribution = cls()
+        for signature, count in state:
+            distribution._counts[tuple(signature)] = count
+        return distribution
 
     def __len__(self) -> int:
         return len(self._counts)

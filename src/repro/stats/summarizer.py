@@ -180,6 +180,36 @@ class StreamSummarizer:
         """Total number of edges folded into the summary."""
         return self._edge_count
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise the full summarizer (distributions, trackers, census)."""
+        return {
+            "track_triads": self.track_triads,
+            "vertex_labels": self.vertex_labels.state_dict(),
+            "edge_labels": self.edge_labels.state_dict(),
+            "signatures": self.signatures.state_dict(),
+            "degree_tracker": self.degree_tracker.state_dict(),
+            "triads": self.triads.state_dict(),
+            "known_vertices": list(self._known_vertices),
+            "edge_count": self._edge_count,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamSummarizer":
+        """Rebuild a summarizer from :meth:`state_dict` output."""
+        from .degree import StreamingDegreeTracker
+        from .labels import LabelDistribution, SignatureDistribution
+        from .triads import TriadCensus
+
+        summarizer = cls(track_triads=state["track_triads"])
+        summarizer.vertex_labels = LabelDistribution.from_state(state["vertex_labels"])
+        summarizer.edge_labels = LabelDistribution.from_state(state["edge_labels"])
+        summarizer.signatures = SignatureDistribution.from_state(state["signatures"])
+        summarizer.degree_tracker = StreamingDegreeTracker.from_state(state["degree_tracker"])
+        summarizer.triads = TriadCensus.from_state(state["triads"])
+        summarizer._known_vertices = set(state["known_vertices"])
+        summarizer._edge_count = state["edge_count"]
+        return summarizer
+
     def summary(self) -> GraphSummary:
         """Return a snapshot :class:`GraphSummary` of the current statistics."""
         return GraphSummary(

@@ -190,6 +190,37 @@ class TriadCensus:
             result[f"{center}|{leg_strs[0]}|{leg_strs[1]}"] = count
         return result
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise the census: counts (insertion order), sampler RNG state.
+
+        The RNG state is part of the observable behaviour: the sampled
+        census must draw the *same* neighbour samples after a restore as
+        the uninterrupted run would, or the two runs' statistics (and any
+        later replan decision) diverge.
+        """
+        rng_version, rng_internal, rng_gauss = self._rng.getstate()
+        return {
+            "sample_cap": self._sample_cap,
+            "wedges_observed": self._wedges_observed,
+            "counts": [
+                [[center, [list(legs[0]), list(legs[1])]], count]
+                for (center, legs), count in self._counts.items()
+            ],
+            "rng_state": [rng_version, list(rng_internal), rng_gauss],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TriadCensus":
+        """Rebuild a census from :meth:`state_dict` output."""
+        census = cls(sample_cap=state["sample_cap"])
+        rng_version, rng_internal, rng_gauss = state["rng_state"]
+        census._rng.setstate((rng_version, tuple(rng_internal), rng_gauss))
+        census._wedges_observed = state["wedges_observed"]
+        for (center, legs), count in state["counts"]:
+            key = (center, (tuple(legs[0]), tuple(legs[1])))
+            census._counts[key] = count
+        return census
+
     def __len__(self) -> int:
         return len(self._counts)
 

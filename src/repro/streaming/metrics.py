@@ -140,6 +140,30 @@ class LatencyRecorder:
             "max": self.max(),
         }
 
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise the recorder: exact totals, reservoir and RNG state."""
+        rng_version, rng_internal, rng_gauss = self._rng.getstate()
+        return {
+            "cap": self._cap,
+            "samples": list(self._samples),
+            "count": self._count,
+            "sum": self._sum,
+            "max": self._max,
+            "rng_state": [rng_version, list(rng_internal), rng_gauss],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LatencyRecorder":
+        """Rebuild a recorder from :meth:`state_dict` output."""
+        recorder = cls(cap=state["cap"])
+        rng_version, rng_internal, rng_gauss = state["rng_state"]
+        recorder._rng.setstate((rng_version, tuple(rng_internal), rng_gauss))
+        recorder._samples = list(state["samples"])
+        recorder._count = state["count"]
+        recorder._sum = state["sum"]
+        recorder._max = state["max"]
+        return recorder
+
     def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
         """Return a new recorder combining both sample sets.
 
@@ -207,3 +231,15 @@ class ThroughputMeter:
     def summary(self) -> Dict[str, float]:
         """Return items/elapsed/rate in a dict."""
         return {"items": float(self._items), "elapsed_s": self.elapsed, "rate_per_s": self.rate()}
+
+    def state_dict(self) -> Dict[str, float]:
+        """Serialise the meter (items + accumulated seconds; never mid-interval)."""
+        return {"items": self._items, "elapsed": self.elapsed}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, float]) -> "ThroughputMeter":
+        """Rebuild a meter from :meth:`state_dict` output."""
+        meter = cls()
+        meter._items = int(state["items"])
+        meter._elapsed = float(state["elapsed"])
+        return meter

@@ -277,6 +277,48 @@ class ReorderBuffer:
     def __len__(self) -> int:
         return len(self._pending)
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise the buffer: pending records (arrival order) + counters.
+
+        The pending list is stored in its exact current order -- a sorted
+        prefix followed by new arrivals -- because the next drain's stable
+        sort depends on it: two records with equal timestamps release in
+        arrival order, and a restored buffer must release them identically.
+        """
+        return {
+            "allowed_lateness": self.allowed_lateness,
+            "late_policy": self.late_policy,
+            "pending": [record.to_dict() for record in self._pending],
+            "min_pending": self._min_pending,
+            "max_seen": self._max_seen,
+            "records_seen": self.records_seen,
+            "records_reordered": self.records_reordered,
+            "records_late": self.records_late,
+            "records_late_dropped": self.records_late_dropped,
+            "records_late_degraded": self.records_late_degraded,
+            "records_released": self.records_released,
+            "max_displacement_seen": self.max_displacement_seen,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "ReorderBuffer":
+        """Rebuild a buffer from :meth:`state_dict` output."""
+        buffer = cls(state["allowed_lateness"], late_policy=state["late_policy"])
+        buffer._pending = [StreamEdge.from_dict(payload) for payload in state["pending"]]
+        buffer._min_pending = float(state["min_pending"])
+        buffer._max_seen = float(state["max_seen"])
+        buffer.records_seen = state["records_seen"]
+        buffer.records_reordered = state["records_reordered"]
+        buffer.records_late = state["records_late"]
+        buffer.records_late_dropped = state["records_late_dropped"]
+        buffer.records_late_degraded = state["records_late_degraded"]
+        buffer.records_released = state["records_released"]
+        buffer.max_displacement_seen = float(state["max_displacement_seen"])
+        return buffer
+
     def stats(self) -> Dict[str, float]:
         """Return admission/lateness counters as a plain dict."""
         return {

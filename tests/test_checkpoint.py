@@ -1,0 +1,726 @@
+"""Crash-at-every-boundary differential recovery suite.
+
+The persistence contract is the strongest statement the subsystem makes:
+
+    ``restore(checkpoint(E))`` followed by the remainder of the stream is
+    **byte-for-byte** the uninterrupted run -- same matches, same event
+    order, same sequence numbers, same deterministic metrics.
+
+This suite proves it the only way such a contract can be proven: by
+*killing the engine at every boundary*.  For each workload the stream is
+replayed batch by batch; after **every** batch the engine is checkpointed,
+a fresh engine is restored from the file (the original is discarded --
+nothing in-process survives the "crash"), the remaining batches are fed,
+and the full event history plus deterministic metrics are diffed against
+the uninterrupted oracle.  A sampled set of *intra-batch* boundaries is
+crashed the same way through the per-record path.  The matrix covers the
+single engine and the sharded engine at shard counts 1/2/4, both
+schedulers (serial and worker pool), both dispatch-index settings, and
+event-time (reorder-buffer) configurations whose buffered tail must
+survive the crash.
+
+Torn-snapshot robustness rides along: every section of a snapshot file is
+truncated and bit-flipped in turn, and ``restore`` must raise a typed
+``SnapshotCorruptError`` -- never a silent partial load -- while version
+mismatches are rejected with a clear message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core import EngineConfig, ShardConfig, ShardedStreamEngine, StreamWorksEngine
+from repro.persistence import (
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotVersionError,
+    read_manifest,
+    read_snapshot,
+)
+from repro.query.query_graph import QueryGraph
+from repro.streaming import StreamEdge, bounded_shuffle
+from repro.workloads import NetflowConfig, NetflowGenerator, RmatConfig, RmatGenerator
+
+BATCH_SIZE = 40
+
+
+# ----------------------------------------------------------------------
+# workloads and queries (same shapes as the sharded conformance suite)
+# ----------------------------------------------------------------------
+def chain_query(name, labels, vertex_labels=None):
+    query = QueryGraph(name)
+    vertex_labels = vertex_labels or {}
+    for position in range(len(labels) + 1):
+        query.add_vertex(f"v{position}", vertex_labels.get(position))
+    for position, label in enumerate(labels):
+        query.add_edge(f"v{position}", f"v{position + 1}", label)
+    return query
+
+
+def rmat_queries():
+    return [
+        ("ab", chain_query("ab", ["rel_a", "rel_b", "rel_a", "rel_b"]), 0.5),
+        ("cc", chain_query("cc", ["rel_c", "rel_c"], {0: "TypeA"}), 0.5),
+        ("wild", chain_query("wild", [None, "rel_a"]), 0.3),
+    ]
+
+
+def netflow_queries():
+    return [
+        ("flows", chain_query("flows", ["connectsTo", "connectsTo"]), 0.4),
+        ("dns", chain_query("dns", ["resolvesTo"]), 0.4),
+        ("login", chain_query("login", ["loginTo", "connectsTo"], {0: "User"}), 0.6),
+    ]
+
+
+def rmat_records(count=200, seed=29, mean_interarrival=0.01):
+    generator = RmatGenerator(RmatConfig(seed=seed, scale=6, mean_interarrival=mean_interarrival))
+    return list(generator.stream(count))
+
+
+def netflow_records(count=200, seed=11):
+    return list(NetflowGenerator(NetflowConfig(seed=seed)).stream(count))
+
+
+def disordered_rmat_records(count=200, seed=29):
+    """Bounded-displacement shuffle past the windows: includes dead-on-arrival."""
+    return bounded_shuffle(rmat_records(count, seed=seed), 48, seed=seed + 1)
+
+
+WORKLOADS = {
+    "rmat": (rmat_records, rmat_queries),
+    "netflow": (netflow_records, netflow_queries),
+    "rmat_disordered": (disordered_rmat_records, rmat_queries),
+}
+
+
+def canonical(events):
+    return [
+        (
+            event.query_name,
+            event.match.portable_identity(),
+            event.detected_at,
+            event.sequence,
+            event.trigger_index,
+        )
+        for event in events
+    ]
+
+
+def register_all(engine, query_specs):
+    for name, query, window in query_specs:
+        engine.register_query(query, name=name, window=window)
+
+
+def batches_of(records):
+    return [records[start : start + BATCH_SIZE] for start in range(0, len(records), BATCH_SIZE)]
+
+
+#: Deterministic single-engine metric keys the resumed run must reproduce.
+DETERMINISTIC_METRICS = (
+    "edges_processed",
+    "events_emitted",
+    "graph_vertices",
+    "graph_edges",
+    "edges_evicted",
+    "ingest_paths",
+    "event_time_watermark",
+    "dispatch",
+    "queries",
+    "stored_partial_matches",
+)
+
+
+def deterministic_metrics(engine):
+    metrics = engine.metrics()
+    return {key: metrics[key] for key in DETERMINISTIC_METRICS}
+
+
+def assert_resumed_equals_oracle(oracle, resumed, context):
+    assert canonical(resumed.events()) == canonical(oracle.events()), (
+        f"{context}: resumed event history diverged from the uninterrupted run"
+    )
+    assert resumed.match_counts() == oracle.match_counts(), context
+    if isinstance(oracle, StreamWorksEngine):
+        assert deterministic_metrics(resumed) == deterministic_metrics(oracle), context
+    else:
+        assert resumed.edges_processed == oracle.edges_processed, context
+        assert resumed._sequence == oracle._sequence, context
+
+
+# ----------------------------------------------------------------------
+# single engine: crash at EVERY batch boundary
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("use_dispatch_index", [True, False], ids=["indexed", "unindexed"])
+def test_single_engine_crash_at_every_batch_boundary(tmp_path, workload, use_dispatch_index):
+    make_records, query_specs = WORKLOADS[workload]
+    records = make_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = StreamWorksEngine(
+            config=EngineConfig(use_dispatch_index=use_dispatch_index)
+        )
+        register_all(engine, query_specs())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    assert oracle.events(), f"workload {workload} produced no events -- not a real test"
+
+    path = str(tmp_path / "engine.snap")
+    for crash_after in range(len(batches)):
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        del engine  # the "crash": nothing in-process survives
+        resumed = StreamWorksEngine.restore(path)
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        assert_resumed_equals_oracle(
+            oracle, resumed, f"{workload}/{'indexed' if use_dispatch_index else 'unindexed'}, "
+            f"crash after batch {crash_after}"
+        )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_single_engine_crash_at_sampled_intra_batch_records(tmp_path, workload):
+    """Per-record path: crash at sampled record indices inside the stream."""
+    make_records, query_specs = WORKLOADS[workload]
+    records = make_records()
+
+    def build():
+        engine = StreamWorksEngine(config=EngineConfig())
+        register_all(engine, query_specs())
+        return engine
+
+    oracle = build()
+    for record in records:
+        oracle.process_record(record)
+    assert oracle.events()
+
+    rng = random.Random(7)
+    crash_points = sorted(rng.sample(range(1, len(records)), 8))
+    path = str(tmp_path / "engine.snap")
+    for crash_after in crash_points:
+        engine = build()
+        for record in records[:crash_after]:
+            engine.process_record(record)
+        engine.checkpoint(path)
+        del engine
+        resumed = StreamWorksEngine.restore(path)
+        for record in records[crash_after:]:
+            resumed.process_record(record)
+        assert_resumed_equals_oracle(oracle, resumed, f"{workload}, crash at record {crash_after}")
+
+
+def test_single_engine_event_time_tail_survives_crash(tmp_path):
+    """The reorder buffer's unreleased tail must resume exactly (incl. flush)."""
+    records = disordered_rmat_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = StreamWorksEngine(
+            config=EngineConfig(allowed_lateness=1.0, late_policy="process_degraded")
+        )
+        register_all(engine, rmat_queries())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    oracle.flush()
+    assert oracle.events()
+
+    path = str(tmp_path / "engine.snap")
+    for crash_after in range(len(batches)):
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        buffered = len(engine.reorder)
+        del engine
+        resumed = StreamWorksEngine.restore(path)
+        assert len(resumed.reorder) == buffered  # the tail crossed the crash
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        resumed.flush()
+        assert_resumed_equals_oracle(oracle, resumed, f"event-time crash after batch {crash_after}")
+
+
+# ----------------------------------------------------------------------
+# sharded engine: shards 1/2/4 x serial/pool schedulers
+# ----------------------------------------------------------------------
+def _sharded_config(shard_count, workers, use_dispatch_index=True, allowed_lateness=None):
+    return ShardConfig(
+        shard_count=shard_count,
+        workers=workers,
+        engine=EngineConfig(
+            use_dispatch_index=use_dispatch_index,
+            allowed_lateness=allowed_lateness,
+        ),
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("shard_count", [1, 2, 4])
+@pytest.mark.parametrize("use_dispatch_index", [True, False], ids=["indexed", "unindexed"])
+def test_sharded_serial_crash_at_every_batch_boundary(
+    tmp_path, workload, shard_count, use_dispatch_index
+):
+    make_records, query_specs = WORKLOADS[workload]
+    records = make_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = ShardedStreamEngine(
+            config=_sharded_config(shard_count, 0, use_dispatch_index)
+        )
+        register_all(engine, query_specs())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    assert oracle.events()
+
+    path = str(tmp_path / "sharded.snap")
+    for crash_after in range(len(batches)):
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        del engine
+        resumed = ShardedStreamEngine.restore(path)
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        assert_resumed_equals_oracle(
+            oracle,
+            resumed,
+            f"{workload}, {shard_count}-shard serial, crash after batch {crash_after}",
+        )
+
+
+@pytest.mark.skipif(
+    not ShardedStreamEngine.fork_available(), reason="multiprocessing fork unavailable"
+)
+@pytest.mark.parametrize("shard_count", [2, 4])
+def test_sharded_pool_checkpoint_and_restore_through_pool(tmp_path, shard_count):
+    """Checkpoint a RUNNING pool (state fetched from workers); resume into a pool."""
+    records = rmat_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = ShardedStreamEngine(config=_sharded_config(shard_count, 2))
+        register_all(engine, rmat_queries())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    reference = canonical(oracle.events())
+    oracle.close()
+    assert reference
+
+    path = str(tmp_path / "sharded.snap")
+    crash_points = [0, len(batches) // 2, len(batches) - 1]
+    for crash_after in crash_points:
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)  # shard state lives in the workers here
+        engine.close()
+        resumed = ShardedStreamEngine.restore(path)
+        assert resumed.config.workers == 2  # resumes as a pool engine
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        assert canonical(resumed.events()) == reference, (
+            f"{shard_count}-shard pool, crash after batch {crash_after}"
+        )
+        resumed.close()
+
+
+def test_sharded_event_time_parent_buffer_survives_crash(tmp_path):
+    records = disordered_rmat_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = ShardedStreamEngine(config=_sharded_config(2, 0, allowed_lateness=1.0))
+        register_all(engine, rmat_queries())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    oracle.flush()
+    assert oracle.events()
+
+    path = str(tmp_path / "sharded.snap")
+    for crash_after in range(0, len(batches), 2):
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        del engine
+        resumed = ShardedStreamEngine.restore(path)
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        resumed.flush()
+        assert_resumed_equals_oracle(
+            oracle, resumed, f"sharded event-time crash after batch {crash_after}"
+        )
+
+
+# ----------------------------------------------------------------------
+# autosave cadence
+# ----------------------------------------------------------------------
+def test_checkpoint_every_autosaves_with_monotone_epochs(tmp_path):
+    path = str(tmp_path / "auto.snap")
+    engine = StreamWorksEngine(
+        config=EngineConfig(checkpoint_every=2, checkpoint_path=path)
+    )
+    register_all(engine, rmat_queries())
+    # an even batch count so the final autosave captures the final state
+    batches = batches_of(rmat_records(160))
+    assert len(batches) % 2 == 0
+    epochs = []
+    for batch in batches:
+        engine.process_batch(batch)
+        if engine.batches_processed % 2 == 0:
+            epochs.append(read_manifest(path)["epoch"])
+    assert len(epochs) == len(batches) // 2
+    assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)  # monotone
+    # the newest autosave resumes exactly like an explicit checkpoint
+    resumed = StreamWorksEngine.restore(path)
+    assert canonical(resumed.events()) == canonical(engine.events())
+    # a restored engine keeps autosaving from the carried-over epoch
+    resumed.process_batch(batches[0])
+    resumed.process_batch(batches[0])
+    assert read_manifest(path)["epoch"] > epochs[-1]
+
+
+def test_sharded_autosave_is_parent_level(tmp_path):
+    path = str(tmp_path / "auto.snap")
+    engine = ShardedStreamEngine(
+        config=ShardConfig(
+            shard_count=2,
+            engine=EngineConfig(checkpoint_every=1, checkpoint_path=path),
+        )
+    )
+    register_all(engine, rmat_queries())
+    # shards must NOT autosave on their own (they'd clobber the parent's path)
+    assert all(shard.config.checkpoint_every is None for shard in engine.shards)
+    engine.process_batch(rmat_records(40))
+    resumed = ShardedStreamEngine.restore(path)
+    assert canonical(resumed.events()) == canonical(engine.events())
+
+
+def test_checkpoint_every_requires_path():
+    with pytest.raises(ValueError):
+        EngineConfig(checkpoint_every=5)
+    with pytest.raises(ValueError):
+        EngineConfig(checkpoint_every=0, checkpoint_path="x.snap")
+
+
+def test_autosave_engine_rejects_uncheckpointable_query_at_registration(tmp_path):
+    """CustomPredicate cannot round-trip: an autosaving engine must refuse it
+    when the query is registered, not at the Nth batch."""
+    from repro.query.predicates import CustomPredicate
+    from repro.query.query_graph import QueryGraph
+
+    query = QueryGraph("custom")
+    query.add_vertex("a")
+    query.add_vertex("b")
+    query.add_edge("a", "b", "rel_a", CustomPredicate(lambda attrs: True))
+
+    path = str(tmp_path / "auto.snap")
+    engine = StreamWorksEngine(
+        config=EngineConfig(checkpoint_every=1, checkpoint_path=path)
+    )
+    with pytest.raises(ValueError, match="autosaving"):
+        engine.register_query(query, name="custom", window=1.0)
+    assert "custom" not in engine.queries  # nothing half-registered
+    # without autosave the same query registers fine (checkpoint() then
+    # raises a typed error if attempted -- that path is exercised below)
+    plain = StreamWorksEngine(config=EngineConfig())
+    plain.register_query(query, name="custom", window=1.0)
+    with pytest.raises(SnapshotError, match="custom"):
+        plain.checkpoint(str(tmp_path / "explicit.snap"))
+    # parent-level check on the sharded engine (shard configs are stripped)
+    sharded = ShardedStreamEngine(
+        config=ShardConfig(
+            shard_count=2,
+            engine=EngineConfig(checkpoint_every=1, checkpoint_path=path),
+        )
+    )
+    with pytest.raises(ValueError, match="autosaving"):
+        sharded.register_query(query, name="custom", window=1.0)
+
+
+@pytest.mark.parametrize("sharded", [False, True], ids=["engine", "sharded"])
+def test_autosave_failure_does_not_lose_the_processed_batch(tmp_path, sharded):
+    """An unwritable autosave target raises a typed SnapshotError AFTER the
+    batch was processed -- the events stay retrievable and the error says so,
+    so the caller does not re-feed (and double-process) the batch."""
+    bad_path = str(tmp_path / "no_such_dir" / "auto.snap")
+    config = EngineConfig(checkpoint_every=1, checkpoint_path=bad_path)
+    if sharded:
+        engine = ShardedStreamEngine(config=ShardConfig(shard_count=2, engine=config))
+    else:
+        engine = StreamWorksEngine(config=config)
+    register_all(engine, rmat_queries())
+    batch = rmat_records(150)
+    with pytest.raises(SnapshotError, match="do NOT re-feed"):
+        engine.process_batch(batch)
+    assert engine.events()  # the batch's events survived the failed autosave
+    assert engine.edges_processed == len(batch)
+
+
+# ----------------------------------------------------------------------
+# torn-snapshot robustness: corrupt every section, always a typed error
+# ----------------------------------------------------------------------
+def _snapshot_engine(tmp_path, sharded=False):
+    path = str(tmp_path / ("sharded.snap" if sharded else "engine.snap"))
+    if sharded:
+        engine = ShardedStreamEngine(config=_sharded_config(2, 0))
+    else:
+        engine = StreamWorksEngine(config=EngineConfig())
+    register_all(engine, rmat_queries())
+    for batch in batches_of(rmat_records(120)):
+        engine.process_batch(batch)
+    engine.checkpoint(path)
+    return path
+
+
+@pytest.mark.parametrize("sharded", [False, True], ids=["engine", "sharded"])
+def test_truncation_of_every_section_raises_typed_error(tmp_path, sharded):
+    path = _snapshot_engine(tmp_path, sharded)
+    restore = ShardedStreamEngine.restore if sharded else StreamWorksEngine.restore
+    with open(path, "rb") as handle:
+        data = handle.read()
+    manifest = read_manifest(path)
+    header_len = data.find(b"\n") + 1
+    # cut the file inside every section (and inside the manifest line itself)
+    cut_points = [header_len // 2]
+    offset = header_len
+    for entry in manifest["sections"]:
+        cut_points.append(offset + max(0, entry["length"] // 2))
+        offset += entry["length"]
+    for cut in cut_points:
+        torn = str(tmp_path / "torn.snap")
+        with open(torn, "wb") as handle:
+            handle.write(data[:cut])
+        with pytest.raises(SnapshotCorruptError):
+            restore(torn)
+
+
+@pytest.mark.parametrize("sharded", [False, True], ids=["engine", "sharded"])
+def test_bitflip_in_every_section_raises_typed_error(tmp_path, sharded):
+    path = _snapshot_engine(tmp_path, sharded)
+    restore = ShardedStreamEngine.restore if sharded else StreamWorksEngine.restore
+    with open(path, "rb") as handle:
+        data = handle.read()
+    manifest = read_manifest(path)
+    offset = data.find(b"\n") + 1
+    for entry in manifest["sections"]:
+        flip_at = offset + entry["length"] // 2
+        offset += entry["length"]
+        corrupt = bytearray(data)
+        corrupt[flip_at] ^= 0xFF
+        bad = str(tmp_path / "bad.snap")
+        with open(bad, "wb") as handle:
+            handle.write(bytes(corrupt))
+        with pytest.raises(SnapshotCorruptError):
+            restore(bad)
+
+
+def test_trailing_garbage_rejected(tmp_path):
+    path = _snapshot_engine(tmp_path)
+    with open(path, "ab") as handle:
+        handle.write(b"garbage")
+    with pytest.raises(SnapshotCorruptError):
+        StreamWorksEngine.restore(path)
+
+
+def test_version_mismatch_rejected_with_clear_message(tmp_path):
+    path = _snapshot_engine(tmp_path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    newline = data.find(b"\n")
+    manifest = json.loads(data[:newline])
+    manifest["format_version"] = 999
+    with open(path, "wb") as handle:
+        handle.write(json.dumps(manifest, separators=(",", ":")).encode() + b"\n")
+        handle.write(data[newline + 1 :])
+    with pytest.raises(SnapshotVersionError, match="format version 999"):
+        StreamWorksEngine.restore(path)
+
+
+def test_kind_mismatch_rejected(tmp_path):
+    single_path = _snapshot_engine(tmp_path)
+    with pytest.raises(SnapshotError, match="kind"):
+        ShardedStreamEngine.restore(single_path)
+    sharded_path = _snapshot_engine(tmp_path, sharded=True)
+    with pytest.raises(SnapshotError, match="kind"):
+        StreamWorksEngine.restore(sharded_path)
+
+
+def test_non_snapshot_file_rejected(tmp_path):
+    path = str(tmp_path / "not_a_snapshot")
+    with open(path, "w") as handle:
+        handle.write("hello world\n")
+    with pytest.raises(SnapshotCorruptError):
+        StreamWorksEngine.restore(path)
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"magic": "something-else"}) + "\n")
+    with pytest.raises(SnapshotCorruptError):
+        StreamWorksEngine.restore(path)
+
+
+def test_crash_during_checkpoint_leaves_previous_snapshot(tmp_path, monkeypatch):
+    """Atomicity: a failed write never damages the snapshot under the path."""
+    path = str(tmp_path / "engine.snap")
+    engine = StreamWorksEngine(config=EngineConfig())
+    register_all(engine, rmat_queries())
+    batches = batches_of(rmat_records(80))
+    engine.process_batch(batches[0])
+    engine.checkpoint(path)
+    good = open(path, "rb").read()
+    engine.process_batch(batches[1])
+    # simulate a crash mid-write: the rename step never happens
+    monkeypatch.setattr(os, "replace", lambda *args: (_ for _ in ()).throw(OSError("crash")))
+    with pytest.raises(OSError):
+        engine.checkpoint(path)
+    monkeypatch.undo()
+    assert open(path, "rb").read() == good  # previous snapshot intact
+    assert not [name for name in os.listdir(tmp_path) if ".tmp." in name]  # no debris
+    StreamWorksEngine.restore(path)  # and it still restores
+
+
+# ----------------------------------------------------------------------
+# dead-on-arrival determinism (ROADMAP unification) -- restore depends on it
+# ----------------------------------------------------------------------
+class TestDeadOnArrivalUnification:
+    """Batched ingest now skips beyond-retention records exactly like the
+    per-record path, so the outcome no longer depends on how the stream was
+    batched -- which is what makes `checkpoint at any boundary + feed the
+    remainder in any batching` well-defined."""
+
+    RECORDS = [
+        StreamEdge("m", "n", "z", 100.0),  # advances the clock far ahead
+        StreamEdge("x", "y", "a", 5.0),    # dead on arrival (window 10)
+        StreamEdge("y", "w", "b", 6.0),    # dead on arrival; would chain with the above
+    ]
+
+    def build(self, use_dispatch_index=True):
+        engine = StreamWorksEngine(config=EngineConfig(use_dispatch_index=use_dispatch_index))
+        engine.register_query(chain_query("ab", ["a", "b"]), name="ab", window=10.0)
+        engine.register_query(chain_query("zz", ["z"]), name="zz", window=10.0)
+        return engine
+
+    def test_batched_skips_dead_records_like_per_record_path(self):
+        per_record = self.build()
+        for record in self.RECORDS:
+            per_record.process_record(record)
+        batched = self.build()
+        batched.process_batch(self.RECORDS[:1])
+        batched.process_batch(self.RECORDS[1:])  # [5.0, 6.0] is one ordered run
+        # the two dead records must not produce the "ab" chain match in
+        # either mode (pre-fix the batched run kept them alive and matched)
+        assert [e.query_name for e in per_record.events()] == ["zz"]
+        assert [e.query_name for e in batched.events()] == ["zz"]
+        for engine in (per_record, batched):
+            assert engine.records_dead_on_arrival == 2
+            assert engine.metrics()["ingest_paths"]["dead_on_arrival"] == 2
+            assert engine.graph.edge_count() == 1  # only the z edge is retained
+        assert batched.records_batched == 3
+
+    def test_batching_invariance_of_dead_records(self):
+        """Any batch split of the stream yields the same events -- the
+        property checkpoint/restore relies on when it re-batches the tail."""
+        reference = None
+        for split in ([1, 1, 1], [3], [2, 1], [1, 2]):
+            engine = self.build()
+            offset = 0
+            for size in split:
+                engine.process_batch(self.RECORDS[offset : offset + size])
+                offset += size
+            observed = [
+                (e.query_name, e.match.portable_identity(), e.sequence)
+                for e in engine.events()
+            ]
+            if reference is None:
+                reference = observed
+            assert observed == reference, f"split {split} diverged"
+            assert engine.records_dead_on_arrival == 2
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 4])
+    def test_sharded_batched_agrees_on_dead_records(self, shard_count):
+        single = self.build()
+        single.process_batch(self.RECORDS)
+        sharded = ShardedStreamEngine(config=_sharded_config(shard_count, 0))
+        sharded.register_query(chain_query("ab", ["a", "b"]), name="ab", window=10.0)
+        sharded.register_query(chain_query("zz", ["z"]), name="zz", window=10.0)
+        sharded.process_batch(self.RECORDS)
+        assert canonical(sharded.events()) == canonical(single.events())
+        assert sum(shard.records_dead_on_arrival for shard in sharded.shards) == 2
+
+    def test_crash_between_dead_records_resumes_exactly(self, tmp_path):
+        oracle = self.build()
+        oracle.process_batch(self.RECORDS)
+        path = str(tmp_path / "dead.snap")
+        engine = self.build()
+        engine.process_batch(self.RECORDS[:2])
+        engine.checkpoint(path)
+        resumed = StreamWorksEngine.restore(path)
+        resumed.process_batch(self.RECORDS[2:])
+        assert_resumed_equals_oracle(oracle, resumed, "crash between dead records")
+
+
+# ----------------------------------------------------------------------
+# restore-surface details
+# ----------------------------------------------------------------------
+def test_restore_preserves_registration_and_replan_surface(tmp_path):
+    """The restored engine is a full engine: registration order, plans,
+    statistics and live registration keep working."""
+    path = str(tmp_path / "engine.snap")
+    engine = StreamWorksEngine(config=EngineConfig())
+    register_all(engine, rmat_queries())
+    for batch in batches_of(rmat_records(120)):
+        engine.process_batch(batch)
+    engine.checkpoint(path)
+    resumed = StreamWorksEngine.restore(path)
+    assert list(resumed.queries) == list(engine.queries)
+    for name in engine.queries:
+        assert resumed.queries[name].plan.strategy == engine.queries[name].plan.strategy
+        assert resumed.queries[name].window == engine.queries[name].window
+    # summarizer statistics survived (same headline numbers)
+    assert resumed.statistics_summary().to_dict() == engine.statistics_summary().to_dict()
+    # live registration still works on the restored engine
+    resumed.register_query(chain_query("new", ["rel_b"]), name="new", window=1.0)
+    assert "new" in resumed.queries
+    resumed.replan_query("new")
+    resumed.unregister_query("new")
+
+
+def test_restore_rejects_missing_file(tmp_path):
+    with pytest.raises(SnapshotError):
+        StreamWorksEngine.restore(str(tmp_path / "does_not_exist.snap"))
+
+
+def test_snapshot_sections_are_inspectable(tmp_path):
+    """read_snapshot exposes named sections -- the operator debugging surface."""
+    path = _snapshot_engine(tmp_path)
+    manifest, sections = read_snapshot(path)
+    assert manifest["kind"] == "streamworks-engine"
+    assert manifest["epoch"] == 1
+    for name in ("config", "graph", "summarizer", "reorder", "queries", "events", "counters"):
+        assert name in sections
+    assert len(sections["queries"]) == len(rmat_queries())
