@@ -25,7 +25,13 @@ inversion points so the ordered runs keep that fast path, and
 bounded-lateness reorder buffer re-sorts disorder inside the lateness
 horizon, releases watermark-closed prefixes as in-order fast-path batches,
 and applies an explicit late-data policy (drop / process degraded, with
-counters) to anything older than the watermark.
+counters) to anything older than the watermark.  The buffer is
+multi-source (:mod:`repro.streaming.sources`): records carrying a
+``source_id`` get one watermark per collector with min-release across
+active sources (``register_source`` declares collectors up front,
+``idle_source_timeout`` bounds silent ones), and admission can run off the
+matcher's thread via
+:class:`~repro.streaming.async_ingest.AsyncIngestFrontend`.
 
 Typical use::
 
@@ -39,7 +45,7 @@ Typical use::
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..graph.dynamic_graph import DynamicGraph
 from ..graph.types import Edge, Timestamp, VertexId
@@ -48,6 +54,7 @@ from ..query.query_graph import QueryGraph
 from ..stats.summarizer import StreamSummarizer
 from ..streaming.edge_stream import StreamEdge
 from ..streaming.reorder import LatePolicy, ReorderBuffer, ordered_run_slices
+from ..streaming.sources import ADAPTIVE_LATENESS, MultiSourceReorderBuffer
 from ..streaming.events import (
     CallbackSink,
     CollectingSink,
@@ -88,7 +95,28 @@ def required_retention(
 
 
 class EngineConfig:
-    """Engine-level tunables."""
+    """Engine-level tunables (also the per-shard template of the sharded engine).
+
+    Every parameter is validated at construction and raises ``ValueError``
+    naming the offending field; the full reference table -- each field, its
+    default, and how fields interact -- is ``docs/operations.md``.  The
+    headline groups:
+
+    * **storage/semantics**: ``default_window`` (fallback query window,
+      drives graph retention), ``dedupe_structural``,
+      ``store_complete_matches``;
+    * **planning**: ``collect_statistics`` / ``track_triads`` /
+      ``triad_sample_cap`` (the statistics the planner consumes),
+      ``plan_strategy``, ``primitive_size``, ``auto_replan_interval``;
+    * **ingest**: ``use_dispatch_index`` (label-indexed dispatch + the
+      batched fast path), ``record_latency`` / ``latency_sample_cap``;
+    * **event time**: ``allowed_lateness`` (float, ``"adaptive"``, or
+      ``None``), ``late_policy``, ``idle_source_timeout`` -- see the
+      per-attribute comments below and
+      :class:`~repro.streaming.sources.MultiSourceReorderBuffer`;
+    * **persistence**: ``checkpoint_every`` + ``checkpoint_path``
+      (batch-cadence autosave).
+    """
 
     def __init__(
         self,
@@ -104,8 +132,9 @@ class EngineConfig:
         auto_replan_interval: Optional[int] = None,
         use_dispatch_index: bool = True,
         latency_sample_cap: Optional[int] = LatencyRecorder.DEFAULT_CAP,
-        allowed_lateness: Optional[float] = None,
+        allowed_lateness: Optional[Union[float, str]] = None,
         late_policy: str = LatePolicy.DROP,
+        idle_source_timeout: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
     ):
@@ -137,18 +166,23 @@ class EngineConfig:
             raise ValueError("auto_replan_interval must be positive or None")
         self.auto_replan_interval = auto_replan_interval
         #: Event-time ingestion: when set, the engine owns a
-        #: :class:`~repro.streaming.reorder.ReorderBuffer` with this lateness
-        #: horizon.  ``process_record`` / ``process_batch`` then admit records
-        #: into the buffer and process watermark-closed prefixes as in-order
-        #: batches on the batched fast path; genuinely-late records follow
-        #: ``late_policy``.  ``None`` (default) processes records exactly as
+        #: :class:`~repro.streaming.sources.MultiSourceReorderBuffer` with
+        #: this lateness horizon (one watermark per record ``source_id``,
+        #: released on the minimum across active sources; sourceless streams
+        #: behave exactly as a single global watermark).  ``process_record``
+        #: / ``process_batch`` then admit records into the buffer and
+        #: process watermark-closed prefixes as in-order batches on the
+        #: batched fast path; genuinely-late records follow ``late_policy``.
+        #: The string ``"adaptive"`` makes each source's horizon track a
+        #: running quantile of its own observed displacement instead of a
+        #: fixed value.  ``None`` (default) processes records exactly as
         #: they arrive.
-        if allowed_lateness is not None:
+        if allowed_lateness is not None and allowed_lateness != ADAPTIVE_LATENESS:
             allowed_lateness = float(allowed_lateness)
             if not allowed_lateness >= 0.0:  # also rejects NaN
                 raise ValueError(
-                    "allowed_lateness must be >= 0 in stream-time units "
-                    "(or None to disable event-time reordering)"
+                    "allowed_lateness must be >= 0 in stream-time units, "
+                    f"{ADAPTIVE_LATENESS!r}, or None to disable event-time reordering"
                 )
         self.allowed_lateness = allowed_lateness
         if late_policy not in LatePolicy.ALL:
@@ -160,6 +194,25 @@ class EngineConfig:
         #: and counts it; ``"process_degraded"`` processes it immediately on
         #: the exact per-record path against whatever history is retained.
         self.late_policy = late_policy
+        #: Idle-source timeout (stream-time units) for multi-source
+        #: event-time ingestion: a source whose clock lags the global
+        #: maximum by more than this is excluded from the min-watermark, so
+        #: a silent collector cannot freeze the release horizon.  ``None``
+        #: (default) waits for slow sources indefinitely.  Requires
+        #: ``allowed_lateness``.
+        if idle_source_timeout is not None:
+            if allowed_lateness is None:
+                raise ValueError(
+                    "idle_source_timeout requires allowed_lateness (event-time "
+                    "ingestion must be enabled for sources to have watermarks)"
+                )
+            idle_source_timeout = float(idle_source_timeout)
+            if not idle_source_timeout > 0.0:  # also rejects NaN
+                raise ValueError(
+                    "idle_source_timeout must be a positive duration in "
+                    "stream-time units (or None to wait for slow sources)"
+                )
+        self.idle_source_timeout = idle_source_timeout
         #: Batch-cadence autosave: after every N ``process_batch`` calls the
         #: engine checkpoints itself to ``checkpoint_path`` (atomic write,
         #: monotone epoch in the manifest -- a crash mid-save leaves the
@@ -195,6 +248,22 @@ class EngineConfig:
                 f"units (or None for unbounded), got {value!r}"
             )
         return value
+
+
+def _make_reorder_buffer(config: EngineConfig) -> Optional[MultiSourceReorderBuffer]:
+    """Build the event-time buffer an :class:`EngineConfig` asks for (or ``None``).
+
+    Shared by the single engine and the sharded parent so both resolve
+    ``allowed_lateness`` / ``late_policy`` / ``idle_source_timeout``
+    identically.
+    """
+    if config.allowed_lateness is None:
+        return None
+    return MultiSourceReorderBuffer(
+        config.allowed_lateness,
+        late_policy=config.late_policy,
+        idle_timeout=config.idle_source_timeout,
+    )
 
 
 class RegisteredQuery:
@@ -243,12 +312,11 @@ class StreamWorksEngine:
         retention = TimeWindow(config.default_window) if config.default_window else TimeWindow(None)
         self.graph = DynamicGraph(window=retention)
         #: Event-time reorder buffer (``None`` unless
-        #: ``EngineConfig(allowed_lateness=...)`` is set).
-        self.reorder: Optional[ReorderBuffer] = (
-            ReorderBuffer(config.allowed_lateness, late_policy=config.late_policy)
-            if config.allowed_lateness is not None
-            else None
-        )
+        #: ``EngineConfig(allowed_lateness=...)`` is set).  Always the
+        #: multi-source buffer: with no ``source_id`` on the records it is
+        #: byte-for-byte the single global watermark (regression-pinned),
+        #: and sourced records get per-source watermarks with min-release.
+        self.reorder: Optional[ReorderBuffer] = _make_reorder_buffer(config)
         #: Records processed through the batched fast path vs. the exact
         #: per-record path -- the deterministic signal that a workload kept
         #: (or lost) the fast path, independent of wall-clock noise.
@@ -400,7 +468,13 @@ class StreamWorksEngine:
         self._update_retention()
 
     def add_sink(self, sink: EventSink) -> None:
-        """Attach an additional event sink."""
+        """Attach an additional event sink.
+
+        ``sink.deliver(event)`` is called for every subsequent
+        :class:`~repro.streaming.events.MatchEvent`, in emission order,
+        after the engine-owned collector.  Sinks are not serialised by
+        :meth:`checkpoint`; re-attach them after :meth:`restore`.
+        """
         self._sinks.add(sink)
 
     def replan_query(self, name: str, strategy: Optional[str] = None) -> RegisteredQuery:
@@ -462,6 +536,26 @@ class StreamWorksEngine:
     # ------------------------------------------------------------------
     # stream processing
     # ------------------------------------------------------------------
+    def register_source(self, source_id: str) -> None:
+        """Declare a stream source (collector) before its first record.
+
+        Multi-source event-time only: the release watermark is the minimum
+        across the known sources' watermarks, so pre-registering the
+        collector set guarantees nothing is released until every collector
+        has spoken (or gone idle under ``idle_source_timeout``) -- the
+        condition for sorted-merge-exact results regardless of arrival
+        interleaving.  Unregistered sources join on their first record
+        instead (see
+        :meth:`repro.streaming.sources.MultiSourceReorderBuffer.register_source`).
+        Raises ``RuntimeError`` when event-time ingestion is not configured.
+        """
+        if self.reorder is None:
+            raise RuntimeError(
+                "register_source requires event-time ingestion: set "
+                "EngineConfig(allowed_lateness=...) so the engine owns a reorder buffer"
+            )
+        self.reorder.register_source(source_id)
+
     def process_edge(
         self,
         source: VertexId,
@@ -758,27 +852,55 @@ class StreamWorksEngine:
         """
         late = self.reorder.offer_all(records)
         ready = self.reorder.drain_ready()
-        self.event_time_watermark = self.reorder.watermark
+        return self._process_released(ready, late, self.reorder.watermark)
+
+    def _process_released(
+        self,
+        ready: Sequence[StreamEdge],
+        late: Sequence[StreamEdge],
+        watermark: float,
+    ) -> List[MatchEvent]:
+        """Process one buffer release: a sorted ready prefix + late hand-backs.
+
+        ``watermark`` is the buffer's watermark at the moment of release --
+        passed explicitly (rather than read back from the buffer) so the
+        async ingest front-end, whose admission thread may already be ahead,
+        stamps exactly the value the synchronous path would have.
+        """
+        self.event_time_watermark = watermark
         events: List[MatchEvent] = []
         if ready:
-            events.extend(self._process_batch_direct(ready))
+            events.extend(self._process_batch_direct(list(ready)))
         for record in late:
             events.extend(self._process_record_direct(record))
         return events
+
+    def _process_flushed(
+        self, remainder: List[StreamEdge], watermark: Optional[float] = None
+    ) -> List[MatchEvent]:
+        """Process the buffer's end-of-stream tail (shared with the async front-end).
+
+        ``watermark`` is accepted for signature parity with the sharded
+        engine (the async front-end captures it under its buffer lock) but
+        unused here: the synchronous single-engine flush does not stamp a
+        watermark, and the async path must match it byte for byte.
+        """
+        return self._process_batch_direct(remainder)
 
     def flush(self) -> List[MatchEvent]:
         """Release and process everything still held by the reorder buffer.
 
         Call at end of stream (nothing will arrive to advance the watermark
-        past the buffered tail).  A no-op returning ``[]`` when event-time
-        ingestion is not configured.
+        past the buffered tail -- including the tail a min-watermark held
+        for a slow source).  Returns the tail's events; a no-op returning
+        ``[]`` when event-time ingestion is not configured.
         """
         if self.reorder is None:
             return []
         remainder = self.reorder.flush()
         if not remainder:
             return []
-        return self._process_batch_direct(remainder)
+        return self._process_flushed(remainder)
 
     def _process_batch_direct(
         self,
@@ -935,13 +1057,20 @@ class StreamWorksEngine:
     # results and introspection
     # ------------------------------------------------------------------
     def events(self, query_name: Optional[str] = None) -> List[MatchEvent]:
-        """Return collected events, optionally filtered by query name."""
+        """Return the full collected event history, in emission order.
+
+        ``query_name`` filters to one registered query's events; ``None``
+        (default) returns everything.  The collector is append-only (and is
+        carried through checkpoints whole); long-running deployments that
+        drain events downstream should ``collector.clear()`` periodically.
+        """
         if query_name is None:
             return list(self.collector.events)
         return self.collector.for_query(query_name)
 
     def match_counts(self) -> Dict[str, int]:
-        """Return ``{query name: complete matches so far}``."""
+        """Return ``{query name: complete matches emitted so far}`` for every
+        registered query (zero entries included)."""
         return {name: registration.match_count for name, registration in self.queries.items()}
 
     def statistics_summary(self):

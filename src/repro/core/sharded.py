@@ -96,7 +96,12 @@ from ..streaming.partition import (
     least_loaded_shard,
 )
 from ..streaming.reorder import ReorderBuffer, ordered_run_slices
-from .engine import EngineConfig, StreamWorksEngine, required_retention
+from .engine import (
+    EngineConfig,
+    StreamWorksEngine,
+    _make_reorder_buffer,
+    required_retention,
+)
 from .planner import PlannerConfig, QueryPlanner
 
 __all__ = ["ShardConfig", "ShardedQuery", "ShardedStreamEngine"]
@@ -159,7 +164,15 @@ class ShardConfig:
 
 
 class ShardedQuery:
-    """Registration handle for one query on the sharded engine."""
+    """Registration handle for one query on the sharded engine.
+
+    The parent-side record of where a query lives and how it is accounted:
+    its assigned ``shard_id``, the global registration ``order`` (which
+    ties merged event ordering to single-engine query iteration order),
+    the plan ``cost`` used for greedy balancing, its resolved ``window``,
+    and the running ``match_count``.  Obtained from
+    :meth:`ShardedStreamEngine.register_query`; not constructed directly.
+    """
 
     def __init__(
         self,
@@ -393,17 +406,17 @@ class ShardedStreamEngine:
                 raise ValueError("pass routing either via config or directly, not both")
         self.config = config
         #: Event-time ingestion happens once, in the parent, *before*
-        #: routing: a single reorder buffer re-sorts the global stream and
-        #: its watermark-closed prefixes fan out as in-order batches, so the
-        #: per-shard engines must not buffer again (their copy of the
-        #: config has the lateness stripped).
-        self.reorder: Optional[ReorderBuffer] = (
-            ReorderBuffer(config.engine.allowed_lateness, late_policy=config.engine.late_policy)
-            if config.engine.allowed_lateness is not None
-            else None
-        )
+        #: routing: a single reorder buffer (multi-source: one watermark
+        #: per record ``source_id``, min-release across active sources)
+        #: re-sorts the global stream and its watermark-closed prefixes fan
+        #: out as in-order batches, so the per-shard engines must not
+        #: buffer again (their copy of the config has the lateness -- and
+        #: the idle-source timeout, which only means anything next to a
+        #: buffer -- stripped).
+        self.reorder: Optional[ReorderBuffer] = _make_reorder_buffer(config.engine)
         shard_engine_config = copy.copy(config.engine)
         shard_engine_config.allowed_lateness = None
+        shard_engine_config.idle_source_timeout = None
         # autosave is a parent-level concern: a shard checkpointing itself
         # mid-batch would race the parent's snapshot and clobber its path
         shard_engine_config.checkpoint_every = None
@@ -652,11 +665,22 @@ class ShardedStreamEngine:
         return {name: registration.shard_id for name, registration in self.queries.items()}
 
     def shard_loads(self) -> List[float]:
-        """Return the summed plan-cost load per shard."""
+        """Return the summed estimated plan cost assigned to each shard.
+
+        One float per shard id -- the balancing objective the greedy
+        assignment minimises the spread of; compare with
+        ``metrics()["shards"]`` for how estimates matched reality.
+        """
         return list(self._shard_loads)
 
     def add_sink(self, sink: EventSink) -> None:
-        """Attach an additional event sink (delivered merged, in global order)."""
+        """Attach an additional event sink (delivered merged, in global order).
+
+        Sinks run in the parent after the deterministic merge, so they
+        observe the exact single-engine event order under either
+        scheduler.  Not serialised by :meth:`checkpoint`; re-attach after
+        :meth:`restore`.
+        """
         self._sinks.add(sink)
 
     # ------------------------------------------------------------------
@@ -756,6 +780,22 @@ class ShardedStreamEngine:
     # ------------------------------------------------------------------
     # stream processing
     # ------------------------------------------------------------------
+    def register_source(self, source_id: str) -> None:
+        """Declare a stream source on the parent event-time buffer.
+
+        Mirrors :meth:`StreamWorksEngine.register_source`: sources live in
+        the parent's multi-source reorder buffer (shards never buffer), so
+        registration is a parent-level operation and works under both
+        schedulers.  Raises ``RuntimeError`` when event-time ingestion is
+        not configured.
+        """
+        if self.reorder is None:
+            raise RuntimeError(
+                "register_source requires event-time ingestion: set "
+                "allowed_lateness on the ShardConfig's engine template"
+            )
+        self.reorder.register_source(source_id)
+
     def process_record(self, record: StreamEdge) -> List[MatchEvent]:
         """Ingest one record (mirrors single-engine ``process_record``)."""
         if self.reorder is not None:
@@ -824,29 +864,65 @@ class ShardedStreamEngine:
         """
         late = self.reorder.offer_all(records)
         ready = self.reorder.drain_ready()
+        return self._process_released(ready, late, self.reorder.watermark)
+
+    def _process_released(
+        self,
+        ready: Sequence[StreamEdge],
+        late: Sequence[StreamEdge],
+        watermark: float,
+    ) -> List[MatchEvent]:
+        """Process one buffer release (shared with the async ingest front-end).
+
+        ``watermark`` is the horizon at release time, passed explicitly so
+        shard batches are stamped with the value the synchronous path would
+        have used even when an async admission thread has already advanced
+        the buffer past it.
+        """
         events: List[MatchEvent] = []
         if ready:
             events.extend(
-                self._run_batch(ready, per_record=not self.config.engine.use_dispatch_index)
+                self._run_batch(
+                    list(ready),
+                    per_record=not self.config.engine.use_dispatch_index,
+                    watermark=watermark,
+                )
             )
         for record in late:
-            events.extend(self._run_batch([record], per_record=True))
+            events.extend(self._run_batch([record], per_record=True, watermark=watermark))
         return events
+
+    def _process_flushed(
+        self, remainder: List[StreamEdge], watermark: Optional[float] = None
+    ) -> List[MatchEvent]:
+        """Process the buffer's end-of-stream tail (shared with the async front-end).
+
+        The async front-end passes the ``watermark`` it captured under its
+        buffer lock; reading ``self.reorder.watermark`` here instead would
+        race the ingest thread (unlocked source-dict iteration) and could
+        stamp shard batches with a horizon advanced by post-flush
+        admissions.  The synchronous path passes ``None`` and keeps its
+        read-at-dispatch behaviour.
+        """
+        return self._run_batch(
+            remainder,
+            per_record=not self.config.engine.use_dispatch_index,
+            watermark=watermark,
+        )
 
     def flush(self) -> List[MatchEvent]:
         """Release and process the reorder buffer's tail (end of stream).
 
         A no-op returning ``[]`` when event-time ingestion is not
         configured; mirrors single-engine :meth:`StreamWorksEngine.flush`.
+        Returns the tail's events (also collected in :meth:`events`).
         """
         if self.reorder is None:
             return []
         remainder = self.reorder.flush()
         if not remainder:
             return []
-        return self._run_batch(
-            remainder, per_record=not self.config.engine.use_dispatch_index
-        )
+        return self._process_flushed(remainder)
 
     def process_stream(
         self, stream: Iterable[StreamEdge], batch_size: Optional[int] = None
@@ -866,7 +942,12 @@ class ShardedStreamEngine:
         events.extend(self.flush())
         return events
 
-    def _run_batch(self, records: List[StreamEdge], per_record: bool) -> List[MatchEvent]:
+    def _run_batch(
+        self,
+        records: List[StreamEdge],
+        per_record: bool,
+        watermark: Optional[float] = None,
+    ) -> List[MatchEvent]:
         self.start()
         self.throughput.start()
         base_index = self.edges_processed
@@ -888,7 +969,8 @@ class ShardedStreamEngine:
                 clock = record.timestamp
         self._clock = clock
         per_shard = self.router.route(records, base_index)
-        watermark = self.reorder.watermark if self.reorder is not None else self._clock
+        if watermark is None:
+            watermark = self.reorder.watermark if self.reorder is not None else self._clock
         batches: List[ShardBatch] = []
         if per_record:
             for shard_id in sorted(per_shard):
@@ -1099,7 +1181,8 @@ class ShardedStreamEngine:
         return self.collector.for_query(query_name)
 
     def match_counts(self) -> Dict[str, int]:
-        """Return ``{query name: complete matches so far}``."""
+        """Return ``{query name: complete matches emitted so far}`` across all
+        shards (counted at the parent, so identical to the single engine's)."""
         return {name: registration.match_count for name, registration in self.queries.items()}
 
     def metrics(self) -> Dict[str, Any]:

@@ -41,8 +41,15 @@ from ..stats.selectivity import SelectivityEstimator
 from ..stats.summarizer import GraphSummary, StreamSummarizer
 from ..streaming.batching import BatchReplay
 from ..streaming.edge_stream import EdgeStream, StreamEdge, merge_streams
+from ..streaming.async_ingest import AsyncIngestFrontend
 from ..streaming.metrics import Stopwatch
-from ..streaming.reorder import bounded_shuffle, max_time_displacement
+from ..streaming.reorder import ReorderBuffer, bounded_shuffle, max_time_displacement
+from ..streaming.sources import (
+    MultiSourceReorderBuffer,
+    skewed_interleave,
+    split_by_source,
+    tag_sources,
+)
 from ..viz.geo import EventGrid, location_of_match, subnet_of_vertex
 from ..viz.snapshots import EmergingMatchTracker
 from ..workloads.attacks import AttackInjector
@@ -65,6 +72,7 @@ __all__ = [
     "experiment_sharded_scaling",
     "experiment_out_of_order_throughput",
     "experiment_checkpoint_recovery",
+    "experiment_multisource_ingest",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1402,6 +1410,291 @@ def experiment_checkpoint_recovery(
     }
 
 
+# ----------------------------------------------------------------------
+# E15: multi-source event time -- per-source watermarks vs one global one
+# ----------------------------------------------------------------------
+def experiment_multisource_ingest(
+    scale: float = 1.0,
+    seed: int = 79,
+    query_count: int = 12,
+    chain_length: int = 4,
+    batch_size: int = 100,
+    source_count: int = 4,
+    shard_count: int = 2,
+) -> Dict[str, object]:
+    """Measure per-source watermarks against a single global watermark.
+
+    The E11/E12 multi-query stream is split round-robin across
+    ``source_count`` collectors, and each collector's records arrive with a
+    *time-varying* delivery lag (small at the edges of the stream, spiking
+    in the middle third) -- the shape of real per-collector feeds whose
+    clocks skew independently.  Per-collector streams stay internally
+    ordered; all disorder in the merged arrival sequence is inter-source
+    skew.
+
+    **Buffer-level comparison** (deterministic, asserted at every scale)
+    replays the identical arrival sequence through three release policies:
+
+    * ``global_small`` -- one global watermark with the lateness each
+      *source* actually needs (zero: every collector is internally
+      ordered).  The fast collector drags the watermark past the slow
+      ones: their records are declared late and lost (``recall < 1``).
+    * ``global_exact`` -- one global watermark with the lateness the
+      *merged* stream needs (its measured maximum displacement, i.e. the
+      worst-case skew).  Nothing is lost, but the horizon trails by the
+      worst case **always**, so every record is released late (high mean
+      staleness) and the buffer holds the worst case permanently.
+    * ``per_source`` -- one watermark per collector, released on the
+      minimum across active sources, lateness zero.  Nothing is lost
+      *and* the horizon tracks the collectors' actual current lag, so
+      release staleness and buffered depth undercut ``global_exact``
+      whenever the skew is below its worst case.
+
+    **Idle-source comparison**: the slowest collector goes silent two
+    thirds in.  Without a timeout the min-watermark freezes (the held
+    tail grows with everything after the silence); with
+    ``idle_source_timeout`` the silent source is excluded and the tail
+    stays bounded -- both remain exact.
+
+    **Engine-level conformance** (asserted at every scale): the
+    multi-source engine (single, ``shard_count``-sharded, and sharded
+    behind the :class:`AsyncIngestFrontend`) must emit exactly the
+    sorted-merge oracle's match multiset with zero late records; wall
+    clock is reported for context (the async row additionally proves the
+    synchronous-equivalence contract end to end).
+    """
+    edge_count = max(400, int(4000 * scale))
+    window = 10.0
+    queries = _label_disjoint_chain_queries(query_count, chain_length)
+    records = _multiquery_dispatch_stream(query_count, edge_count, seed, chain_length)
+    span = records[-1].timestamp - records[0].timestamp
+    max_lag = span * 0.08
+    source_names = [f"collector{index}" for index in range(source_count)]
+    spike_start, spike_end = (
+        records[0].timestamp + span / 3.0,
+        records[0].timestamp + 2.0 * span / 3.0,
+    )
+
+    def lag(source: str, timestamp: float) -> float:
+        base = max_lag * source_names.index(source) / max(1, source_count - 1)
+        if spike_start <= timestamp <= spike_end:
+            return base
+        return base * 0.125
+
+    tagged = tag_sources(records, lambda index, record: source_names[index % source_count])
+    arrival = skewed_interleave(split_by_source(tagged), lag)
+    global_lateness = max_time_displacement(arrival)
+
+    # --- buffer-level release comparison --------------------------------
+    def replay_buffer(buffer) -> Dict[str, float]:
+        stream_clock = float("-inf")
+        staleness_total = 0.0
+        released = 0
+        peak_depth = 0
+        for start in range(0, len(arrival), batch_size):
+            chunk = arrival[start : start + batch_size]
+            buffer.offer_all(chunk)
+            for record in chunk:
+                if record.timestamp > stream_clock:
+                    stream_clock = record.timestamp
+            if len(buffer) > peak_depth:
+                peak_depth = len(buffer)
+            for record in buffer.drain_ready():
+                staleness_total += stream_clock - record.timestamp
+                released += 1
+        tail = buffer.flush()
+        for record in tail:
+            staleness_total += stream_clock - record.timestamp
+            released += 1
+        stats = buffer.stats()
+        return {
+            "released": released,
+            "late_dropped": stats["records_late_dropped"],
+            "recall": released / len(arrival),
+            "mean_staleness": staleness_total / released if released else 0.0,
+            "peak_buffered": peak_depth,
+            "tail_before_flush": len(tail),
+        }
+
+    def per_source_buffer(idle_timeout=None) -> MultiSourceReorderBuffer:
+        buffer = MultiSourceReorderBuffer(0.0, idle_timeout=idle_timeout)
+        for name in source_names:
+            buffer.register_source(name)
+        return buffer
+
+    buffer_modes = [
+        ("global_small", ReorderBuffer(0.0)),
+        ("global_exact", ReorderBuffer(global_lateness)),
+        ("per_source", per_source_buffer()),
+    ]
+    buffer_rows = []
+    for mode_name, buffer in buffer_modes:
+        row = {"mode": mode_name}
+        row.update(replay_buffer(buffer))
+        buffer_rows.append(row)
+    by_buffer = {row["mode"]: row for row in buffer_rows}
+
+    # --- idle-source comparison: slowest collector goes silent ----------
+    cutoff = records[0].timestamp + 2.0 * span / 3.0
+    silent_arrival = [
+        record
+        for record in arrival
+        if record.source_id != source_names[-1] or record.timestamp <= cutoff
+    ]
+    idle_rows = []
+    for mode_name, timeout in (("idle_frozen", None), ("idle_timeout", max_lag * 2 or 1.0)):
+        buffer = per_source_buffer(idle_timeout=timeout)
+        for start in range(0, len(silent_arrival), batch_size):
+            chunk = silent_arrival[start : start + batch_size]
+            buffer.offer_all(chunk)
+            buffer.drain_ready()
+        tail = buffer.flush()
+        idle_rows.append(
+            {
+                "mode": mode_name,
+                "tail_before_flush": len(tail),
+                "late": buffer.records_late,
+                "released": buffer.records_released,
+            }
+        )
+    by_idle = {row["mode"]: row for row in idle_rows}
+
+    # --- engine-level conformance + wall clock --------------------------
+    def build_single(allowed_lateness: Optional[float]) -> StreamWorksEngine:
+        engine = StreamWorksEngine(
+            config=EngineConfig(
+                collect_statistics=False,
+                record_latency=False,
+                allowed_lateness=allowed_lateness,
+            )
+        )
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"chain{index}", window=window)
+        return engine
+
+    def build_sharded() -> ShardedStreamEngine:
+        engine = ShardedStreamEngine(
+            config=ShardConfig(
+                shard_count=shard_count,
+                engine=EngineConfig(
+                    collect_statistics=False, record_latency=False, allowed_lateness=0.0
+                ),
+            )
+        )
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"chain{index}", window=window)
+        return engine
+
+    def register_sources(engine) -> None:
+        for name in source_names:
+            engine.register_source(name)
+
+    def multiset(events) -> Dict[tuple, int]:
+        counts: Dict[tuple, int] = {}
+        for event in events:
+            key = (event.query_name, event.match.portable_identity())
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def replay_batched(engine, stream) -> list:
+        collected = []
+        for start in range(0, len(stream), batch_size):
+            collected.extend(engine.process_batch(stream[start : start + batch_size]))
+        collected.extend(engine.flush())
+        return collected
+
+    def replay_async(engine, stream) -> list:
+        register_sources(engine)
+        frontend = AsyncIngestFrontend(engine)
+        collected = []
+        for start in range(0, len(stream), batch_size):
+            frontend.submit(stream[start : start + batch_size])
+            collected.extend(frontend.drain())
+        collected.extend(frontend.close())
+        return collected
+
+    def build_registered(factory):
+        engine = factory()
+        register_sources(engine)
+        return engine
+
+    sorted_arrival = sorted(arrival, key=lambda record: record.timestamp)
+    modes = [
+        ("sorted_oracle", lambda: (build_single(None), replay_batched, sorted_arrival)),
+        (
+            "multisource",
+            lambda: (build_registered(lambda: build_single(0.0)), replay_batched, arrival),
+        ),
+        (
+            f"multisource sharded x{shard_count}",
+            lambda: (build_registered(build_sharded), replay_batched, arrival),
+        ),
+        (
+            f"async sharded x{shard_count}",
+            lambda: (build_sharded(), replay_async, arrival),
+        ),
+    ]
+    engine_rows = []
+    multisets: Dict[str, Dict[tuple, int]] = {}
+    reorder_stats: Dict[str, object] = {}
+    for mode_name, make in modes:
+        engine, replay, stream = make()
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        events = replay(engine, stream)
+        elapsed = stopwatch.stop()
+        multisets[mode_name] = multiset(events)
+        if mode_name == "multisource":
+            reorder_stats = engine.metrics()["reorder"]
+        if hasattr(engine, "close"):
+            engine.close()
+        engine_rows.append(
+            {
+                "mode": mode_name,
+                "edges": len(stream),
+                "elapsed_s": elapsed,
+                "edges_per_s": len(stream) / elapsed if elapsed > 0 else float("inf"),
+                "events": sum(multisets[mode_name].values()),
+            }
+        )
+
+    oracle = multisets["sorted_oracle"]
+    per_source_row = by_buffer["per_source"]
+    global_exact_row = by_buffer["global_exact"]
+    return {
+        "experiment": "E15_multisource_ingest",
+        "stream_edges": len(arrival),
+        "source_count": source_count,
+        "batch_size": batch_size,
+        "max_lag": max_lag,
+        "global_lateness_needed": global_lateness,
+        # the tentpole, in numbers: same per-source lateness, three outcomes
+        "global_small_recall": by_buffer["global_small"]["recall"],
+        "per_source_recall": per_source_row["recall"],
+        "per_source_late": per_source_row["late_dropped"],
+        "staleness_global_exact": global_exact_row["mean_staleness"],
+        "staleness_per_source": per_source_row["mean_staleness"],
+        "staleness_improvement": (
+            global_exact_row["mean_staleness"] / per_source_row["mean_staleness"]
+            if per_source_row["mean_staleness"] > 0
+            else float("inf")
+        ),
+        "peak_depth_global_exact": global_exact_row["peak_buffered"],
+        "peak_depth_per_source": per_source_row["peak_buffered"],
+        "idle_frozen_tail": by_idle["idle_frozen"]["tail_before_flush"],
+        "idle_timeout_tail": by_idle["idle_timeout"]["tail_before_flush"],
+        # engine-level conformance flags
+        "multisource_exact": multisets["multisource"] == oracle,
+        "multisource_sharded_exact": multisets[f"multisource sharded x{shard_count}"] == oracle,
+        "async_exact": multisets[f"async sharded x{shard_count}"] == oracle,
+        "multisource_zero_late": reorder_stats.get("records_late") == 0,
+        "reorder": reorder_stats,
+        "buffer_rows": buffer_rows,
+        "idle_rows": idle_rows,
+        "rows": engine_rows,
+    }
+
+
 #: Experiment id -> callable, used by the CLI runner and the benchmarks.
 ALL_EXPERIMENTS = {
     "E1": experiment_fig2_news_decomposition,
@@ -1418,4 +1711,5 @@ ALL_EXPERIMENTS = {
     "E12": experiment_sharded_scaling,
     "E13": experiment_out_of_order_throughput,
     "E14": experiment_checkpoint_recovery,
+    "E15": experiment_multisource_ingest,
 }

@@ -12,8 +12,14 @@ Everything that influences future behaviour is therefore captured
 explicitly: the window store with its index iteration orders, every
 SJ-Tree's partial-match collections (bucket order included -- it decides
 join candidate enumeration), the duplicate-suppression memory, the reorder
-buffer's pending tail and watermark, sampler RNG states, and every
-deterministic counter.  Two things are deliberately *not* captured:
+buffer's pending tail and watermark (including every per-source clock,
+lateness estimate and the monotone watermark floor of the multi-source
+buffer -- the ``kind`` tag in its payload picks the right class on load),
+sampler RNG states, and every deterministic counter.  An engine fed
+through an :class:`~repro.streaming.async_ingest.AsyncIngestFrontend`
+checkpoints via ``frontend.checkpoint``, which quiesces admission first so
+the buffer's pending tail here is exact.  Two things are deliberately
+*not* captured:
 
 * wall-clock measurements (latency samples, throughput elapsed time) are
   carried over as recorded but obviously cannot be byte-identical across a
@@ -49,7 +55,7 @@ from ..query.serialize import QuerySerializationError, query_from_dict, query_to
 from ..stats.summarizer import StreamSummarizer
 from ..streaming.events import MatchEvent
 from ..streaming.metrics import LatencyRecorder, ThroughputMeter
-from ..streaming.reorder import ReorderBuffer
+from ..streaming.sources import reorder_buffer_from_state
 from .snapshot import SnapshotCorruptError, SnapshotError
 
 __all__ = [
@@ -82,6 +88,7 @@ _CONFIG_FIELDS = (
     "latency_sample_cap",
     "allowed_lateness",
     "late_policy",
+    "idle_source_timeout",
     "checkpoint_every",
     "checkpoint_path",
 )
@@ -239,7 +246,10 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
             else None
         )
         engine.reorder = (
-            ReorderBuffer.from_state(sections["reorder"])
+            # dispatch on the payload's "kind"; pre-multisource snapshots
+            # are upgraded so the restored engine owns the multi-source
+            # buffer a fresh engine would (register_source keeps working)
+            reorder_buffer_from_state(sections["reorder"])
             if sections["reorder"] is not None
             else None
         )
@@ -374,7 +384,7 @@ def load_sharded_sections(sections: Mapping[str, Any]):
             engine.queries[payload["name"]] = registration
             engine.router.add_query(payload["shard_id"], query)
         engine.reorder = (
-            ReorderBuffer.from_state(sections["reorder"])
+            reorder_buffer_from_state(sections["reorder"])
             if sections["reorder"] is not None
             else None
         )

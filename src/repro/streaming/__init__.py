@@ -21,14 +21,27 @@ from .reorder import (
     max_time_displacement,
     ordered_run_slices,
 )
+from .sources import (
+    ADAPTIVE_LATENESS,
+    DEFAULT_SOURCE,
+    MultiSourceReorderBuffer,
+    reorder_buffer_from_state,
+    skewed_interleave,
+    split_by_source,
+    tag_sources,
+)
+from .async_ingest import AsyncIngestFrontend
 
 __all__ = [
+    "ADAPTIVE_LATENESS",
+    "AsyncIngestFrontend",
     "BatchReplay",
     "BatchResult",
     "BatchRouter",
     "CallbackSink",
     "CollectingSink",
     "CountingSink",
+    "DEFAULT_SOURCE",
     "EdgeStream",
     "EventSink",
     "LabelShardMap",
@@ -36,6 +49,7 @@ __all__ = [
     "LatencyRecorder",
     "MatchEvent",
     "MultiSink",
+    "MultiSourceReorderBuffer",
     "QueryFilterSink",
     "ReorderBuffer",
     "Routing",
@@ -51,4 +65,8 @@ __all__ = [
     "merge_events",
     "merge_streams",
     "ordered_run_slices",
+    "reorder_buffer_from_state",
+    "skewed_interleave",
+    "split_by_source",
+    "tag_sources",
 ]

@@ -19,7 +19,16 @@ __all__ = ["StreamEdge", "EdgeStream", "merge_streams"]
 
 
 class StreamEdge:
-    """A raw stream record: an edge plus its endpoint vertex labels/attributes."""
+    """A raw stream record: an edge plus its endpoint vertex labels/attributes.
+
+    ``source_id`` names the *collector* (feed, ingestion pipeline) the record
+    arrived from -- not to be confused with ``source``, the source *vertex*
+    of the edge.  It is optional: records without one belong to a single
+    implicit default source.  The multi-source event-time layer
+    (:class:`~repro.streaming.sources.MultiSourceReorderBuffer`) tracks one
+    watermark per ``source_id`` so independently-skewed collector clocks do
+    not push each other's records past the lateness horizon.
+    """
 
     __slots__ = (
         "source",
@@ -31,6 +40,7 @@ class StreamEdge:
         "target_label",
         "source_attrs",
         "target_attrs",
+        "source_id",
     )
 
     def __init__(
@@ -44,6 +54,7 @@ class StreamEdge:
         target_label: str = "node",
         source_attrs: Optional[Mapping[str, Any]] = None,
         target_attrs: Optional[Mapping[str, Any]] = None,
+        source_id: Optional[str] = None,
     ):
         self.source = source
         self.target = target
@@ -54,13 +65,14 @@ class StreamEdge:
         self.target_label = target_label
         self.source_attrs = dict(source_attrs or {})
         self.target_attrs = dict(target_attrs or {})
+        self.source_id = source_id
 
     def to_edge(self, edge_id: int = -1) -> Edge:
         """Convert to a bare :class:`Edge` (mostly for tests)."""
         return Edge(edge_id, self.source, self.target, self.label, self.timestamp, self.attrs)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serialise to a JSON-friendly dict."""
+        """Serialise to a JSON-friendly dict (inverse of :meth:`from_dict`)."""
         return {
             "source": self.source,
             "target": self.target,
@@ -71,11 +83,12 @@ class StreamEdge:
             "target_label": self.target_label,
             "source_attrs": dict(self.source_attrs),
             "target_attrs": dict(self.target_attrs),
+            "source_id": self.source_id,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "StreamEdge":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (missing optional keys take their defaults)."""
         return cls(
             payload["source"],
             payload["target"],
@@ -86,6 +99,7 @@ class StreamEdge:
             payload.get("target_label", "node"),
             payload.get("source_attrs"),
             payload.get("target_attrs"),
+            payload.get("source_id"),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -57,7 +57,10 @@ class ShardBatch:
     (the index lets per-shard match events merge back into the exact
     single-engine order).  ``watermark`` is the event-time horizon the
     parent had reached when the batch was dispatched -- the reorder
-    buffer's watermark when event-time ingestion is configured, otherwise
+    buffer's watermark when event-time ingestion is configured (under
+    multi-source ingestion that is the *minimum across active per-source
+    watermarks*, and with an async front-end it is captured at release
+    time so an admission thread running ahead cannot skew it), otherwise
     the largest timestamp offered to the parent so far.  ``clock`` is the
     scheduler-opaque eviction/expiry payload the owning engine attaches so
     a worker process can mirror the single engine's sweep sequence without

@@ -287,8 +287,11 @@ class ReorderBuffer:
         prefix followed by new arrivals -- because the next drain's stable
         sort depends on it: two records with equal timestamps release in
         arrival order, and a restored buffer must release them identically.
+        The ``kind`` key tells the loader which buffer class to rebuild
+        (:func:`repro.streaming.sources.reorder_buffer_from_state`).
         """
         return {
+            "kind": "single",
             "allowed_lateness": self.allowed_lateness,
             "late_policy": self.late_policy,
             "pending": [record.to_dict() for record in self._pending],
@@ -303,24 +306,45 @@ class ReorderBuffer:
             "max_displacement_seen": self.max_displacement_seen,
         }
 
+    def _load_base_state(self, state: Dict[str, object]) -> None:
+        """Restore the base-class fields from a :meth:`state_dict` payload.
+
+        The single shared restoration block: subclasses' loaders call this
+        for the pending list and counters so a field added to
+        :meth:`state_dict` only needs one matching loader change.
+        """
+        self._pending = [StreamEdge.from_dict(payload) for payload in state["pending"]]
+        self._min_pending = float(state["min_pending"])
+        self._max_seen = float(state["max_seen"])
+        self.records_seen = state["records_seen"]
+        self.records_reordered = state["records_reordered"]
+        self.records_late = state["records_late"]
+        self.records_late_dropped = state["records_late_dropped"]
+        self.records_late_degraded = state["records_late_degraded"]
+        self.records_released = state["records_released"]
+        self.max_displacement_seen = float(state["max_displacement_seen"])
+
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "ReorderBuffer":
-        """Rebuild a buffer from :meth:`state_dict` output."""
+        """Rebuild a buffer from :meth:`state_dict` output (exact resume:
+        the restored buffer releases future records identically).  Loaders
+        that may encounter either buffer kind should dispatch through
+        :func:`repro.streaming.sources.reorder_buffer_from_state` instead."""
         buffer = cls(state["allowed_lateness"], late_policy=state["late_policy"])
-        buffer._pending = [StreamEdge.from_dict(payload) for payload in state["pending"]]
-        buffer._min_pending = float(state["min_pending"])
-        buffer._max_seen = float(state["max_seen"])
-        buffer.records_seen = state["records_seen"]
-        buffer.records_reordered = state["records_reordered"]
-        buffer.records_late = state["records_late"]
-        buffer.records_late_dropped = state["records_late_dropped"]
-        buffer.records_late_degraded = state["records_late_degraded"]
-        buffer.records_released = state["records_released"]
-        buffer.max_displacement_seen = float(state["max_displacement_seen"])
+        buffer._load_base_state(state)
         return buffer
 
     def stats(self) -> Dict[str, float]:
-        """Return admission/lateness counters as a plain dict."""
+        """Return admission/lateness counters as a plain JSON-safe dict.
+
+        Keys: configuration (``allowed_lateness``, ``late_policy``), the
+        current ``watermark`` and ``buffered`` depth, and the admission
+        counters (``records_seen`` / ``records_reordered`` /
+        ``records_late`` + per-policy splits / ``records_released`` /
+        ``max_displacement_seen``) -- the dictionary surfaced as
+        ``engine.metrics()["reorder"]`` and documented in
+        ``docs/operations.md``.
+        """
         return {
             "allowed_lateness": self.allowed_lateness,
             "late_policy": self.late_policy,

@@ -42,7 +42,15 @@ from repro.persistence import (
     read_snapshot,
 )
 from repro.query.query_graph import QueryGraph
-from repro.streaming import StreamEdge, bounded_shuffle
+from repro.streaming import (
+    AsyncIngestFrontend,
+    MultiSourceReorderBuffer,
+    StreamEdge,
+    bounded_shuffle,
+    skewed_interleave,
+    split_by_source,
+    tag_sources,
+)
 from repro.workloads import NetflowConfig, NetflowGenerator, RmatConfig, RmatGenerator
 
 BATCH_SIZE = 40
@@ -724,3 +732,126 @@ def test_snapshot_sections_are_inspectable(tmp_path):
     for name in ("config", "graph", "summarizer", "reorder", "queries", "events", "counters"):
         assert name in sections
     assert len(sections["queries"]) == len(rmat_queries())
+
+
+# ----------------------------------------------------------------------
+# multi-source event time + async front-end: crash at every boundary
+# ----------------------------------------------------------------------
+def multisource_rmat_arrival(count=200, seed=29, skews={"probe0": 0.0, "probe1": 0.2}):
+    """The rmat stream split across skewed collectors, in arrival order."""
+    names = sorted(skews)
+    tagged = tag_sources(
+        rmat_records(count, seed=seed), lambda i, r: names[i % len(names)]
+    )
+    return skewed_interleave(split_by_source(tagged), skews)
+
+
+def build_multisource_engine(shard_count=None, idle_source_timeout=None):
+    config = EngineConfig(allowed_lateness=0.02, idle_source_timeout=idle_source_timeout)
+    if shard_count is None:
+        engine = StreamWorksEngine(config=config)
+    else:
+        engine = ShardedStreamEngine(
+            config=ShardConfig(shard_count=shard_count, engine=config)
+        )
+    for source in ("probe0", "probe1"):
+        engine.register_source(source)
+    register_all(engine, rmat_queries())
+    return engine
+
+
+@pytest.mark.parametrize("shard_count", [None, 2], ids=["single", "sharded_x2"])
+def test_multisource_buffer_state_survives_crash_at_every_boundary(tmp_path, shard_count):
+    """Per-source watermark state (clocks, floor, silent registrations) must
+    cross the crash: the resumed run releases exactly what the uninterrupted
+    run releases, batch boundary by batch boundary."""
+    arrival = multisource_rmat_arrival()
+    batches = batches_of(arrival)
+    engine_cls = StreamWorksEngine if shard_count is None else ShardedStreamEngine
+
+    oracle = build_multisource_engine(shard_count)
+    for batch in batches:
+        oracle.process_batch(batch)
+    oracle.flush()
+    assert oracle.events()
+
+    path = str(tmp_path / "multisource.snap")
+    for crash_after in range(len(batches)):
+        engine = build_multisource_engine(shard_count)
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        buffered = len(engine.reorder)
+        sources = engine.reorder.sources()
+        del engine
+        resumed = engine_cls.restore(path)
+        assert isinstance(resumed.reorder, MultiSourceReorderBuffer)
+        assert len(resumed.reorder) == buffered  # the held tail crossed over
+        assert resumed.reorder.sources() == sources  # silent sources too
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        resumed.flush()
+        assert_resumed_equals_oracle(
+            oracle, resumed, f"multisource shards={shard_count}, crash after {crash_after}"
+        )
+
+
+def test_async_frontend_checkpoint_at_every_submitted_batch(tmp_path):
+    """frontend.checkpoint quiesces admission, so a crash at any submitted-
+    batch boundary resumes byte-for-byte -- the async pending tail is
+    engine state and must not be lost or double-fed."""
+    arrival = multisource_rmat_arrival(count=160)
+    batches = batches_of(arrival)
+
+    oracle = build_multisource_engine()
+    with AsyncIngestFrontend(oracle) as frontend:
+        for batch in batches:
+            frontend.submit(batch)
+    assert oracle.events()
+
+    path = str(tmp_path / "async.snap")
+    for crash_after in range(len(batches) + 1):
+        engine = build_multisource_engine()
+        frontend = AsyncIngestFrontend(engine)
+        for batch in batches[:crash_after]:
+            frontend.submit(batch)
+        frontend.checkpoint(path)
+        frontend.close()  # stop the ingest thread (a real crash would kill it)
+        del frontend, engine
+        resumed = StreamWorksEngine.restore(path)
+        frontend = AsyncIngestFrontend(resumed)
+        for batch in batches[crash_after:]:
+            frontend.submit(batch)
+        frontend.close()
+        assert_resumed_equals_oracle(oracle, resumed, f"async crash after {crash_after}")
+
+
+def test_idle_timeout_state_survives_crash(tmp_path):
+    """A crash while one collector is silent must resume with the same idle
+    determination: the timed-out source stays excluded, the held tail and
+    the monotone floor are identical."""
+    arrival = [record for record in multisource_rmat_arrival() if record.source_id == "probe0"]
+    batches = batches_of(arrival)
+
+    def build():
+        return build_multisource_engine(idle_source_timeout=0.05)
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    oracle.flush()
+
+    path = str(tmp_path / "idle.snap")
+    engine = build()
+    for batch in batches[: len(batches) // 2]:
+        engine.process_batch(batch)
+    # probe1 never spoke: with the timeout it must not freeze the horizon
+    assert "probe1" in engine.metrics()["reorder"]["idle_sources"]
+    engine.checkpoint(path)
+    del engine
+    resumed = StreamWorksEngine.restore(path)
+    assert "probe1" in resumed.metrics()["reorder"]["idle_sources"]
+    for batch in batches[len(batches) // 2 :]:
+        resumed.process_batch(batch)
+    resumed.flush()
+    assert_resumed_equals_oracle(oracle, resumed, "idle-timeout crash")

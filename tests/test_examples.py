@@ -33,6 +33,20 @@ class TestQuickstart:
         assert "article:200" not in match_section.split("StreamWorksEngine")[0]
 
 
+class TestMultisourceIngest:
+    def test_multisource_example_shows_the_three_behaviours(self, monkeypatch, capsys):
+        out = run_example(EXAMPLES_DIR / "multisource_ingest.py", monkeypatch, capsys)
+        # per-source watermarks keep every skewed record
+        assert "released 6/6 records, late: 0" in out
+        assert "per-source watermarks:" in out
+        # the global-watermark contrast drops the slow collector's records
+        assert "would have dropped 2 of 6 records" in out
+        # idle timeout marks the silent collector
+        assert "idle sources at end of stream: ['B']" in out
+        # async front-end equivalence contract
+        assert "async front-end produced identical events: True" in out
+
+
 class TestDomainExamples:
     @pytest.mark.slow
     def test_cyber_monitoring_alerts_on_every_attack(self, monkeypatch, capsys):
