@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Record a small-scale throughput baseline alongside the analysis suite.
+
+The static-analysis PR touches hot modules (triads, dispatch, the async
+front-end), so it snapshots the two benchmark-sensitive paths -- E11
+(multi-query dispatch) and E13 (out-of-order event-time ingestion) -- at
+small scale, plus the lint suite's own runtime, into
+``BENCH_analysis_baseline.json`` at the repository root.  A later PR that
+suspects a regression reruns this script and diffs the JSON instead of
+guessing what the numbers used to be.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_baseline.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import run_analysis  # noqa: E402
+from repro.harness.experiments import (  # noqa: E402
+    experiment_multiquery_dispatch,
+    experiment_out_of_order_throughput,
+)
+
+OUTPUT = REPO_ROOT / "BENCH_analysis_baseline.json"
+#: Small-scale knobs: big enough that per-mode throughput is stable to a
+#: few percent, small enough that the whole script stays under a minute.
+SCALE = 0.25
+QUERY_COUNT = 10
+
+
+def _throughputs(result: dict) -> dict:
+    return {
+        row["mode"]: {
+            "edges_per_s": round(row["edges_per_s"], 1),
+            "elapsed_s": round(row["elapsed_s"], 4),
+            "edges": row["edges"],
+        }
+        for row in result["rows"]
+    }
+
+
+def main() -> int:
+    e11 = experiment_multiquery_dispatch(scale=SCALE, query_count=QUERY_COUNT)
+    assert e11["match_sets_identical"], "E11 correctness gate failed"
+    e13 = experiment_out_of_order_throughput(scale=SCALE, query_count=QUERY_COUNT)
+    assert e13["reordered_exact"], "E13 conformance gate failed"
+
+    lint = run_analysis([str(REPO_ROOT / "src" / "repro")])
+    assert lint.clean, "repro-lint must be clean when the baseline is captured"
+
+    payload = {
+        "python": platform.python_version(),
+        "scale": SCALE,
+        "query_count": QUERY_COUNT,
+        "E11_multiquery_dispatch": {
+            "stream_edges": e11["stream_edges"],
+            "throughput": _throughputs(e11),
+        },
+        "E13_out_of_order_throughput": {
+            "stream_edges": e13["stream_edges"],
+            "allowed_lateness": e13["allowed_lateness"],
+            "throughput": _throughputs(e13),
+        },
+        "repro_lint": {
+            "files": lint.files_analyzed,
+            "rules": len(lint.rules_run),
+            "duration_s": round(lint.duration_seconds, 3),
+            # tier-1 (tests/test_analysis.py) asserts the suite stays <10s
+            "tier1_budget_s": 10.0,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
+    for name in ("E11_multiquery_dispatch", "E13_out_of_order_throughput"):
+        for mode, row in payload[name]["throughput"].items():
+            print(f"  {name} {mode:>24}: {row['edges_per_s']:>10.1f} edges/s")
+    print(
+        f"  repro-lint: {payload['repro_lint']['files']} files, "
+        f"{payload['repro_lint']['duration_s']}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

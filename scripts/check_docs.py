@@ -33,17 +33,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
 
-LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-SYMBOL_PATTERN = re.compile(r"`(repro(?:\.\w+)+)`")
-HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-TABLE_FIELD_PATTERN = re.compile(r"^\|\s*`(\w+)`\s*\|", re.MULTILINE)
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-
-def github_anchor(heading: str) -> str:
-    """Approximate GitHub's heading -> anchor slug."""
-    slug = heading.strip().lower()
-    slug = re.sub(r"[^\w\- ]", "", slug)
-    return slug.replace(" ", "-")
+# the Markdown-parsing helpers are shared with the static drift rules in
+# `repro.analysis.rules.drift`, so the two checkers cannot drift apart
+from repro.analysis.docsync import (  # noqa: E402
+    HEADING_PATTERN,
+    LINK_PATTERN,
+    SYMBOL_PATTERN,
+    documented_fields,
+    github_anchor,
+)
 
 
 def check_links(errors: list) -> None:
@@ -88,17 +88,6 @@ def check_symbols(errors: list) -> None:
                 errors.append(
                     f"{path.relative_to(REPO_ROOT)}: unresolvable symbol `{symbol}`"
                 )
-
-
-def documented_fields(text: str, section_heading: str) -> set:
-    """Backticked first-column entries of the table under ``section_heading``."""
-    start = text.find(section_heading)
-    if start < 0:
-        return set()
-    rest = text[start + len(section_heading):]
-    next_heading = re.search(r"^#{1,3}\s", rest, re.MULTILINE)
-    block = rest[: next_heading.start()] if next_heading else rest
-    return set(TABLE_FIELD_PATTERN.findall(block))
 
 
 def check_engine_config_coverage(errors: list) -> None:

@@ -1,0 +1,381 @@
+"""The repro-lint framework: files, suppressions, the rule runner.
+
+The moving parts, in the order the runner uses them:
+
+* :class:`SourceFile` -- one parsed module: path, text, AST, and the
+  per-line ``# repro-lint: ignore[rule-id]`` suppressions found in it.
+* :class:`Project` -- every file of one run plus the cross-file indexes
+  rules share (class definitions by name, classes defining ``__len__``,
+  Optional-of-container attribute names).  Rules that need to see the
+  whole tree at once (config/persistence drift) implement
+  ``check_project`` instead of ``check_file``.
+* :func:`run_analysis` -- parse, index, run every rule, apply
+  suppressions, then report *unused* suppressions as findings of their
+  own (rule id ``unused-suppression``), so a fixed finding's stale
+  ignore comment fails the run until it is deleted.
+
+Suppressions are line-scoped: the comment must sit on the exact line the
+finding is reported at (for multi-line statements, the line of the
+offending expression).  Several ids may share one comment::
+
+    self.adaptive = ...  # repro-lint: ignore[snapshot-coverage]
+    x = f(a, b)  # repro-lint: ignore[set-iteration,unseeded-random]
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import time
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "UNUSED_SUPPRESSION",
+    "run_analysis",
+]
+
+#: Rule id under which stale ignore comments are reported.
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_SUPPRESSION_PATTERN = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\- ]+)\]")
+
+
+class AnalysisError(Exception):
+    """A file could not be analysed (unreadable, syntax error)."""
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule", "path", "line", "message")
+
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload (the machine-readable output unit)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        """Human one-liner: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({self.format()!r})"
+
+
+class SourceFile:
+    """One parsed Python module plus its suppression comments."""
+
+    def __init__(self, path: Path, display_path: str, text: str):
+        self.path = path
+        #: Path as reported in findings (relative to the invocation root).
+        self.display_path = display_path
+        self.text = text
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as error:
+            raise AnalysisError(f"{display_path}: cannot parse: {error}") from error
+        #: ``{line number: {rule ids suppressed on that line}}``.
+        #: Scanned from real COMMENT tokens, so the marker inside a string
+        #: or docstring (e.g. documentation *about* suppressions) is inert.
+        self.suppressions: Dict[int, Set[str]] = {}
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_PATTERN.search(token.string)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                if ids:
+                    self.suppressions[token.start[0]] = ids
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.suppressions.get(line, ())
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of a node (best effort, for messages)."""
+        segment = ast.get_source_segment(self.text, node)
+        return segment if segment is not None else "<expression>"
+
+
+class Project:
+    """All files of one run plus the shared cross-file indexes."""
+
+    def __init__(self, files: Sequence[SourceFile], root: Optional[Path] = None):
+        self.files = list(files)
+        #: Directory the analysed tree lives under (used to locate ``docs/``
+        #: for the drift rule by walking upward); ``None`` disables checks
+        #: that need the repository layout.
+        self.root = root
+        #: ``{class name: (file, ClassDef)}`` across every analysed file.
+        self.classes: Dict[str, Tuple[SourceFile, ast.ClassDef]] = {}
+        for source in self.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes[node.name] = (source, node)
+        #: Names of classes defining ``__len__`` -- objects for which an
+        #: *empty* instance is falsy yet may be meaningful state.
+        self.len_classes: Set[str] = {
+            name
+            for name, (_, node) in self.classes.items()
+            if any(
+                isinstance(item, ast.FunctionDef) and item.name == "__len__"
+                for item in node.body
+            )
+        }
+        self._optional_len_attrs: Optional[Set[str]] = None
+
+    def class_chain(self, name: str) -> List[Tuple[SourceFile, ast.ClassDef]]:
+        """Return ``name``'s ClassDef plus its project-resolvable bases (MRO-ish)."""
+        chain: List[Tuple[SourceFile, ast.ClassDef]] = []
+        seen: Set[str] = set()
+        queue = [name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            source, node = self.classes[current]
+            chain.append((source, node))
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    queue.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    queue.append(base.attr)
+        return chain
+
+    @property
+    def optional_len_attrs(self) -> Set[str]:
+        """Attribute names known (project-wide) to hold ``Optional[<len class>]``.
+
+        An attribute qualifies when an annotated assignment anywhere in the
+        tree declares it ``Optional[C]`` / ``C | None`` / ``Union[C, None]``
+        with ``C`` a class defining ``__len__``.  Truthiness tests on these
+        attributes are exactly the PR 4 bug class: the empty-but-present
+        value is falsy and silently takes the ``None`` branch.
+        """
+        if self._optional_len_attrs is None:
+            names: Set[str] = set()
+            for source in self.files:
+                for node in ast.walk(source.tree):
+                    if not isinstance(node, ast.AnnAssign):
+                        continue
+                    target = node.target
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    inner = optional_inner_names(node.annotation)
+                    if inner & self.len_classes:
+                        names.add(target.attr)
+            self._optional_len_attrs = names
+        return self._optional_len_attrs
+
+
+def optional_inner_names(annotation: ast.AST) -> Set[str]:
+    """Class names ``C`` for which ``annotation`` spells Optional-of-``C``.
+
+    Recognises ``Optional[C]``, ``Union[C, None]`` and ``C | None`` (any
+    order, any quoting of the inner name).  Returns the empty set for
+    non-Optional annotations.
+    """
+    names: Set[str] = set()
+    has_none = False
+
+    def leaf_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.split(".")[-1].strip()
+        return None
+
+    def collect(node: ast.AST) -> None:
+        nonlocal has_none
+        if isinstance(node, ast.Constant) and node.value is None:
+            has_none = True
+            return
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            collect(node.left)
+            collect(node.right)
+            return
+        if isinstance(node, ast.Subscript):
+            head = leaf_name(node.value)
+            if head == "Optional":
+                has_none = True
+                collect(node.slice)
+                return
+            if head == "Union":
+                elements = (
+                    node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+                )
+                for element in elements:
+                    collect(element)
+                return
+        name = leaf_name(node)
+        if name is not None:
+            names.add(name)
+
+    collect(annotation)
+    return names if has_none else set()
+
+
+class Rule:
+    """Base class: subclass and override ``check_file`` and/or ``check_project``."""
+
+    id: str = ""
+    description: str = ""
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+class AnalysisReport:
+    """The outcome of one run: findings (suppressions applied) + run metadata."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        files_analyzed: int,
+        rules_run: Sequence[str],
+        duration_seconds: float,
+    ):
+        self.findings = findings
+        self.files_analyzed = files_analyzed
+        self.rules_run = list(rules_run)
+        self.duration_seconds = duration_seconds
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable report (the ``--format json`` payload)."""
+        return {
+            "clean": self.clean,
+            "files_analyzed": self.files_analyzed,
+            "rules_run": self.rules_run,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "finding_count": len(self.findings),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def collect_files(paths: Sequence[str]) -> List[SourceFile]:
+    """Expand ``paths`` (files or directories) into parsed :class:`SourceFile`\\ s."""
+    sources: List[SourceFile] = []
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            candidates = sorted(
+                path for path in base.rglob("*.py") if "__pycache__" not in path.parts
+            )
+        elif base.is_file():
+            candidates = [base]
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+        for path in candidates:
+            try:
+                text = path.read_text()
+            except OSError as error:
+                raise AnalysisError(f"{path}: cannot read: {error}") from error
+            sources.append(SourceFile(path, str(path), text))
+    return sources
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    sources: Optional[Sequence[SourceFile]] = None,
+    root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run every rule over ``paths`` and return the suppression-filtered report.
+
+    ``sources`` bypasses the filesystem (tests hand in synthetic
+    :class:`SourceFile` objects); ``root`` overrides the repository-root
+    guess used to locate ``docs/`` for the drift rule.
+    """
+    from .rules import ALL_RULES
+
+    started = time.perf_counter()
+    if rules is None:
+        rules = [rule_class() for rule_class in ALL_RULES]
+    if sources is None:
+        sources = collect_files(paths)
+    if root is None and paths:
+        anchor = Path(paths[0]).resolve()
+        for candidate in [anchor] + list(anchor.parents):
+            if (candidate / "docs").is_dir() or (candidate / ".git").is_dir():
+                root = candidate
+                break
+    project = Project(sources, root=root)
+
+    raw: List[Finding] = []
+    for rule in rules:
+        for source in project.files:
+            raw.extend(rule.check_file(source, project))
+        raw.extend(rule.check_project(project))
+
+    by_path = {source.display_path: source for source in project.files}
+    used: Set[Tuple[str, int, str]] = set()
+    findings: List[Finding] = []
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding.rule, finding.line):
+            used.add((finding.path, finding.line, finding.rule))
+            continue
+        findings.append(finding)
+
+    known_ids = {rule.id for rule in rules}
+    for source in project.files:
+        for line, ids in sorted(source.suppressions.items()):
+            for rule_id in sorted(ids):
+                if rule_id not in known_ids:
+                    findings.append(
+                        Finding(
+                            UNUSED_SUPPRESSION,
+                            source.display_path,
+                            line,
+                            f"suppression names unknown rule {rule_id!r}",
+                        )
+                    )
+                elif (source.display_path, line, rule_id) not in used:
+                    findings.append(
+                        Finding(
+                            UNUSED_SUPPRESSION,
+                            source.display_path,
+                            line,
+                            f"suppression for {rule_id!r} matches no finding; delete it",
+                        )
+                    )
+
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    return AnalysisReport(
+        findings=findings,
+        files_analyzed=len(project.files),
+        rules_run=[rule.id for rule in rules],
+        duration_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,33 @@
+"""The repro-lint rule registry.
+
+``ALL_RULES`` is the ordered list of rule classes a default run
+instantiates.  Adding a rule is three steps (see ``docs/development.md``):
+implement it in a module here, import it below, append it to
+``ALL_RULES``, and give it good/bad fixtures in
+``tests/fixtures/analysis/``.
+"""
+
+from .determinism import (
+    IdHashKeyRule,
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from .drift import ConfigDriftRule, MetricsDocsRule
+from .locks import LockDisciplineRule
+from .snapshots import SnapshotCoverageRule
+from .truthiness import OptionalTruthinessRule
+
+__all__ = ["ALL_RULES"]
+
+ALL_RULES = [
+    SetIterationRule,
+    IdHashKeyRule,
+    UnseededRandomRule,
+    WallClockRule,
+    SnapshotCoverageRule,
+    OptionalTruthinessRule,
+    LockDisciplineRule,
+    ConfigDriftRule,
+    MetricsDocsRule,
+]

@@ -1,0 +1,343 @@
+"""Determinism rules: hash-order iteration, id/hash keys, RNG, wall clocks.
+
+The engine's contract is byte-for-byte determinism: the same stream fed to
+the same configuration produces the same events in the same order, across
+processes, shard counts and checkpoint/restore cuts.  Four mechanical
+patterns break that contract, and each has shipped (or nearly shipped) in
+this repository:
+
+* ``set-iteration`` -- iterating a ``set``/``frozenset`` lets
+  ``PYTHONHASHSEED`` pick the order (PR 2's id-hash-ordered adjacency
+  enumeration was this bug one level down).  Wrapping in ``sorted(...)``
+  or folding with an order-insensitive reducer (``sum``/``min``/``max``/
+  ``any``/``all``/``len``) is fine and not flagged.
+* ``id-hash-key`` -- sorting or keying by ``id()`` / builtin ``hash()``
+  orders by allocation address / seeded hash, which no two processes
+  share.  Using ``id()`` for identity *membership* (dedup sets) is
+  deterministic and allowed.
+* ``unseeded-random`` -- the module-global ``random.*`` functions (and a
+  seedless ``random.Random()``) draw from interpreter-global state any
+  import can perturb; every RNG in the engine must be an owned, seeded
+  ``random.Random(seed)`` whose state checkpoints can capture.
+* ``wall-clock`` -- ``time.time()`` / ``datetime.now()`` inside the
+  engine couples behaviour to the machine clock; stream time must come
+  from the records.  (``perf_counter`` is allowed: latency metrics are
+  documented as non-deterministic measurements.)
+
+These rules are scoped to the subpackages whose code decides event
+output -- ``core``, ``streaming``, ``graph``, ``isomorphism``, ``stats``
+(statistics feed the planner, so their order leaks into plans and thence
+into event order).  Harness/workload/viz code may use wall clocks and
+module RNGs freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, Project, Rule, SourceFile
+
+__all__ = [
+    "DETERMINISM_SCOPES",
+    "IdHashKeyRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+#: Subpackages whose code can influence event output (see module docstring).
+DETERMINISM_SCOPES = ("core", "streaming", "graph", "isomorphism", "stats")
+
+
+def in_determinism_scope(source: SourceFile) -> bool:
+    parts = source.path.parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro") + 1 :]
+    return bool(parts) and parts[0] in DETERMINISM_SCOPES
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class SetIterationRule(Rule):
+    """Flag iteration over ``set``/``frozenset`` values in ordered contexts."""
+
+    id = "set-iteration"
+    description = (
+        "iterating a set/frozenset takes hash order, which PYTHONHASHSEED "
+        "randomises across processes; iterate an insertion-ordered dict "
+        "(dict.fromkeys) or wrap in sorted(...)"
+    )
+
+    #: Calls that materialise their argument in iteration order.
+    _ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "join"}
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not in_determinism_scope(source):
+            return []
+        findings: List[Finding] = []
+        for scope in _function_scopes(source.tree):
+            set_names = _locally_set_names(scope)
+            for node in _scope_walk(scope):
+                if isinstance(node, ast.For):
+                    self._check_iter(node.iter, set_names, source, findings)
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                    # a SetComp's output is itself unordered, so its input
+                    # order cannot leak; list/generator/dict outputs keep it
+                    for generator in node.generators:
+                        self._check_iter(generator.iter, set_names, source, findings)
+                elif isinstance(node, ast.Call):
+                    name = _call_name(node.func)
+                    if name in self._ORDERED_CONSUMERS and node.args:
+                        self._check_iter(node.args[0], set_names, source, findings)
+        return findings
+
+    def _check_iter(
+        self,
+        iterable: ast.AST,
+        set_names: Set[str],
+        source: SourceFile,
+        findings: List[Finding],
+    ) -> None:
+        if _is_set_expr(iterable, set_names):
+            findings.append(
+                Finding(
+                    self.id,
+                    source.display_path,
+                    iterable.lineno,
+                    f"iteration over a set takes hash order: `{source.segment(iterable)}`",
+                )
+            )
+
+
+class IdHashKeyRule(Rule):
+    """Flag sorting/keying by ``id()`` or builtin ``hash()``."""
+
+    id = "id-hash-key"
+    description = (
+        "ordering by id()/hash() follows allocation addresses / the seeded "
+        "string hash, which differ across processes; key on a stable field "
+        "(registration order, timestamps, identities)"
+    )
+
+    _ORDERING_CALLS = {"sorted", "min", "max", "sort"}
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not in_determinism_scope(source):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node.func) not in self._ORDERING_CALLS:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                if self._key_uses_identity(keyword.value):
+                    findings.append(
+                        Finding(
+                            self.id,
+                            source.display_path,
+                            keyword.value.lineno,
+                            f"ordering key built from id()/hash(): "
+                            f"`{source.segment(node)}`",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _key_uses_identity(key: ast.AST) -> bool:
+        if isinstance(key, ast.Name) and key.id in ("id", "hash"):
+            return True
+        if isinstance(key, ast.Lambda):
+            for inner in ast.walk(key.body):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id in ("id", "hash")
+                ):
+                    return True
+        return False
+
+
+class UnseededRandomRule(Rule):
+    """Flag the module-global ``random.*`` API and seedless ``random.Random()``."""
+
+    id = "unseeded-random"
+    description = (
+        "the module-global random API draws from interpreter-global state "
+        "any import can perturb (and checkpoints cannot own); use an "
+        "explicitly seeded random.Random(seed) instance"
+    )
+
+    _GLOBAL_FUNCTIONS = {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not in_determinism_scope(source):
+            return []
+        imported = _names_imported_from(source.tree, "random")
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_global_call = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in self._GLOBAL_FUNCTIONS
+            ) or (
+                isinstance(func, ast.Name)
+                and func.id in imported
+                and func.id in self._GLOBAL_FUNCTIONS
+            )
+            if is_global_call:
+                findings.append(
+                    Finding(
+                        self.id,
+                        source.display_path,
+                        node.lineno,
+                        f"module-global RNG call: `{source.segment(node)}`",
+                    )
+                )
+                continue
+            is_random_class = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr == "Random"
+            ) or (isinstance(func, ast.Name) and func.id == "Random" and "Random" in imported)
+            if is_random_class and not node.args and not node.keywords:
+                findings.append(
+                    Finding(
+                        self.id,
+                        source.display_path,
+                        node.lineno,
+                        "random.Random() without a seed falls back to OS entropy; "
+                        "pass an explicit seed",
+                    )
+                )
+        return findings
+
+
+class WallClockRule(Rule):
+    """Flag wall-clock reads (``time.time``, ``datetime.now``, ``today``)."""
+
+    id = "wall-clock"
+    description = (
+        "engine behaviour must be a function of the stream, not the machine "
+        "clock; take timestamps from records (perf_counter is allowed for "
+        "latency measurement only)"
+    )
+
+    _WALL_ATTRS = {"time", "time_ns", "now", "utcnow", "today"}
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not in_determinism_scope(source):
+            return []
+        time_imports = _names_imported_from(source.tree, "time") & {"time", "time_ns"}
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            flagged = False
+            if isinstance(func, ast.Attribute) and func.attr in self._WALL_ATTRS:
+                if func.attr in ("time", "time_ns"):
+                    # only the time module's functions, not any .time() method
+                    flagged = isinstance(func.value, ast.Name) and func.value.id == "time"
+                else:
+                    flagged = True  # .now()/.utcnow()/.today() on anything
+            elif isinstance(func, ast.Name) and func.id in time_imports:
+                flagged = True
+            if flagged:
+                findings.append(
+                    Finding(
+                        self.id,
+                        source.display_path,
+                        node.lineno,
+                        f"wall-clock read: `{source.segment(node)}`",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def _function_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the module plus every (async) function, for per-scope inference."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function scopes."""
+    queue: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while queue:
+        node = queue.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _locally_set_names(scope: ast.AST) -> Set[str]:
+    """Names assigned a set expression (and never anything else) in ``scope``."""
+    set_names: Set[str] = set()
+    other_names: Set[str] = set()
+    for node in _scope_walk(scope):
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], None
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if value is not None and _is_set_literalish(value):
+                    set_names.add(target.id)
+                else:
+                    other_names.add(target.id)
+    return set_names - other_names
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if _is_set_literalish(node):
+        return True
+    return isinstance(node, ast.Name) and node.id in set_names
+
+
+def _names_imported_from(tree: ast.Module, module: str) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names

@@ -1,0 +1,175 @@
+"""Drift rules: config fields vs persistence, metrics keys vs docs.
+
+Two registries shadow ``EngineConfig`` and the metrics surfaces, and both
+have historically been updated by hand:
+
+* ``config-drift`` -- ``persistence.state._CONFIG_FIELDS`` lists the
+  config fields a snapshot carries.  A constructor parameter missing
+  from it silently resets to its default on restore (the same failure
+  shape as a missed ``state_dict`` key, one level up); a stale entry
+  crashes ``load`` on old snapshots.  The rule statically compares the
+  ``EngineConfig.__init__`` signature against the tuple literal.
+* ``metrics-docs`` -- ``docs/operations.md`` documents every metrics
+  key.  ``scripts/check_docs.py`` already verifies this at *runtime* by
+  instantiating engines; this rule does it statically from the dict
+  literals inside ``metrics()`` / ``stats()`` methods, so a plain lint
+  run (no engine construction, no workload) catches the drift too, and
+  so the check covers classes the runtime harness never instantiates.
+
+Both are project-scoped rules (``check_project``): they need the whole
+tree (and the repository root, to find ``docs/``) rather than one file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..core import Finding, Project, Rule, SourceFile
+from ..docsync import backticked_terms
+
+__all__ = ["ConfigDriftRule", "MetricsDocsRule"]
+
+
+def _find_assignment(
+    project: Project, name: str
+) -> Optional[Tuple[SourceFile, ast.Assign]]:
+    """Locate the module-level ``name = ...`` assignment, if any file has one."""
+    for source in project.files:
+        for node in source.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return source, node
+    return None
+
+
+class ConfigDriftRule(Rule):
+    """Compare ``EngineConfig.__init__`` parameters against ``_CONFIG_FIELDS``."""
+
+    id = "config-drift"
+    description = (
+        "persistence.state._CONFIG_FIELDS must list exactly the EngineConfig "
+        "constructor parameters; a missing field resets to its default on "
+        "restore, a stale one breaks loading"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        located = _find_assignment(project, "_CONFIG_FIELDS")
+        if located is None or "EngineConfig" not in project.classes:
+            # nothing to compare against in this tree (e.g. fixture runs)
+            return []
+        fields_source, fields_node = located
+        fields: Set[str] = set()
+        if isinstance(fields_node.value, (ast.Tuple, ast.List)):
+            for element in fields_node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    fields.add(element.value)
+
+        config_source, config_node = project.classes["EngineConfig"]
+        params: Set[str] = set()
+        init_line = config_node.lineno
+        for item in config_node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                init_line = item.lineno
+                args = item.args
+                for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                    if arg.arg != "self":
+                        params.add(arg.arg)
+
+        findings: List[Finding] = []
+        for missing in sorted(params - fields):
+            findings.append(
+                Finding(
+                    self.id,
+                    fields_source.display_path,
+                    fields_node.lineno,
+                    f"EngineConfig parameter {missing!r} is not in _CONFIG_FIELDS: "
+                    f"it would silently reset to its default on restore",
+                )
+            )
+        for stale in sorted(fields - params):
+            findings.append(
+                Finding(
+                    self.id,
+                    config_source.display_path,
+                    init_line,
+                    f"_CONFIG_FIELDS lists {stale!r}, which is not an "
+                    f"EngineConfig constructor parameter",
+                )
+            )
+        return findings
+
+
+class MetricsDocsRule(Rule):
+    """Every string key built inside ``metrics()``/``stats()`` must be documented."""
+
+    id = "metrics-docs"
+    description = (
+        "a key emitted by a metrics()/stats() method has no backticked "
+        "mention in docs/operations.md; document it in the metrics tables"
+    )
+
+    _METHOD_NAMES = ("metrics", "stats")
+    #: Subpackages whose metrics surfaces the operations guide documents.
+    _SCOPES = ("core", "streaming")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if project.root is None:
+            return []
+        operations = project.root / "docs" / "operations.md"
+        if not operations.is_file():
+            return []
+        documented = backticked_terms(operations.read_text())
+
+        findings: List[Finding] = []
+        for source in project.files:
+            if not self._in_scope(source):
+                continue
+            for class_node in ast.walk(source.tree):
+                if not isinstance(class_node, ast.ClassDef):
+                    continue
+                for item in class_node.body:
+                    if not (
+                        isinstance(item, ast.FunctionDef)
+                        and item.name in self._METHOD_NAMES
+                    ):
+                        continue
+                    for key, line in sorted(self._emitted_keys(item)):
+                        if key not in documented:
+                            findings.append(
+                                Finding(
+                                    self.id,
+                                    source.display_path,
+                                    line,
+                                    f"{class_node.name}.{item.name}() emits key "
+                                    f"{key!r}, which docs/operations.md never "
+                                    f"mentions in backticks",
+                                )
+                            )
+        return findings
+
+    def _in_scope(self, source: SourceFile) -> bool:
+        parts = source.path.parts
+        if "repro" in parts:
+            parts = parts[parts.index("repro") + 1 :]
+        return bool(parts) and parts[0] in self._SCOPES
+
+    @staticmethod
+    def _emitted_keys(method: ast.FunctionDef) -> Set[Tuple[str, int]]:
+        """``(key, line)`` for dict-literal keys and ``x["key"]`` stores."""
+        keys: Set[Tuple[str, int]] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add((key.value, key.lineno))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.add((target.slice.value, target.lineno))
+        return keys

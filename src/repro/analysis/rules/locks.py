@@ -1,0 +1,167 @@
+"""Lock discipline: mutable shared attributes must be touched under the lock.
+
+The async ingest front-end (PR 5) runs a producer thread (``submit``) and
+an ingest thread (``_ingest_loop``) against the same object.  Python's
+GIL makes single attribute loads atomic, which is precisely why these
+bugs survive review: a counter incremented off-lock *usually* reads
+right, then a quiescence check pairs two counters read at different
+instants and the drain hangs or releases early -- a timing-dependent
+failure no deterministic test reproduces.
+
+The rule, per class that creates a lock in ``__init__``
+(``self._lock = threading.Lock()`` / ``RLock()`` / ``Condition()``):
+
+* an attribute is *guarded* if any method reads or writes it inside a
+  ``with self.<lock>:`` block;
+* an attribute is *mutable* if some method other than ``__init__``
+  assigns it (attributes only ever written during construction are
+  immutable-after-init and exempt -- readers need no lock);
+* every access to a guarded, mutable attribute outside a ``with``
+  block on one of the class's locks is a finding.
+
+Scope limits (to stay on the right side of false positives): only the
+class's own methods are inspected, ``__init__`` is exempt (no second
+thread can hold the object yet), and lambda bodies / nested functions
+are skipped -- they execute later, in a context the rule cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, Project, Rule, SourceFile
+
+__all__ = ["LockDisciplineRule"]
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+
+def _lock_attr_names(class_node: ast.ClassDef) -> Set[str]:
+    """Attributes assigned ``threading.Lock()``-style objects in ``__init__``."""
+    locks: Set[str] = set()
+    for item in class_node.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def _is_self_attr(node: ast.AST, self_name: str) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _walk_with_lock_depth(
+    body: List[ast.stmt], self_name: str, locks: Set[str], depth: int = 0
+) -> Iterator[Tuple[ast.AST, int]]:
+    """Yield ``(node, lock depth)`` without descending into nested scopes."""
+    for stmt in body:
+        for node, node_depth in _walk_node(stmt, self_name, locks, depth):
+            yield node, node_depth
+
+
+def _walk_node(
+    node: ast.AST, self_name: str, locks: Set[str], depth: int
+) -> Iterator[Tuple[ast.AST, int]]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    yield node, depth
+    if isinstance(node, ast.With):
+        held = any(
+            _is_self_attr(item.context_expr, self_name) in locks
+            for item in node.items
+        )
+        for item in node.items:
+            yield from _walk_node(item.context_expr, self_name, locks, depth)
+        inner = depth + 1 if held else depth
+        for stmt in node.body:
+            yield from _walk_node(stmt, self_name, locks, inner)
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_node(child, self_name, locks, depth)
+
+
+class LockDisciplineRule(Rule):
+    """Flag off-lock access to attributes the class guards elsewhere."""
+
+    id = "lock-discipline"
+    description = (
+        "this attribute is accessed under a lock in other methods of the "
+        "class, so touching it off-lock races the guarded readers/writers; "
+        "move the access inside `with self.<lock>:`"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for class_node in ast.walk(source.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            locks = _lock_attr_names(class_node)
+            if not locks:
+                continue
+            findings.extend(self._check_class(class_node, locks, source))
+        return findings
+
+    def _check_class(
+        self, class_node: ast.ClassDef, locks: Set[str], source: SourceFile
+    ) -> Iterable[Finding]:
+        methods = [
+            item
+            for item in class_node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        guarded: Set[str] = set()
+        mutable: Set[str] = set()
+        # (method name, attr, node) accesses outside any lock
+        unguarded: List[Tuple[str, str, ast.AST]] = []
+        for method in methods:
+            self_name = method.args.args[0].arg if method.args.args else "self"
+            for node, depth in _walk_with_lock_depth(method.body, self_name, locks):
+                attr = _is_self_attr(node, self_name)
+                if attr is None or attr in locks:
+                    continue
+                if depth > 0:
+                    guarded.add(attr)
+                elif method.name != "__init__":
+                    unguarded.append((method.name, attr, node))
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, (ast.Store, ast.Del))
+                    and method.name != "__init__"
+                ):
+                    mutable.add(attr)
+        # AugAssign targets carry Store ctx on the Attribute, so `self.x += 1`
+        # lands in `mutable` through the same path as plain assignment.
+        risky = guarded & mutable
+        for method_name, attr, node in unguarded:
+            if attr in risky:
+                yield Finding(
+                    self.id,
+                    source.display_path,
+                    node.lineno,
+                    f"{class_node.name}.{attr} is lock-guarded elsewhere but "
+                    f"accessed off-lock in {method_name}()",
+                )

@@ -1,0 +1,225 @@
+"""Snapshot completeness: every ``__init__`` attribute must persist & restore.
+
+PR 4's exact-resume contract ("restore(checkpoint(E)) + remaining stream ==
+uninterrupted run, byte for byte") only holds while every stateful class's
+``state_dict`` captures *everything* its ``__init__`` establishes, and its
+loader restores it.  The failure mode is silent: a new field added to a
+buffer or matcher simply resets to its constructor default after restore,
+and the divergence surfaces many batches later as a conformance mismatch
+the crash suite has to shrink down.  This rule fails the *commit* instead.
+
+For every class defining ``state_dict`` plus a loader (``from_state`` /
+``load_state``), each ``self.x = ...`` assigned in that class's own
+``__init__`` must be *covered* by
+
+* a key captured somewhere in the ``state_dict`` chain (the class's own
+  method plus project-resolvable base classes'), and
+* a key read somewhere in the loader chain (``from_state`` /
+  ``load_state`` / ``_load_base_state``).
+
+Key matching strips the attribute's leading underscores and accepts an
+underscore-boundary prefix either way, so ``self._pending`` is covered by
+``"pending"`` and ``self._rng`` by ``"rng_state"``.
+
+Two structural exemptions keep the rule usable against this codebase's
+"rebuild, don't store" codecs (an SJ-tree's shape is rebuilt from the
+decomposition; only its match collections are snapshotted):
+
+* an attribute whose ``__init__`` assignment references a constructor
+  parameter is *construction input* -- the owner re-supplies it when it
+  rebuilds the object before calling the loader;
+* a class whose ``state_dict`` chain exposes no string keys at all (a
+  list codec like ``LabelDistribution``) is opaque to the heuristic and
+  skipped entirely.
+
+Everything else that is deliberately derived (recomputed from other
+persisted fields on load) carries a ``# repro-lint:
+ignore[snapshot-coverage]`` on its assignment line -- and because unused
+suppressions are errors, the ignore dies with the attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..core import Finding, Project, Rule, SourceFile
+
+__all__ = ["SnapshotCoverageRule"]
+
+_LOADER_NAMES = ("from_state", "load_state", "_load_base_state")
+
+
+def _methods(node: ast.ClassDef, names: Iterable[str]) -> List[ast.FunctionDef]:
+    wanted = set(names)
+    return [
+        item
+        for item in node.body
+        if isinstance(item, ast.FunctionDef) and item.name in wanted
+    ]
+
+
+def captured_keys(method: ast.FunctionDef) -> Set[str]:
+    """String keys a ``state_dict``-style method writes into its payload.
+
+    Collected from dict literals, ``payload["key"] = ...`` subscript
+    stores, ``dict(key=...)`` keyword constructors and ``.update({...})``
+    literals anywhere in the method.
+    """
+    keys: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "dict":
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        keys.add(keyword.arg)
+    return keys
+
+
+def restored_keys(method: ast.FunctionDef) -> Set[str]:
+    """Every string constant in a loader method.
+
+    Loaders are small codecs; any string they mention is (in this
+    codebase, by construction) a payload key -- whether spelled as
+    ``state["key"]``, ``state.get("key")`` or a key list driving a loop
+    (``for key, target in (("degrees", ...), ...)``).  Casting the net
+    this wide only ever *weakens* the restore check, never produces a
+    false positive.
+    """
+    keys: Set[str] = set()
+    body = method.body
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # the docstring is prose, not keys
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                keys.add(node.value)
+    return keys
+
+
+def init_attributes(node: ast.ClassDef) -> List[Tuple[str, int]]:
+    """``(attribute name, line)`` for every *stateful* ``self.x`` in ``__init__``.
+
+    Assignments whose right-hand side references a constructor parameter
+    are construction input, not snapshot state: the rebuild-then-load
+    pattern re-supplies them through ``__init__`` before the loader runs,
+    so they are excluded here.
+    """
+    init: Optional[ast.FunctionDef] = None
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            init = item
+            break
+    if init is None:
+        return []
+    args = init.args
+    self_name = args.args[0].arg if args.args else "self"
+    params = {
+        arg.arg
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if arg.arg != self_name
+    }
+    seen: Set[str] = set()
+    attrs: List[Tuple[str, int]] = []
+    for stmt in ast.walk(init):
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets, value = [stmt.target], getattr(stmt, "value", None)
+        from_params = value is not None and any(
+            isinstance(inner, ast.Name) and inner.id in params
+            for inner in ast.walk(value)
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self_name
+                and target.attr not in seen
+            ):
+                seen.add(target.attr)
+                if not from_params:
+                    attrs.append((target.attr, target.lineno))
+    return attrs
+
+
+def _covers(attr: str, keys: Set[str]) -> bool:
+    name = attr.lstrip("_")
+    return any(
+        key == name or key.startswith(name + "_") or name.startswith(key + "_")
+        for key in keys
+    )
+
+
+class SnapshotCoverageRule(Rule):
+    """Cross-check ``__init__`` attributes against capture and restore keys."""
+
+    id = "snapshot-coverage"
+    description = (
+        "an attribute established in __init__ but absent from state_dict / "
+        "the loader silently resets on restore, breaking the exact-resume "
+        "contract; persist it or mark it derived with a suppression"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _methods(node, ["state_dict"]):
+                continue
+            if not _methods(node, _LOADER_NAMES):
+                continue
+            chain = project.class_chain(node.name) or [(source, node)]
+            captured: Set[str] = set()
+            restored: Set[str] = set()
+            for _, chain_node in chain:
+                for method in _methods(chain_node, ["state_dict"]):
+                    captured |= captured_keys(method)
+                for method in _methods(chain_node, _LOADER_NAMES):
+                    restored |= restored_keys(method)
+            if not captured:
+                continue  # list/opaque codec: no keys for the heuristic to check
+            for attr, line in init_attributes(node):
+                if not _covers(attr, captured):
+                    findings.append(
+                        Finding(
+                            self.id,
+                            source.display_path,
+                            line,
+                            f"{node.name}.{attr} is assigned in __init__ but no "
+                            f"state_dict key captures it (restore would reset it)",
+                        )
+                    )
+                elif restored and not _covers(attr, restored):
+                    findings.append(
+                        Finding(
+                            self.id,
+                            source.display_path,
+                            line,
+                            f"{node.name}.{attr} is captured by state_dict but no "
+                            f"loader ({'/'.join(_LOADER_NAMES)}) reads it back",
+                        )
+                    )
+        return findings

@@ -188,7 +188,10 @@ class DispatchIndex:
         if not entries:
             return
         dropped = set(id(entry) for entry in entries)
-        for label in set(label for entry in entries for label in entry.labels):
+        # insertion-ordered dedupe: bucket rewrites below mutate _by_label,
+        # whose key order is observable (stats, wildcard rebuilds), so the
+        # visit order must not depend on PYTHONHASHSEED
+        for label in dict.fromkeys(label for entry in entries for label in entry.labels):
             bucket = [e for e in self._by_label[label] if id(e) not in dropped]
             if bucket:
                 self._by_label[label] = bucket

@@ -52,11 +52,13 @@ class DynamicGraph:
         self.window = window if window is not None else TimeWindow(None)
         self.evict_isolated_vertices = evict_isolated_vertices
         self.out_of_order_tolerance = out_of_order_tolerance
-        self._expiry: ExpiryQueue[EdgeId] = ExpiryQueue()
+        # rebuilt from the retained edges on from_state (see state_dict)
+        self._expiry: ExpiryQueue[EdgeId] = ExpiryQueue()  # repro-lint: ignore[snapshot-coverage]
         self._current_time: float = float("-inf")
         self._edges_ingested = 0
         self._edges_evicted = 0
-        self._eviction_listeners: List[Callable[[Edge], None]] = []
+        # plain callables, deliberately not restored (see from_state)
+        self._eviction_listeners: List[Callable[[Edge], None]] = []  # repro-lint: ignore[snapshot-coverage]
 
     # ------------------------------------------------------------------
     # stream time

@@ -40,8 +40,10 @@ class Match:
         self.vertex_map: Dict[str, VertexId] = dict(vertex_map or {})
         self.edge_map: Dict[int, Edge] = dict(edge_map or {})
         timestamps = [edge.timestamp for edge in self.edge_map.values()]
-        self.earliest: float = min(timestamps) if timestamps else float("inf")
-        self.latest: float = max(timestamps) if timestamps else float("-inf")
+        # recomputed from the restored edge_map when from_state re-runs
+        # this constructor, so not snapshotted
+        self.earliest: float = min(timestamps) if timestamps else float("inf")  # repro-lint: ignore[snapshot-coverage]
+        self.latest: float = max(timestamps) if timestamps else float("-inf")  # repro-lint: ignore[snapshot-coverage]
 
     # ------------------------------------------------------------------
     # basic accessors

@@ -42,12 +42,14 @@ naming the query.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping
 
 from ..core.decomposition import Decomposition
+from ..core.dispatch import DispatchIndex
 from ..core.engine import EngineConfig, RegisteredQuery, StreamWorksEngine
 from ..core.matcher import ContinuousQueryMatcher
 from ..core.planner import QueryPlan
+from ..query.query_graph import QueryGraph
 from ..graph.dynamic_graph import DynamicGraph
 from ..graph.window import TimeWindow
 from ..isomorphism.match import Match
@@ -57,6 +59,9 @@ from ..streaming.events import MatchEvent
 from ..streaming.metrics import LatencyRecorder, ThroughputMeter
 from ..streaming.sources import reorder_buffer_from_state
 from .snapshot import SnapshotCorruptError, SnapshotError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from ..core.sharded import ShardedStreamEngine
 
 __all__ = [
     "ENGINE_KIND",
@@ -116,7 +121,7 @@ def _window_from_state(state: Mapping[str, Any]) -> TimeWindow:
     return TimeWindow(state["duration"], strict=state["strict"])
 
 
-def _query_to_dict_checked(query, owner: str) -> Dict[str, Any]:
+def _query_to_dict_checked(query: QueryGraph, owner: str) -> Dict[str, Any]:
     try:
         return query_to_dict(query)
     except QuerySerializationError as error:
@@ -141,7 +146,7 @@ def _plan_state(plan: QueryPlan, owner: str) -> Dict[str, Any]:
     }
 
 
-def _plan_from_state(query, state: Mapping[str, Any]) -> QueryPlan:
+def _plan_from_state(query: QueryGraph, state: Mapping[str, Any]) -> QueryPlan:
     primitives = [query_from_dict(payload) for payload in state["primitives"]]
     estimates = {name: value for name, value in state["estimates"]}
     decomposition = Decomposition(
@@ -180,7 +185,7 @@ def _event_from_state(state: Mapping[str, Any]) -> MatchEvent:
     )
 
 
-def _dispatch_counters(dispatch) -> Dict[str, int]:
+def _dispatch_counters(dispatch: DispatchIndex) -> Dict[str, int]:
     return {
         "lookups": dispatch.lookups,
         "entries_matched": dispatch.entries_matched,
@@ -300,7 +305,9 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
 # ----------------------------------------------------------------------
 # sharded engine
 # ----------------------------------------------------------------------
-def sharded_sections(engine, shard_states: List[Dict[str, Any]]) -> Dict[str, Any]:
+def sharded_sections(
+    engine: "ShardedStreamEngine", shard_states: List[Dict[str, Any]]
+) -> Dict[str, Any]:
     """Capture a sharded engine's parent state plus pre-collected shard states.
 
     ``shard_states`` is one :func:`engine_sections` payload per shard, in
@@ -353,7 +360,7 @@ def sharded_sections(engine, shard_states: List[Dict[str, Any]]) -> Dict[str, An
     return sections
 
 
-def load_sharded_sections(sections: Mapping[str, Any]):
+def load_sharded_sections(sections: Mapping[str, Any]) -> "ShardedStreamEngine":
     """Rebuild a sharded engine (serial state; pool restarts lazily) from sections."""
     from ..core.sharded import ShardConfig, ShardedQuery, ShardedStreamEngine
 

@@ -34,11 +34,15 @@ class GraphSummary:
         vertex_count: int = 0,
         edge_count: int = 0,
     ):
-        self.vertex_labels = vertex_labels or LabelDistribution()
-        self.edge_labels = edge_labels or LabelDistribution()
-        self.signatures = signatures or SignatureDistribution()
-        self.degrees = degrees or DegreeDistribution()
-        self.triads = triads or TriadCensus()
+        # `x if x is not None else ...`, not `x or ...`: these classes define
+        # __len__, so an *empty* distribution passed by the caller is falsy
+        # yet must be kept -- `or` would discard its configuration (e.g. a
+        # TriadCensus built with sample_cap=None).
+        self.vertex_labels = vertex_labels if vertex_labels is not None else LabelDistribution()
+        self.edge_labels = edge_labels if edge_labels is not None else LabelDistribution()
+        self.signatures = signatures if signatures is not None else SignatureDistribution()
+        self.degrees = degrees if degrees is not None else DegreeDistribution()
+        self.triads = triads if triads is not None else TriadCensus()
         self.vertex_count = vertex_count
         self.edge_count = edge_count
 

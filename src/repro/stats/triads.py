@@ -83,7 +83,10 @@ class TriadCensus:
         examines the other edges incident to each endpoint of ``edge``.
         """
         store = graph.graph if hasattr(graph, "graph") else graph
-        for center in set(edge.endpoints):
+        # dict.fromkeys, not set(): a self-loop must still visit its endpoint
+        # once, but the iteration order feeds self._rng.sample below, so it
+        # must be endpoint order, not PYTHONHASHSEED order.
+        for center in dict.fromkeys(edge.endpoints):
             center_label = store.vertex(center).label if store.has_vertex(center) else None
             new_leg = self._leg(edge, center, store)
             existing = [

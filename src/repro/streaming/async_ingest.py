@@ -149,11 +149,12 @@ class AsyncIngestFrontend:
                 # stay byte-identical to feeding process_batch directly
                 with self._released_lock:
                     self._released.append((ready, late, watermark))
-                # bumped strictly AFTER the park: _quiesced gates on
-                # batches_admitted == batches_submitted, and that ordering
-                # (plus the GIL) guarantees every counted batch's released
-                # prefix is already visible in _released at the gate
-                self.batches_admitted += 1
+                    # bumped strictly AFTER the park, inside the same lock
+                    # _quiesced reads the counters under: the gate on
+                    # batches_admitted == batches_submitted can never hold
+                    # while a popped batch's released prefix is still in
+                    # the ingest thread's hands
+                    self.batches_admitted += 1
             except BaseException as error:  # surfaced on the next API call
                 self._error = error
             finally:
@@ -186,11 +187,15 @@ class AsyncIngestFrontend:
         if self._closed:
             raise RuntimeError("submit() on a closed AsyncIngestFrontend")
         self._check_error()
-        self.batches_submitted += 1
-        self.records_submitted += len(records)
-        depth = self._submitted.qsize() + 1
-        if depth > self.max_queue_depth:
-            self.max_queue_depth = depth
+        # counters share _released_lock with the ingest thread's admission
+        # bookkeeping (NOT _buffer_lock: holding that here would serialise
+        # the producer with admission and kill the ingest overlap)
+        with self._released_lock:
+            self.batches_submitted += 1
+            self.records_submitted += len(records)
+            depth = self._submitted.qsize() + 1
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
         self._submitted.put(list(records))
 
     # ------------------------------------------------------------------
@@ -244,8 +249,11 @@ class AsyncIngestFrontend:
             events.extend(self.drain())
             with self._buffer_lock:
                 with self._released_lock:
-                    clean = not self._released
-                if clean and self.batches_admitted == self.batches_submitted:
+                    clean = (
+                        not self._released
+                        and self.batches_admitted == self.batches_submitted
+                    )
+                if clean:
                     return events, action()
 
     def flush(self) -> List[MatchEvent]:
@@ -313,17 +321,20 @@ class AsyncIngestFrontend:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         """Return frontend counters (queue depths, batch/record totals)."""
+        # _closed is a GIL-atomic flag flipped once by close(); it is read
+        # outside the lock on purpose (taking _released_lock around every
+        # flag read would buy nothing -- close() does not hold it either)
+        closed = self._closed
         with self._released_lock:
-            released_pending = len(self._released)
-        return {
-            "batches_submitted": self.batches_submitted,
-            "batches_admitted": self.batches_admitted,
-            "records_submitted": self.records_submitted,
-            "queue_depth": self._submitted.qsize(),
-            "max_queue_depth": self.max_queue_depth,
-            "released_pending": released_pending,
-            "closed": self._closed,
-        }
+            return {
+                "batches_submitted": self.batches_submitted,
+                "batches_admitted": self.batches_admitted,
+                "records_submitted": self.records_submitted,
+                "queue_depth": self._submitted.qsize(),
+                "max_queue_depth": self.max_queue_depth,
+                "released_pending": len(self._released),
+                "closed": closed,
+            }
 
     def metrics(self) -> Dict[str, Any]:
         """Return ``engine.metrics()`` augmented with ``{"async_ingest": stats}``.
@@ -340,5 +351,6 @@ class AsyncIngestFrontend:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"AsyncIngestFrontend(queued={self._submitted.qsize()}, "
-            f"submitted={self.batches_submitted}, closed={self._closed})"
+            # racy read tolerated: debug repr must never take locks
+            f"submitted={self.batches_submitted}, closed={self._closed})"  # repro-lint: ignore[lock-discipline]
         )

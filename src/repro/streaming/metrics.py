@@ -73,7 +73,8 @@ class LatencyRecorder:
         self._cap = cap
         self._rng = random.Random(seed)
         self._samples: List[float] = []
-        self._sorted: Optional[List[float]] = None
+        # lazily-computed percentile cache, rebuilt on first read
+        self._sorted: Optional[List[float]] = None  # repro-lint: ignore[snapshot-coverage]
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
@@ -190,7 +191,9 @@ class ThroughputMeter:
 
     def __init__(self) -> None:
         self._items = 0
-        self._started: Optional[float] = None
+        # wall-clock interval start; snapshots are taken between
+        # intervals (state_dict stores accumulated elapsed only)
+        self._started: Optional[float] = None  # repro-lint: ignore[snapshot-coverage]
         self._elapsed = 0.0
 
     def start(self) -> None:

@@ -50,7 +50,18 @@ tests).
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .edge_stream import StreamEdge
 from .reorder import LatePolicy, ReorderBuffer
@@ -581,8 +592,8 @@ def split_by_source(records: Iterable[StreamEdge]) -> Dict[Optional[str], List[S
 
 
 def skewed_interleave(
-    per_source: Mapping[str, Sequence[StreamEdge]],
-    lag: Union[Mapping[str, float], Callable[[str, float], float]],
+    per_source: Mapping[Optional[str], Sequence[StreamEdge]],
+    lag: Union[Mapping[Optional[str], float], Callable[[Optional[str], float], float]],
 ) -> List[StreamEdge]:
     """Interleave per-source streams as a skewed merged feed (arrival order).
 
@@ -600,11 +611,13 @@ def skewed_interleave(
     deterministic.  Event timestamps are left untouched -- only the
     *order* models the skew.
     """
+    lag_of: Callable[[Optional[str], float], float]
     if callable(lag):
         lag_of = lag
     else:
-        lag_of = lambda source, timestamp: lag[source]  # noqa: E731 - tiny adapter
-    keyed: List[tuple] = []
+        lag_mapping = lag
+        lag_of = lambda source, timestamp: lag_mapping[source]  # noqa: E731 - tiny adapter
+    keyed: List[Tuple[float, int, int, Optional[str], StreamEdge]] = []
     # a None key (untagged records, as split_by_source produces for them)
     # sorts first rather than crashing the str/None comparison
     source_order = sorted(per_source, key=lambda name: (name is not None, name or ""))

@@ -1,0 +1,9 @@
+"""Bad: a constructor parameter missing from _CONFIG_FIELDS, plus a stale entry."""
+
+_CONFIG_FIELDS = ("alpha", "gamma")
+
+
+class EngineConfig:
+    def __init__(self, alpha=1, beta=2):
+        self.alpha = alpha
+        self.beta = beta

@@ -1,0 +1,9 @@
+"""Good: _CONFIG_FIELDS lists exactly the constructor parameters."""
+
+_CONFIG_FIELDS = ("alpha", "beta")
+
+
+class EngineConfig:
+    def __init__(self, alpha=1, beta=2):
+        self.alpha = alpha
+        self.beta = beta

@@ -1,0 +1,7 @@
+"""Bad: ordering by id()/hash() follows per-process memory/hash layout."""
+
+
+def stable_order(entries):
+    ranked = sorted(entries, key=id)
+    worst = max(entries, key=lambda entry: hash(entry.label))
+    return ranked, worst

@@ -1,0 +1,7 @@
+"""Good: ordering keys built from stable record fields."""
+
+
+def stable_order(entries):
+    ranked = sorted(entries, key=lambda entry: (entry.timestamp, entry.label))
+    worst = max(entries, key=lambda entry: entry.timestamp)
+    return ranked, worst

@@ -1,0 +1,16 @@
+"""Bad: a lock-guarded counter read off-lock by another method."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def peek(self):
+        return self.total

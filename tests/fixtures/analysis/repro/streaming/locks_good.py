@@ -1,0 +1,17 @@
+"""Good: every access to the shared counter holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def peek(self):
+        with self._lock:
+            return self.total

@@ -1,0 +1,11 @@
+"""Emits one documented key and one undocumented key (see test harness).
+
+The test pairs this file with synthetic docs/operations.md contents: a
+root whose docs mention only `rate` makes `undocumented_rate_window` a
+finding; a root mentioning both is clean.
+"""
+
+
+class Meter:
+    def stats(self):
+        return {"rate": 1.0, "undocumented_rate_window": 2.0}

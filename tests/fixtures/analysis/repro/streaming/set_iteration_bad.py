@@ -1,0 +1,9 @@
+"""Bad: iterating sets in ordered contexts (hash order leaks out)."""
+
+
+def release_order(pending):
+    labels = {record.label for record in pending}
+    ordered = [label for label in labels]
+    for label in {"a", "b", "c"}:
+        ordered.append(label)
+    return list(frozenset(ordered))

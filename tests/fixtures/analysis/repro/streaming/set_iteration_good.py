@@ -1,0 +1,10 @@
+"""Good: sets are fine for membership; ordered use goes through sorted/fromkeys."""
+
+
+def release_order(pending):
+    labels = {record.label for record in pending}
+    ordered = sorted(labels)
+    for label in dict.fromkeys(["a", "b", "c"]):
+        ordered.append(label)
+    seen = {label for label in ordered}
+    return [label for label in ordered if label in seen]

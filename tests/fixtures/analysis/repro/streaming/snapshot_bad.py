@@ -1,0 +1,16 @@
+"""Bad: __init__ establishes `count` but state_dict never captures it."""
+
+
+class Buffer:
+    def __init__(self):
+        self.pending = []
+        self.count = 0
+
+    def state_dict(self):
+        return {"pending": list(self.pending)}
+
+    @classmethod
+    def from_state(cls, state):
+        buffer = cls()
+        buffer.pending = list(state["pending"])
+        return buffer

@@ -1,0 +1,17 @@
+"""Good: every __init__ attribute is captured and restored."""
+
+
+class Buffer:
+    def __init__(self):
+        self.pending = []
+        self.count = 0
+
+    def state_dict(self):
+        return {"pending": list(self.pending), "count": self.count}
+
+    @classmethod
+    def from_state(cls, state):
+        buffer = cls()
+        buffer.pending = list(state["pending"])
+        buffer.count = state["count"]
+        return buffer

@@ -1,0 +1,6 @@
+"""A real finding silenced by a line-scoped suppression: must be clean."""
+
+
+def release_order(pending):
+    labels = {record.label for record in pending}
+    return [label for label in labels]  # repro-lint: ignore[set-iteration]

@@ -1,0 +1,25 @@
+"""Bad: truthiness tests on Optionals whose empty value is meaningful."""
+
+from typing import Optional
+
+
+class Census:
+    def __init__(self):
+        self.rows = []
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class Holder:
+    def __init__(self, census=None):
+        self.census: Optional[Census] = census
+
+    def snapshot(self):
+        if self.census:
+            return len(self.census)
+        return None
+
+
+def normalise(census: Optional[Census]):
+    return census or Census()

@@ -1,0 +1,25 @@
+"""Good: configured-ness is `is not None`; emptiness is an explicit len()."""
+
+from typing import Optional
+
+
+class Census:
+    def __init__(self):
+        self.rows = []
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class Holder:
+    def __init__(self, census=None):
+        self.census: Optional[Census] = census
+
+    def snapshot(self):
+        if self.census is not None:
+            return len(self.census)
+        return None
+
+
+def normalise(census: Optional[Census]):
+    return census if census is not None else Census()

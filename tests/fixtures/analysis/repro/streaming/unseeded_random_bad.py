@@ -1,0 +1,9 @@
+"""Bad: module-global RNG calls and a seedless Random()."""
+
+import random
+
+
+def jitter():
+    spread = random.random()
+    rng = random.Random()
+    return spread + rng.random()

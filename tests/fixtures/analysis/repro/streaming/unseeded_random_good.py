@@ -1,0 +1,8 @@
+"""Good: an owned, explicitly seeded RNG instance."""
+
+import random
+
+
+def jitter(seed=7):
+    rng = random.Random(seed)
+    return rng.random() + rng.random()

@@ -1,0 +1,10 @@
+"""Two stale ignores: one matches nothing, one names an unknown rule."""
+
+
+def release_order(pending):
+    ordered = sorted({record.label for record in pending})
+    return ordered  # repro-lint: ignore[set-iteration]
+
+
+def jitter():
+    return 0.0  # repro-lint: ignore[not-a-rule]

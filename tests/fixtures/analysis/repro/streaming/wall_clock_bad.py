@@ -1,0 +1,10 @@
+"""Bad: engine behaviour coupled to the machine clock."""
+
+import time
+from datetime import datetime
+
+
+def stamp(record):
+    record.arrived = time.time()
+    record.day = datetime.now()
+    return record

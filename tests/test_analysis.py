@@ -1,0 +1,224 @@
+"""Tier-1 tests for repro-lint (`repro.analysis`).
+
+Four layers, mirroring the guarantees the suite makes:
+
+1. **Fixture pairs** -- every rule fires on its bad fixture and stays
+   silent on its good twin (`tests/fixtures/analysis/`).
+2. **Suppression machinery** -- a line-scoped ignore silences exactly its
+   finding; stale or unknown ignores are `unused-suppression` errors.
+3. **The real tree** -- `run_analysis(["src/repro"])` is clean (this is
+   the same gate CI runs) and fast (<10s, so the lint suite stays
+   tier-1-cheap).
+4. **Mutation meta-tests** -- deleting a `state_dict` key from
+   `ReorderBuffer`, or adding an unpersisted `__init__` attribute, makes
+   the suite fail.  This pins that the snapshot rule actually guards the
+   exact-resume contract rather than merely passing on today's code.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, run_analysis
+from repro.analysis.core import SourceFile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+RULE_FIXTURES = {
+    "set-iteration": "repro/streaming/set_iteration",
+    "id-hash-key": "repro/streaming/id_hash_key",
+    "unseeded-random": "repro/streaming/unseeded_random",
+    "wall-clock": "repro/streaming/wall_clock",
+    "snapshot-coverage": "repro/streaming/snapshot",
+    "optional-truthiness": "repro/streaming/truthiness",
+    "lock-discipline": "repro/streaming/locks",
+    "config-drift": "repro/core/config_drift",
+}
+
+
+def analyse(path, root=None):
+    return run_analysis([str(path)], root=root)
+
+
+# ----------------------------------------------------------------------
+# 1. fixture pairs
+# ----------------------------------------------------------------------
+def test_every_registered_rule_has_a_fixture_pair_or_dedicated_test():
+    covered = set(RULE_FIXTURES) | {"metrics-docs"}
+    assert {rule.id for rule in ALL_RULES} == covered
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_rule_fires_on_bad_fixture(rule_id):
+    report = analyse(FIXTURES / f"{RULE_FIXTURES[rule_id]}_bad.py")
+    assert not report.clean
+    assert {finding.rule for finding in report.findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_rule_is_silent_on_good_fixture(rule_id):
+    report = analyse(FIXTURES / f"{RULE_FIXTURES[rule_id]}_good.py")
+    assert report.clean, [finding.format() for finding in report.findings]
+
+
+def test_metrics_docs_rule_fires_and_clears_against_synthetic_docs(tmp_path):
+    fixture = FIXTURES / "repro" / "streaming" / "metrics_docs.py"
+    docs = tmp_path / "docs"
+    docs.mkdir()
+
+    (docs / "operations.md").write_text("Only `rate` is documented.\n")
+    report = analyse(fixture, root=tmp_path)
+    assert [finding.rule for finding in report.findings] == ["metrics-docs"]
+    assert "undocumented_rate_window" in report.findings[0].message
+
+    (docs / "operations.md").write_text(
+        "Both `rate` and `undocumented_rate_window` are documented.\n"
+    )
+    assert analyse(fixture, root=tmp_path).clean
+
+
+def test_metrics_docs_rule_accepts_keys_inside_longer_code_spans(tmp_path):
+    fixture = FIXTURES / "repro" / "streaming" / "metrics_docs.py"
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "operations.md").write_text(
+        'See `stats()["rate"]` and `metrics()["undocumented_rate_window"]`.\n'
+    )
+    assert analyse(fixture, root=tmp_path).clean
+
+
+# ----------------------------------------------------------------------
+# 2. suppression machinery
+# ----------------------------------------------------------------------
+def test_matching_suppression_silences_the_finding():
+    assert analyse(FIXTURES / "repro" / "streaming" / "suppressed_ok.py").clean
+
+
+def test_stale_and_unknown_suppressions_are_errors():
+    report = analyse(FIXTURES / "repro" / "streaming" / "unused_suppression.py")
+    assert [finding.rule for finding in report.findings] == [
+        "unused-suppression",
+        "unused-suppression",
+    ]
+    messages = "\n".join(finding.message for finding in report.findings)
+    assert "matches no finding" in messages
+    assert "unknown rule 'not-a-rule'" in messages
+
+
+def test_suppression_marker_inside_a_docstring_is_inert():
+    source = SourceFile(
+        Path("repro/streaming/doc.py"),
+        "repro/streaming/doc.py",
+        '"""Suppress with `# repro-lint: ignore[set-iteration]`."""\n',
+    )
+    assert source.suppressions == {}
+
+
+def test_one_comment_can_suppress_several_rules():
+    text = (
+        "import random\n"
+        "def f():\n"
+        "    for x in {1, 2}:  # repro-lint: ignore[set-iteration,unseeded-random]\n"
+        "        random.random()\n"
+    )
+    source = SourceFile(Path("repro/streaming/multi.py"), "repro/streaming/multi.py", text)
+    assert source.suppressions == {3: {"set-iteration", "unseeded-random"}}
+    # the random.random() call is on line 4, not the suppressed line 3,
+    # so only set-iteration is consumed; the other ignore goes stale
+    report = run_analysis([], sources=[source])
+    assert {finding.rule for finding in report.findings} == {
+        "unseeded-random",
+        "unused-suppression",
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. the real tree
+# ----------------------------------------------------------------------
+def test_the_real_tree_is_clean_and_fast():
+    report = run_analysis([str(REPO_ROOT / "src" / "repro")])
+    assert report.clean, "\n".join(finding.format() for finding in report.findings)
+    assert len(report.rules_run) >= 5
+    assert report.duration_seconds < 10.0
+
+
+def test_cli_reports_clean_json_on_the_real_tree():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro", "--format", "json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["clean"] is True
+    assert payload["finding_count"] == 0
+    assert len(payload["rules_run"]) == len(ALL_RULES)
+
+
+def test_cli_exits_one_on_findings_and_lists_rules():
+    bad = FIXTURES / "repro" / "streaming" / "set_iteration_bad.py"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(bad)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 1
+    assert "[set-iteration]" in result.stdout
+
+    listing = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-rules"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert listing.returncode == 0
+    for rule in ALL_RULES:
+        assert f"{rule.id}:" in listing.stdout
+
+
+# ----------------------------------------------------------------------
+# 4. mutation meta-tests: the snapshot rule guards the resume contract
+# ----------------------------------------------------------------------
+REORDER_PATH = REPO_ROOT / "src" / "repro" / "streaming" / "reorder.py"
+
+
+def _analyse_mutated_reorder(mutate):
+    text = REORDER_PATH.read_text()
+    mutated = mutate(text)
+    assert mutated != text, "mutation did not apply -- reorder.py changed shape?"
+    source = SourceFile(
+        Path("src/repro/streaming/reorder.py"),
+        "src/repro/streaming/reorder.py",
+        mutated,
+    )
+    return run_analysis([], sources=[source])
+
+
+def test_deleting_a_state_dict_key_from_reorder_buffer_fails_the_suite():
+    report = _analyse_mutated_reorder(
+        lambda text: text.replace('"records_seen": self.records_seen,', "")
+    )
+    findings = [f for f in report.findings if f.rule == "snapshot-coverage"]
+    assert findings, "dropping a captured key must raise snapshot-coverage"
+    assert any("records_seen" in f.message for f in findings)
+
+
+def test_adding_an_unpersisted_init_attribute_to_reorder_buffer_fails_the_suite():
+    report = _analyse_mutated_reorder(
+        lambda text: text.replace(
+            "self.records_seen = 0",
+            "self.records_seen = 0\n        self.phantom_counter = 0",
+        )
+    )
+    findings = [f for f in report.findings if f.rule == "snapshot-coverage"]
+    assert findings, "an unpersisted __init__ attribute must raise snapshot-coverage"
+    assert any("phantom_counter" in f.message for f in findings)

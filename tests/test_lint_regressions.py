@@ -1,0 +1,181 @@
+"""Regression pins for the genuine bugs repro-lint surfaced on its first run.
+
+Running the new static-analysis suite over the real tree found four real
+defect sites (alongside the deliberate-design suppressions).  Each fix
+gets a behavioural pin here, so the bugs stay dead even if the lint rule
+that caught them is ever loosened:
+
+* ``GraphSummary.__init__`` used ``x or Default()`` on five Optional
+  components that define ``__len__`` -- an *empty but configured*
+  component (e.g. an exact ``TriadCensus(sample_cap=None)``) was falsy
+  and silently replaced by a default-configured one.
+* ``TriadCensus.observe_new_edge`` iterated ``set(edge.endpoints)``:
+  the endpoint visit order fed the sampling RNG, so with sampling
+  active the census (and everything planned from it) depended on
+  ``PYTHONHASHSEED``.
+* ``DispatchIndex.unregister`` iterated a set of the dropped owner's
+  labels while rewriting ``_by_label`` buckets.
+* ``AsyncIngestFrontend`` bumped/read its admission counters outside
+  any lock; a ``stats()`` racing ``submit``/admission could observe
+  ``batches_admitted > batches_submitted`` (two counters read at
+  different instants).
+"""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.core import EngineConfig, StreamWorksEngine
+from repro.core.dispatch import DispatchIndex
+from repro.graph import PropertyGraph
+from repro.query.query_graph import QueryGraph
+from repro.stats import GraphSummary, TriadCensus
+from repro.stats.labels import LabelDistribution
+from repro.streaming import AsyncIngestFrontend, StreamEdge
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# GraphSummary: empty-but-configured components must be kept
+# ----------------------------------------------------------------------
+def test_graph_summary_keeps_empty_components_passed_by_the_caller():
+    census = TriadCensus(sample_cap=None)
+    labels = LabelDistribution()
+    summary = GraphSummary(vertex_labels=labels, triads=census)
+    assert summary.triads is census
+    assert summary.vertex_labels is labels
+
+
+def test_from_graph_without_triads_keeps_the_exact_census_configuration():
+    graph = PropertyGraph()
+    graph.add_vertex("a", "A")
+    summary = GraphSummary.from_graph(graph, with_triads=False)
+    # the empty census from_graph builds is configured exact (sample_cap
+    # None); `triads or TriadCensus()` used to swap in a sampling default
+    assert summary.triads._sample_cap is None
+
+
+# ----------------------------------------------------------------------
+# TriadCensus: sampled census must not depend on PYTHONHASHSEED
+# ----------------------------------------------------------------------
+_TRIAD_SCRIPT = """
+import json
+from repro.graph import PropertyGraph
+from repro.stats import TriadCensus
+
+graph = PropertyGraph()
+census = TriadCensus(sample_cap=2, seed=7)
+hubs = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+for hub in hubs:
+    graph.add_vertex(hub, "Hub")
+clock = 0.0
+for hub in hubs:                      # grow every hub past the sample cap;
+    for spoke in range(4):            # distinct spoke labels so any change in
+        leaf = f"{hub}-s{spoke}"      # which edges get sampled shows up in keys
+        graph.add_vertex(leaf, f"Leaf{spoke}")
+        clock += 1.0
+        census.observe_new_edge(
+            graph, graph.add_edge(hub, leaf, f"spoke{spoke}", clock)
+        )
+for left, right in zip(hubs, hubs[1:]):   # hub-hub edges: sampling at BOTH ends
+    clock += 1.0
+    census.observe_new_edge(graph, graph.add_edge(left, right, "link", clock))
+print(json.dumps({
+    "total": census.total_wedges(),
+    "counts": sorted((repr(key), count) for key, count in census.most_common()),
+}))
+"""
+
+
+def _run_triad_script(hash_seed):
+    result = subprocess.run(
+        [sys.executable, "-c", _TRIAD_SCRIPT],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": "src",
+            "PYTHONHASHSEED": str(hash_seed),
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def test_sampled_triad_census_is_hash_seed_invariant():
+    # pre-fix (`set(edge.endpoints)`) this workload produced 6 distinct
+    # censuses across hash seeds 0-7; post-fix all seeds must agree
+    baseline = _run_triad_script(0)
+    assert baseline["total"] > 0
+    for hash_seed in (1, 2, 3, 4242):
+        assert _run_triad_script(hash_seed) == baseline
+
+
+# ----------------------------------------------------------------------
+# DispatchIndex: unregister keeps deterministic bucket/key layout
+# ----------------------------------------------------------------------
+def _leaf(leaf_id, label):
+    query = QueryGraph(f"q-{leaf_id}")
+    query.add_vertex("a", "A")
+    query.add_vertex("b", "B")
+    query.add_edge("a", "b", label)
+    return SimpleNamespace(id=leaf_id, subgraph=query)
+
+
+def test_unregister_preserves_registration_ordered_label_layout():
+    index = DispatchIndex()
+    index.register("q1", [_leaf(0, "x"), _leaf(1, "y")])
+    index.register("q2", [_leaf(0, "y"), _leaf(1, "z")])
+    index.unregister("q1")
+    # label x (only q1's) is gone; y and z keep registration order and
+    # exactly q2's entries -- the label visit order during the rewrite
+    # must never leak into the surviving layout
+    assert list(index._by_label) == ["y", "z"]
+    assert [entry.owner for entry in index._by_label["y"]] == ["q2"]
+    assert index.registered_owners() == ["q2"]
+
+
+# ----------------------------------------------------------------------
+# AsyncIngestFrontend: counters read under the lock are mutually consistent
+# ----------------------------------------------------------------------
+def test_async_stats_never_report_more_admitted_than_submitted():
+    engine = StreamWorksEngine(config=EngineConfig(allowed_lateness=1.0))
+    query = QueryGraph("q")
+    query.add_vertex("a", "Host")
+    query.add_vertex("b", "Host")
+    query.add_edge("a", "b", "flow")
+    engine.register_query(query, window=50.0)
+
+    frontend = AsyncIngestFrontend(engine, max_queue_batches=8)
+    batches = 120
+    violations = []
+
+    def produce():
+        for index in range(batches):
+            edge = StreamEdge(
+                f"h{index}", f"h{index + 1}", "flow", float(index),
+                source_label="Host", target_label="Host",
+            )
+            frontend.submit([edge])
+
+    producer = threading.Thread(target=produce)
+    producer.start()
+    try:
+        while producer.is_alive():
+            stats = frontend.stats()
+            if stats["batches_admitted"] > stats["batches_submitted"]:
+                violations.append(stats)
+    finally:
+        producer.join()
+        frontend.close()
+
+    assert violations == []
+    final = frontend.stats()
+    assert final["batches_submitted"] == batches
+    assert final["batches_admitted"] == batches
+    assert final["records_submitted"] == batches

@@ -1,0 +1,32 @@
+"""Run mypy over the strictly-typed modules (skipped if mypy is absent).
+
+The strict-rollout scope lives in ``pyproject.toml`` (`[tool.mypy]`
+``files`` plus the per-module overrides); this test runs the exact
+invocation CI runs so a local environment with mypy installed gets the
+same signal.  The pinned test container does not ship mypy, so the test
+skips rather than fails there -- CI installs mypy explicitly and the
+analysis job never skips it.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy is not installed in this environment (CI installs it)",
+)
+def test_strictly_typed_modules_pass_mypy():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
