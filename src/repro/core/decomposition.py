@@ -43,6 +43,7 @@ __all__ = [
     "Strategy",
     "decompose",
     "enumerate_pair_primitives",
+    "order_primitives_by_conditional_selectivity",
     "order_primitives_by_connectivity",
 ]
 
@@ -208,6 +209,51 @@ def order_primitives_by_connectivity(
     return ordered
 
 
+def order_primitives_by_conditional_selectivity(
+    query: QueryGraph,
+    scored_primitives: List[Tuple[QueryGraph, float]],
+    estimator: SelectivityEstimator,
+    most_selective_first: bool = True,
+) -> List[Tuple[QueryGraph, float]]:
+    """Order primitives greedily by *conditional* selectivity.
+
+    Like :func:`order_primitives_by_connectivity`, but each pick re-scores
+    the connected candidates given the vertices already bound by earlier
+    primitives (:meth:`SelectivityEstimator.conditional_estimate`) instead of
+    trusting the marginal ranking — PAPERS.md "Exploiting Correlations for
+    Expensive Predicate Evaluation".  A primitive whose marginal cardinality
+    looks large may still be the cheapest join step when its shared vertices
+    are already pinned; the marginal ordering systematically penalises such
+    primitives.  Ties keep the marginal (most-selective-first) order, so the
+    output is deterministic and degrades to the connectivity ordering when
+    conditioning changes nothing.
+
+    The returned pairs keep their *marginal* estimates: those are what the
+    plan records and what :class:`~repro.stats.plan_monitor.PlanMonitor`
+    later re-scores against live statistics.
+    """
+    remaining = list(scored_primitives)
+    key: Callable[[Tuple[QueryGraph, float]], float] = lambda pair: pair[1]
+    remaining.sort(key=key, reverse=not most_selective_first)
+    ordered: List[Tuple[QueryGraph, float]] = []
+    covered_vertices: Set[str] = set()
+    while remaining:
+        connected_choices = [
+            pair for pair in remaining if not covered_vertices or covered_vertices & pair[0].vertex_names()
+        ]
+        pool = connected_choices if connected_choices else remaining
+        best = pool[0]
+        best_score = estimator.conditional_estimate(query, best[0], covered_vertices, marginal=best[1])
+        for pair in pool[1:]:
+            score = estimator.conditional_estimate(query, pair[0], covered_vertices, marginal=pair[1])
+            if (score < best_score) if most_selective_first else (score > best_score):
+                best, best_score = pair, score
+        ordered.append(best)
+        remaining.remove(best)
+        covered_vertices |= best[0].vertex_names()
+    return ordered
+
+
 # ----------------------------------------------------------------------
 # strategies
 # ----------------------------------------------------------------------
@@ -240,6 +286,7 @@ def decompose(
     estimator: Optional[SelectivityEstimator] = None,
     primitive_size: int = 2,
     primitives: Optional[Sequence[QueryGraph]] = None,
+    conditional_ordering: bool = False,
 ) -> Decomposition:
     """Decompose ``query`` into an ordered set of search primitives.
 
@@ -258,6 +305,10 @@ def decompose(
         Maximum primitive size for the selectivity strategies (1 or 2).
     primitives:
         Explicit primitives for ``Strategy.MANUAL``.
+    conditional_ordering:
+        Order the selectivity strategies' primitives by *conditional* (given
+        already-bound vertices) rather than marginal selectivity.  Requires
+        an estimator; ignored without one.
     """
     if strategy == Strategy.MANUAL:
         if primitives is None:
@@ -298,7 +349,12 @@ def decompose(
         scored = _selectivity_primitives(query, estimator, primitive_size)
 
     most_selective_first = strategy != Strategy.ANTI_SELECTIVE
-    ordered = order_primitives_by_connectivity(query, scored, most_selective_first)
+    if conditional_ordering and estimator is not None:
+        ordered = order_primitives_by_conditional_selectivity(
+            query, scored, estimator, most_selective_first
+        )
+    else:
+        ordered = order_primitives_by_connectivity(query, scored, most_selective_first)
     tree_shape = SJTree.BALANCED if strategy == Strategy.BALANCED_PAIRS else SJTree.LEFT_DEEP
     return Decomposition(
         query,

@@ -50,7 +50,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from ..graph.dynamic_graph import DynamicGraph
 from ..graph.types import Edge, Timestamp, VertexId
 from ..graph.window import TimeWindow
+from ..isomorphism.match import Match
 from ..query.query_graph import QueryGraph
+from ..stats.plan_monitor import PlanMonitor
 from ..stats.summarizer import StreamSummarizer
 from ..streaming.edge_stream import StreamEdge
 from ..streaming.reorder import LatePolicy, ReorderBuffer, ordered_run_slices
@@ -63,13 +65,34 @@ from ..streaming.events import (
     MultiSink,
     QueryFilterSink,
 )
-from ..streaming.metrics import LatencyRecorder, ThroughputMeter
+from ..streaming.metrics import LatencyRecorder, ThroughputMeter, replan_summary
 from .decomposition import Decomposition, Strategy
 from .dispatch import DispatchIndex
 from .matcher import ContinuousQueryMatcher
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 
 __all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine", "required_retention"]
+
+
+def _canonical_match_key(match: Match) -> str:
+    """Return a plan-independent, cross-process-stable ordering key for a match.
+
+    Within a single trigger edge the *discovery* order of complete matches is
+    an artefact of the active plan (leaf iteration and join order), so it
+    cannot survive a replan; same-trigger events are ordered by this key
+    instead, which depends only on the match content.  Built from sorted
+    reprs rather than ``portable_identity()`` because frozenset iteration
+    order is hash-seed-dependent and must not leak into event order.
+    """
+    vertices = sorted(match.vertex_map.items(), key=repr)
+    edges = sorted(
+        (
+            (query_edge, edge.source, edge.target, edge.label, edge.timestamp)
+            for query_edge, edge in match.edge_map.items()
+        ),
+        key=repr,
+    )
+    return repr((vertices, edges))
 
 
 def required_retention(
@@ -137,6 +160,8 @@ class EngineConfig:
         idle_source_timeout: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
+        replan_threshold: Optional[float] = None,
+        replan_check_every: Optional[int] = None,
     ):
         self.default_window = self.validate_default_window(default_window)
         self.collect_statistics = collect_statistics
@@ -227,6 +252,46 @@ class EngineConfig:
                 raise ValueError("checkpoint_every requires a checkpoint_path to save to")
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
+        #: Adaptive replanning: maximum tolerated relative error between a
+        #: plan's recorded selectivity estimates and the live estimates the
+        #: current statistics would produce (per primitive; the plan's worst
+        #: primitive is scored).  When a query's error exceeds the threshold
+        #: at a replan check, the query is re-planned at that quiescent
+        #: boundary with live partial-match state migrated -- the match set
+        #: and event order are byte-for-byte identical to a never-replanned
+        #: engine (``tests/test_replan_conformance.py``).  Requires
+        #: ``collect_statistics``; ``None`` (default) disables the monitor's
+        #: trigger (``run_replan_check`` then raises).
+        if replan_threshold is not None:
+            replan_threshold = float(replan_threshold)
+            if not replan_threshold > 0.0:  # also rejects NaN
+                raise ValueError(
+                    "replan_threshold must be a positive relative error (or None "
+                    "to disable adaptive replanning)"
+                )
+            if not collect_statistics:
+                raise ValueError(
+                    "replan_threshold requires collect_statistics=True: the plan "
+                    "monitor scores live selectivity from the stream summarizer"
+                )
+        self.replan_threshold = replan_threshold
+        #: Run an automatic replan check every N ingested edges (at the next
+        #: record/batch boundary after the cadence is crossed, so checks never
+        #: interrupt a batched run mid-flight).  Requires ``replan_threshold``.
+        #: ``None`` leaves checks caller-driven via
+        #: :meth:`StreamWorksEngine.run_replan_check` -- the sharded engine
+        #: runs in that mode, with the parent driving every shard's cadence
+        #: from the *global* record count.
+        if replan_check_every is not None:
+            if replan_threshold is None:
+                raise ValueError(
+                    "replan_check_every requires replan_threshold: a check "
+                    "cadence without a trigger threshold does nothing"
+                )
+            replan_check_every = int(replan_check_every)
+            if replan_check_every <= 0:
+                raise ValueError("replan_check_every must be a positive edge count or None")
+        self.replan_check_every = replan_check_every
 
     @staticmethod
     def validate_default_window(value: Optional[float]) -> Optional[float]:
@@ -283,6 +348,11 @@ class RegisteredQuery:
         self.plan = plan
         self.matcher = matcher
         self.match_count = 0
+        #: Number of times this query has been re-planned since registration
+        #: (0 = still on its registration plan); bumped by
+        #: :meth:`StreamWorksEngine.replan_query` and persisted through
+        #: checkpoints.
+        self.plan_version = 0
         #: Event sinks owned by this registration (e.g. the query-filtered
         #: ``on_match`` callback); detached from the engine on unregister.
         self.sinks: List[EventSink] = []
@@ -292,7 +362,7 @@ class RegisteredQuery:
         return (
             f"Query {self.name!r}: {self.query.edge_count()} edges, window={self.window}, "
             f"strategy={self.plan.strategy}, primitives={self.plan.primitive_count()}, "
-            f"matches so far={self.match_count}"
+            f"plan version={self.plan_version}, matches so far={self.match_count}"
         )
 
 
@@ -356,6 +426,20 @@ class StreamWorksEngine:
         self.checkpoint_epoch = 0
         self.throughput = ThroughputMeter()
         self.latency = LatencyRecorder(cap=config.latency_sample_cap)
+        #: Live plan-quality monitor (observed vs planned selectivity per
+        #: SJ-Tree join).  Always constructed -- passive when
+        #: ``replan_threshold`` is unset -- so ``metrics()["replan"]`` and
+        #: snapshots are uniform across configurations.
+        self.plan_monitor = PlanMonitor(threshold=config.replan_threshold)
+        #: The ``edges_processed`` count at which the next automatic replan
+        #: check is due (``None`` = automatic checks disabled).  Checks run at
+        #: record/batch boundaries only -- never mid-run -- and the marker is
+        #: persisted so a restored engine keeps the exact cadence.
+        self._next_replan_check: Optional[int] = (
+            config.replan_check_every
+            if config.replan_threshold is not None and config.replan_check_every is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # query registration
@@ -402,13 +486,7 @@ class StreamWorksEngine:
         window_duration = window if window is not None else self.config.default_window
         query_window = TimeWindow(window_duration) if window_duration is not None else TimeWindow(None)
 
-        planner = QueryPlanner(
-            summary=self.summarizer.summary() if self.summarizer else None,
-            config=PlannerConfig(
-                strategy=strategy or self.config.plan_strategy,
-                primitive_size=self.config.primitive_size,
-            ),
-        )
+        planner = self._make_planner(strategy)
         if decomposition is not None:
             plan = planner.plan(query, primitives=decomposition.primitives)
         else:
@@ -477,30 +555,46 @@ class StreamWorksEngine:
         """
         self._sinks.add(sink)
 
+    def _make_planner(self, strategy: Optional[str]) -> QueryPlanner:
+        """Build a planner over the current statistics.
+
+        Shared by registration, replanning and the plan monitor so all three
+        score selectivity with the *same* estimator construction -- the
+        monitor's post-replan error is exactly zero only because its numbers
+        reproduce the planner's.
+        """
+        return QueryPlanner(
+            summary=self.summarizer.summary() if self.summarizer else None,
+            config=PlannerConfig(
+                strategy=strategy or self.config.plan_strategy,
+                primitive_size=self.config.primitive_size,
+                conditional_ordering=self.config.replan_threshold is not None,
+            ),
+        )
+
     def replan_query(self, name: str, strategy: Optional[str] = None) -> RegisteredQuery:
         """Re-plan a registered query using the statistics collected so far.
 
         The paper leaves "updating the query decomposition and search
         strategy" from continuously collected statistics as future work; this
-        method implements the mechanism.  The query's SJ-Tree is rebuilt from
-        the new plan, which necessarily **discards in-flight partial
-        matches** -- matches whose edges all arrive after the re-plan are
-        unaffected, but an event that was mid-assembly at the moment of
-        re-planning will only be detected if its remaining edges alone can
-        complete it.  Already-reported matches stay reported (and are not
-        re-reported thanks to the matcher's duplicate suppression carrying
-        over).
+        method implements the mechanism (and :meth:`run_replan_check` closes
+        the loop automatically).  The query's SJ-Tree is rebuilt from the new
+        plan and the live partial-match state is **migrated**: every
+        admissible partial over the retained window is rebuilt in the new
+        tree by replaying the window store through the new plan's leaves (see
+        :meth:`_migrate_matcher_state`), so an event that was mid-assembly at
+        the moment of re-planning is still detected when its remaining edges
+        arrive.  Already-reported matches stay reported (the matcher's
+        duplicate-suppression memory carries over), so a replan changes
+        neither the match set nor the event order -- only the cost of
+        computing it.  Must be called at a quiescent boundary (between
+        records or batches), which is the only place the engine itself ever
+        replans.
         """
         if name not in self.queries:
             raise KeyError(name)
         registration = self.queries[name]
-        planner = QueryPlanner(
-            summary=self.summarizer.summary() if self.summarizer else None,
-            config=PlannerConfig(
-                strategy=strategy or self.config.plan_strategy,
-                primitive_size=self.config.primitive_size,
-            ),
-        )
+        planner = self._make_planner(strategy)
         new_plan = planner.plan(registration.query, strategy=strategy)
         old_matcher = registration.matcher
         new_matcher = ContinuousQueryMatcher(
@@ -510,22 +604,143 @@ class StreamWorksEngine:
             window=registration.window,
             dedupe_structural=old_matcher.dedupe_structural,
             store_complete_matches=old_matcher.store_complete_matches,
+            expiry_min_interval=old_matcher.expiry_min_interval,
         )
-        # carry the duplicate-suppression memory so re-planning never causes
-        # an already-delivered event to be delivered again
+        # carry the duplicate-suppression memory (the same set objects) so
+        # re-planning never causes an already-delivered event to be delivered
+        # again -- the migration replay below relies on this to stay silent
         new_matcher._reported_identities = old_matcher._reported_identities
         new_matcher._reported_edge_sets = old_matcher._reported_edge_sets
+        migrated, dropped = self._migrate_matcher_state(old_matcher, new_matcher)
         registration.plan = new_plan
         registration.matcher = new_matcher
+        registration.plan_version += 1
+        self.plan_monitor.record_replan(migrated, dropped)
         # the SJ-Tree was rebuilt, so the dispatch index must be re-pointed at
         # the new leaves
         self.dispatch.register(name, new_matcher.tree.leaves())
         return registration
 
+    def _migrate_matcher_state(
+        self,
+        old_matcher: ContinuousQueryMatcher,
+        new_matcher: ContinuousQueryMatcher,
+    ) -> tuple:
+        """Move live match state from the old SJ-Tree into the new one.
+
+        The new tree's shape need not resemble the old one's, so partials are
+        not copied node-for-node; instead the retained window store is
+        *replayed* through the new plan's leaves, which rebuilds every
+        admissible partial the new tree can hold.  The replay emits nothing:
+        every complete match over retained edges was already reported when
+        its last edge was dispatched (the engine emits at a completion's last
+        edge on both ingest paths), so the carried duplicate-suppression
+        memory silences it, and window-inadmissible combinations are
+        re-rejected by the same span checks that rejected them live.
+
+        The root collection (complete-match history, when
+        ``store_complete_matches`` is on) is copied verbatim first: the root
+        subgraph is the full query under *every* plan, and the replay cannot
+        rebuild suppressed completions.
+
+        Returns ``(migrated, dropped)``: partials stored in the new tree
+        after the replay, and old partials referencing already-evicted edges,
+        which cannot be rebuilt.  A dropped partial's earliest edge is older
+        than ``now - retention <= now - window``, so on an in-order stream it
+        could never have completed anyway; under the ``process_degraded``
+        late policy a replan boundary therefore acts as one additional expiry
+        sweep (deterministic, and counted in
+        ``metrics()["replan"]["partials_dropped"]``).
+        """
+        dropped = 0
+        for node in old_matcher.tree.nodes.values():
+            if node.parent_id is None:
+                continue
+            for match in node.all_matches():
+                if any(
+                    not self.graph.has_edge(match_edge.id)
+                    for match_edge in match.edge_map.values()
+                ):
+                    dropped += 1
+        if new_matcher.store_complete_matches:
+            new_root = new_matcher.tree.root
+            for match in old_matcher.tree.root.all_matches():
+                new_root.store_match(match)
+        leaves = new_matcher.tree.leaves()
+        for edge in self.graph.edges():
+            new_matcher.process_edge_leaves(edge, leaves)
+        migrated = sum(
+            node.match_count()
+            for node in new_matcher.tree.nodes.values()
+            if node.parent_id is not None
+        )
+        # counter continuity: the replay is internal bookkeeping, not stream
+        # work, so the matcher keeps the counters it had before the replan
+        new_matcher.stats = old_matcher.stats
+        return migrated, dropped
+
     def replan_all(self, strategy: Optional[str] = None) -> None:
         """Re-plan every registered query (see :meth:`replan_query`)."""
         for name in list(self.queries):
             self.replan_query(name, strategy=strategy)
+
+    def run_replan_check(self) -> List[str]:
+        """Score every query's plan against live statistics; replan the drifted.
+
+        One *check* scores each registered query: the worst per-primitive
+        relative error between the plan's recorded selectivity estimates and
+        what the current statistics would estimate (a plan made before any
+        statistics existed scores infinite, so it is replaced at the first
+        check with data).  Queries whose error exceeds
+        ``EngineConfig.replan_threshold`` are re-planned in registration
+        order via :meth:`replan_query`.  Only plans produced by the
+        selectivity-aware strategies are scored -- the other strategies never
+        chose by cardinality, so there is no estimate to drift from.
+
+        Called automatically on the ``replan_check_every`` cadence; public so
+        a sharded parent (or an operator) can drive checks explicitly.
+        Immediately re-running the check is idempotent: a freshly-replanned
+        query re-scores to exactly zero error because the monitor and the
+        planner share one estimator construction.  Returns the names of the
+        queries replanned.
+        """
+        if self.config.replan_threshold is None:
+            raise RuntimeError(
+                "run_replan_check requires EngineConfig(replan_threshold=...): "
+                "without a threshold there is nothing to trigger"
+            )
+        monitor = self.plan_monitor
+        monitor.checks_run += 1
+        estimator = self._make_planner(None)._estimator()
+        if estimator is None:  # no live statistics yet: nothing to compare
+            return []
+        replanned: List[str] = []
+        for name in list(self.queries):
+            registration = self.queries[name]
+            if registration.plan.strategy not in (Strategy.SELECTIVITY, Strategy.ANTI_SELECTIVE):
+                continue
+            error = monitor.score(estimator, registration.query, registration.plan)
+            monitor.observe_error(name, error)
+            if error > monitor.threshold:
+                monitor.triggers_fired += 1
+                self.replan_query(name)
+                replanned.append(name)
+        return replanned
+
+    def _maybe_replan_check(self) -> None:
+        """Run automatic replan checks the processed-edge cadence has earned.
+
+        Called at record/batch boundaries (the engine's quiescent points --
+        a replay-based migration mid-run would race the run's deferred
+        emissions).  A batch that crosses several cadence marks runs several
+        catch-up checks, so the check count is a deterministic function of
+        ``edges_processed`` regardless of how the stream was batched.
+        """
+        if self._next_replan_check is None:
+            return
+        while self.edges_processed >= self._next_replan_check:
+            self._next_replan_check += self.config.replan_check_every
+            self.run_replan_check()
 
     def _update_retention(self) -> None:
         """Keep the graph retention window at least as long as every query window."""
@@ -605,7 +820,12 @@ class StreamWorksEngine:
         if self.graph.has_edge(edge.id):
             if self.summarizer is not None:
                 self.summarizer.observe(self.graph, edge)
-            self._match_edge(edge, events, expire=True)
+            found: List = []
+            self._collect_matches(edge, found, expire=True)
+            # edges_processed is bumped only after matching, so at emission
+            # time it is the index of the triggering edge in this engine's
+            # ingest stream
+            self._emit_trigger(found, edge.timestamp, self.edges_processed, events)
         else:
             # dead on arrival: the ingest's own eviction sweep removed the
             # edge (it is outside the retention horizon), so there is
@@ -619,11 +839,15 @@ class StreamWorksEngine:
             self.latency.record(perf_counter() - stopwatch_start)
         return events
 
-    def _match_edge(self, edge: Edge, events: List[MatchEvent], expire: bool) -> None:
-        """Run the registered queries against one ingested edge, appending events.
+    def _collect_matches(
+        self, edge: Edge, found: List, expire: bool
+    ) -> None:
+        """Run the registered queries against one ingested edge.
 
-        ``expire=False`` skips the per-matcher expiry sweep (the batched path
-        sweeps once per batch instead).
+        Appends ``(registration, match)`` pairs for every new complete match,
+        in discovery order; the caller anchors and orders the emission (see
+        :meth:`_emit_trigger`).  ``expire=False`` skips the per-matcher
+        expiry sweep (the batched path sweeps once per batch instead).
         """
         if self.config.use_dispatch_index:
             source_label = (
@@ -640,7 +864,8 @@ class StreamWorksEngine:
                 if expire:
                     matcher.expire_partials(edge.timestamp)
                 leaves = [matcher.tree.node(leaf_id) for leaf_id in leaf_ids]
-                self._emit_matches(registration, matcher.process_edge_leaves(edge, leaves), edge, events)
+                for match in matcher.process_edge_leaves(edge, leaves):
+                    found.append((registration, match))
         else:
             for registration in self.queries.values():
                 matcher = registration.matcher
@@ -648,25 +873,40 @@ class StreamWorksEngine:
                     matches = matcher.process_edge(edge)
                 else:
                     matches = matcher.process_edge_leaves(edge, matcher.tree.leaves())
-                self._emit_matches(registration, matches, edge, events)
+                for match in matches:
+                    found.append((registration, match))
 
-    def _emit_matches(
+    def _emit_trigger(
         self,
-        registration: RegisteredQuery,
-        matches: Sequence,
-        edge: Edge,
+        completions: List,
+        detected_at: float,
+        trigger_index: int,
         events: List[MatchEvent],
     ) -> None:
-        for match in matches:
+        """Emit all completions anchored at one trigger edge, canonically ordered.
+
+        Within one trigger the discovery order of completions is an artefact
+        of the active plan (leaf iteration and join order), so it cannot
+        survive a replan.  Events are ordered by (query registration order,
+        canonical match key) -- a pure function of the registered queries and
+        the match content -- before sequence numbers are assigned, which
+        makes the emitted order identical under every plan of the same
+        queries, and therefore invariant under replanning.
+        """
+        if not completions:
+            return
+        if len(completions) > 1:
+            order = {name: index for index, name in enumerate(self.queries)}
+            completions.sort(
+                key=lambda item: (order[item[0].name], _canonical_match_key(item[1]))
+            )
+        for registration, match in completions:
             event = MatchEvent(
                 query_name=registration.name,
                 match=match,
-                detected_at=edge.timestamp,
+                detected_at=detected_at,
                 sequence=self._sequence,
-                # both ingest paths bump edges_processed only after matching
-                # the edge, so at emission time it is the index of the
-                # triggering edge within this engine's ingest stream
-                trigger_index=self.edges_processed,
+                trigger_index=trigger_index,
             )
             self._sequence += 1
             registration.match_count += 1
@@ -707,8 +947,11 @@ class StreamWorksEngine:
         of stream to release the tail.
         """
         if self.reorder is not None:
-            return self._process_with_reorder([record])
-        return self._process_record_direct(record)
+            events = self._process_with_reorder([record])
+        else:
+            events = self._process_record_direct(record)
+        self._maybe_replan_check()
+        return events
 
     def _process_record_direct(self, record: StreamEdge) -> List[MatchEvent]:
         """Run one record through the exact per-record path, bypassing reorder."""
@@ -759,12 +1002,15 @@ class StreamWorksEngine:
         batch-level work -- so they are not directly comparable with
         :meth:`process_edge` samples, which include ingest.
 
-        Steps 1-5 produce exactly the same complete matches as feeding the
-        records through :meth:`process_record` one at a time.  An embedding
-        whose edges all lie inside the batch may be *detected* on an earlier
-        edge than in single-edge mode (its remaining edges are already in the
-        graph), in which case the duplicate detection on the later edge is
-        suppressed -- the reported match set is identical either way.
+        Steps 1-5 produce exactly the same events as feeding the records
+        through :meth:`process_record` one at a time.  An embedding whose
+        edges all lie inside the batch is *discovered* when its first
+        dispatched edge seeds a leaf (its remaining edges are already in the
+        graph), but its emission is deferred to the dispatch of its last
+        in-batch edge -- the edge the per-record path completes it on -- so
+        detection timestamps, trigger indices and event order are identical
+        to single-edge mode, and independent of both the batching and the
+        active plan (see :meth:`_run_fast_path`).
 
         The equivalence argument requires timestamps to be non-decreasing
         *within* a fast-path run (lateness relative to earlier batches is
@@ -808,6 +1054,7 @@ class StreamWorksEngine:
             events = []
         else:
             events = self._process_batch_direct(records, expiry_anchor)
+        self._maybe_replan_check()
         self.batches_processed += 1
         self._maybe_autosave()
         return events
@@ -979,18 +1226,56 @@ class StreamWorksEngine:
         for registration in self.queries.values():
             registration.matcher.expire_partials(batch_start)
         record_latency = self.config.record_latency
-        for edge in ingested:
+        # Emission anchoring: the run is pre-ingested, so a completion whose
+        # edges all lie inside the run is *discovered* at whichever of its
+        # edges happens to be dispatched first -- and which edge that is
+        # depends on the active plan's leaf partition.  To keep detection
+        # plan-independent (and equal to the per-record path), every
+        # completion's emission is deferred to the dispatch of its LAST
+        # in-run edge -- exactly the edge the per-record path would have
+        # completed it on.  Deferral is safe within a run: nothing is
+        # evicted mid-run (dead-on-arrival records are removed before any
+        # later record is dispatched and can belong to no completion), and
+        # the duplicate-suppression memory prevents a deferred match from
+        # being rediscovered at its later edges.
+        positions: Dict[int, int] = {}
+        for index, edge in enumerate(ingested):
+            if edge is not None:
+                positions[edge.id] = index
+        deferred: Dict[int, List] = {}
+        start_edges_processed = self.edges_processed
+        for index, edge in enumerate(ingested):
             if edge is None:  # dead on arrival: counted, never matched
                 self.edges_processed += 1
-                self._maybe_auto_replan()
                 continue
             stopwatch_start = perf_counter() if record_latency else None
-            self._match_edge(edge, events, expire=False)
+            found: List = []
+            self._collect_matches(edge, found, expire=False)
+            for registration, match in found:
+                target = index  # every completion contains the current edge
+                for match_edge in match.edge_map.values():
+                    position = positions.get(match_edge.id)
+                    if position is not None and position > target:
+                        target = position
+                deferred.setdefault(target, []).append((registration, match))
+            due = deferred.pop(index, None)
+            if due:
+                self._emit_trigger(due, edge.timestamp, self.edges_processed, events)
             self.edges_processed += 1
-            self._maybe_auto_replan()
             if stopwatch_start is not None:
                 self.latency.record(perf_counter() - stopwatch_start)
         self.graph.evict_expired()
+        # replans happen at run boundaries only: the replay-based migration
+        # assumes quiescence, and a mid-run replay would mark the run's
+        # still-deferred completions as reported without delivering them.
+        # One catch-up replan covers however many cadence marks the run
+        # crossed (replanning is idempotent over unchanged statistics).
+        interval = self.config.auto_replan_interval
+        if (
+            interval is not None
+            and self.edges_processed // interval > start_edges_processed // interval
+        ):
+            self.replan_all()
 
     def process_stream(self, stream: Iterable[StreamEdge]) -> List[MatchEvent]:
         """Ingest an entire stream; returns all events (also kept in ``collector``).
@@ -1111,6 +1396,16 @@ class StreamWorksEngine:
                 name: registration.matcher.stored_partial_matches()
                 for name, registration in self.queries.items()
             },
+            "replan": replan_summary(
+                self.plan_monitor,
+                enabled=self._next_replan_check is not None,
+                threshold=self.config.replan_threshold,
+                check_every=self.config.replan_check_every,
+                plan_versions={
+                    name: registration.plan_version
+                    for name, registration in self.queries.items()
+                },
+            ),
         }
         return result
 

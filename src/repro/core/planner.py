@@ -40,6 +40,7 @@ class PlannerConfig:
         primitive_size: int = 2,
         attribute_equality_selectivity: float = 0.1,
         use_triads: bool = True,
+        conditional_ordering: bool = False,
     ):
         if primitive_size not in (1, 2):
             raise ValueError("primitive_size must be 1 or 2")
@@ -47,6 +48,9 @@ class PlannerConfig:
         self.primitive_size = primitive_size
         self.attribute_equality_selectivity = attribute_equality_selectivity
         self.use_triads = use_triads
+        #: Order primitives by conditional (given bound vertices) selectivity
+        #: instead of marginal selectivity — used by the adaptive-replan loop.
+        self.conditional_ordering = conditional_ordering
 
 
 class QueryPlan:
@@ -138,6 +142,7 @@ class QueryPlanner:
             estimator=estimator,
             primitive_size=self.config.primitive_size,
             primitives=primitives,
+            conditional_ordering=self.config.conditional_ordering,
         )
         estimates = dict(decomposition.estimates)
         if estimator is not None and not estimates:

@@ -126,6 +126,10 @@ class ShardConfig:
         shard gets its own shallow copy).  ``auto_replan_interval`` must be
         unset: per-shard re-planning would be driven by shard-local edge
         counts and silently diverge from the single-engine event order.
+        ``replan_threshold`` / ``replan_check_every`` (selectivity-drift
+        replanning) ARE supported: the parent paces the checks on the
+        global record count and each shard applies them at its post-batch
+        boundary (see :class:`~repro.streaming.partition.ShardBatch`).
     default_window:
         Convenience override for ``engine.default_window``.
     """
@@ -211,6 +215,7 @@ def _execute_sub_batch(
     per_record: bool,
     clock,
     watermark: float = float("-inf"),
+    replan_checks: int = 0,
 ) -> List[MatchEvent]:
     """Run one routed sub-batch through a shard engine, mirroring the parent.
 
@@ -247,6 +252,14 @@ def _execute_sub_batch(
     reorder buffer's watermark, or the global stream clock without one);
     it is stamped onto the shard engine so per-shard ``metrics()`` expose
     it even when shard state lives in a worker process.
+
+    ``replan_checks`` is the number of selectivity-drift checks the parent's
+    *global* cadence (``EngineConfig.replan_check_every`` against the global
+    record count) declares due at the end of this sub-batch.  The shard runs
+    them itself against its own monitor and statistics -- parent decides
+    when, shards apply -- at the same quiescent post-batch boundary the
+    single engine uses, so any replan the check triggers migrates state
+    between complete batches, never mid-run.
     """
     engine.event_time_watermark = watermark
     if per_record:
@@ -291,6 +304,8 @@ def _execute_sub_batch(
                 engine.expire_all_partials(anchor)
             engine.graph.evict_expired(post_clock)
             run_start_clock = post_clock
+    for _ in range(replan_checks):
+        engine.run_replan_check()
     # the parent's collector is authoritative; dropping the shard-local copy
     # keeps shard memory bounded
     engine.collector.clear()
@@ -326,6 +341,7 @@ def _shard_worker_main(conn, engines: Dict[int, StreamWorksEngine]) -> None:
                         per_record,
                         batch.clock,
                         batch.watermark,
+                        batch.replan_checks,
                     )
                     replies.append((batch.shard_id, events))
                 conn.send(("events", replies))
@@ -417,6 +433,13 @@ class ShardedStreamEngine:
         shard_engine_config = copy.copy(config.engine)
         shard_engine_config.allowed_lateness = None
         shard_engine_config.idle_source_timeout = None
+        # replan cadence is a parent-level concern: the parent counts the
+        # *global* stream and tells each shard how many checks are due per
+        # batch (ShardBatch.replan_checks); a shard pacing itself on its own
+        # shard-local edge count would drift from the single engine's
+        # check boundaries.  The threshold stays: shards own the monitors
+        # and score their own queries when told to check.
+        shard_engine_config.replan_check_every = None
         # autosave is a parent-level concern: a shard checkpointing itself
         # mid-batch would race the parent's snapshot and clobber its path
         shard_engine_config.checkpoint_every = None
@@ -452,6 +475,16 @@ class ShardedStreamEngine:
         #: evicted against this clock so their windows behave exactly as the
         #: single engine's would, even for records routed elsewhere.
         self._clock = float("-inf")
+        #: Global record count at which the next selectivity-drift replan
+        #: check is due (None = automatic checks disabled).  Mirrors the
+        #: single engine's marker; the parent owns the cadence and attaches
+        #: the due check count to every shard batch.
+        self._next_replan_check: Optional[int] = (
+            config.engine.replan_check_every
+            if config.engine.replan_threshold is not None
+            and config.engine.replan_check_every is not None
+            else None
+        )
         self._started = False
         self._closed = False
         self._workers: Optional[List[_WorkerHandle]] = None
@@ -952,6 +985,17 @@ class ShardedStreamEngine:
         self.throughput.start()
         base_index = self.edges_processed
         self.edges_processed += len(records)
+        # parent decides WHEN replan checks run (global record cadence, same
+        # while-loop catch-up as the single engine's _maybe_replan_check);
+        # every shard applies that many checks at its quiescent post-batch
+        # boundary, including shards this batch routed nothing to -- the
+        # single engine checks every registered query regardless of which
+        # records arrived.
+        replan_checks = 0
+        if self._next_replan_check is not None:
+            while self.edges_processed >= self._next_replan_check:
+                self._next_replan_check += self.config.engine.replan_check_every
+                replan_checks += 1
         # global stream clock: shards evict against the whole stream's time,
         # not just the sub-stream routed to them.  For the per-record path
         # each entry is the running maximum *before* that record -- the
@@ -973,14 +1017,20 @@ class ShardedStreamEngine:
             watermark = self.reorder.watermark if self.reorder is not None else self._clock
         batches: List[ShardBatch] = []
         if per_record:
-            for shard_id in sorted(per_shard):
-                entries = per_shard[shard_id]
+            # with checks due, every shard joins the fan-out: a shard whose
+            # queries saw no records still owes its monitor the check
+            shard_ids = (
+                list(range(self.config.shard_count)) if replan_checks else sorted(per_shard)
+            )
+            for shard_id in shard_ids:
+                entries = per_shard.get(shard_id, [])
                 batches.append(
                     ShardBatch(
                         shard_id,
                         entries,
                         watermark=watermark,
                         clock=[clocks[index - base_index] for index, _ in entries],
+                        replan_checks=replan_checks,
                     )
                 )
         else:
@@ -1018,6 +1068,7 @@ class ShardedStreamEngine:
                         entries,
                         watermark=watermark,
                         clock=(pre_batch_clock, run_slices),
+                        replan_checks=replan_checks,
                     )
                 )
         #: ``(global trigger index, query registration order, event)``
@@ -1050,7 +1101,8 @@ class ShardedStreamEngine:
         local_base = self._records_sent[batch.shard_id]
         self._records_sent[batch.shard_id] += len(batch)
         events = _execute_sub_batch(
-            engine, batch.records(), per_record, batch.clock, batch.watermark
+            engine, batch.records(), per_record, batch.clock, batch.watermark,
+            batch.replan_checks,
         )
         return self._tag_events(events, batch.entries, local_base)
 
@@ -1210,6 +1262,37 @@ class ShardedStreamEngine:
             shard_metrics = {
                 shard_id: engine.metrics() for shard_id, engine in enumerate(self.shards)
             }
+        # replan rollup: counters sum over the per-shard monitors (a cadence
+        # tick runs one check on EVERY shard, so checks_run counts
+        # shard-checks); last_errors / plan_versions merge cleanly because a
+        # query lives in exactly one shard
+        shard_replans = [m["replan"] for m in shard_metrics.values()]
+        error_count = sum(r["error_count"] for r in shard_replans)
+        mean_error = (
+            sum(r["mean_error"] * r["error_count"] for r in shard_replans) / error_count
+            if error_count
+            else 0.0
+        )
+        last_errors: Dict[str, float] = {}
+        plan_versions: Dict[str, int] = {}
+        for shard_replan in shard_replans:
+            last_errors.update(shard_replan["last_errors"])
+            plan_versions.update(shard_replan["plan_versions"])
+        replan = {
+            "enabled": self._next_replan_check is not None,
+            "threshold": self.config.engine.replan_threshold,
+            "check_every": self.config.engine.replan_check_every,
+            "checks_run": sum(r["checks_run"] for r in shard_replans),
+            "triggers_fired": sum(r["triggers_fired"] for r in shard_replans),
+            "plans_applied": sum(r["plans_applied"] for r in shard_replans),
+            "partials_migrated": sum(r["partials_migrated"] for r in shard_replans),
+            "partials_dropped": sum(r["partials_dropped"] for r in shard_replans),
+            "max_error_seen": max((r["max_error_seen"] for r in shard_replans), default=0.0),
+            "mean_error": mean_error,
+            "error_count": error_count,
+            "last_errors": last_errors,
+            "plan_versions": plan_versions,
+        }
         totals = {
             "shard_edges_processed": sum(m["edges_processed"] for m in shard_metrics.values()),
             "graph_vertices": sum(m["graph_vertices"] for m in shard_metrics.values()),
@@ -1229,6 +1312,7 @@ class ShardedStreamEngine:
             "throughput": self.throughput.summary(),
             "shard_loads": self.shard_loads(),
             "assignments": self.assignments(),
+            "replan": replan,
             "totals": totals,
             "shards": {shard_id: shard_metrics[shard_id] for shard_id in sorted(shard_metrics)},
         }

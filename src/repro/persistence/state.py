@@ -54,6 +54,7 @@ from ..graph.dynamic_graph import DynamicGraph
 from ..graph.window import TimeWindow
 from ..isomorphism.match import Match
 from ..query.serialize import QuerySerializationError, query_from_dict, query_to_dict
+from ..stats.plan_monitor import PlanMonitor
 from ..stats.summarizer import StreamSummarizer
 from ..streaming.events import MatchEvent
 from ..streaming.metrics import LatencyRecorder, ThroughputMeter
@@ -89,6 +90,8 @@ _CONFIG_FIELDS = (
     "primitive_size",
     "record_latency",
     "auto_replan_interval",
+    "replan_threshold",
+    "replan_check_every",
     "use_dispatch_index",
     "latency_sample_cap",
     "allowed_lateness",
@@ -210,6 +213,7 @@ def engine_sections(engine: StreamWorksEngine) -> Dict[str, Any]:
                 "dedupe_structural": matcher.dedupe_structural,
                 "store_complete_matches": matcher.store_complete_matches,
                 "match_count": registration.match_count,
+                "plan_version": registration.plan_version,
                 "matcher": matcher.state_dict(),
             }
         )
@@ -235,6 +239,8 @@ def engine_sections(engine: StreamWorksEngine) -> Dict[str, Any]:
             "throughput": engine.throughput.state_dict(),
             "latency": engine.latency.state_dict(),
             "dispatch": _dispatch_counters(engine.dispatch),
+            "plan_monitor": engine.plan_monitor.state_dict(),
+            "replan_next_check": engine._next_replan_check,
         },
     }
 
@@ -273,6 +279,8 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
             matcher.load_state(payload["matcher"])
             registration = RegisteredQuery(payload["name"], query, window, plan, matcher)
             registration.match_count = payload["match_count"]
+            # pre-replan snapshots carry no version: they are plan version 0
+            registration.plan_version = payload.get("plan_version", 0)
             engine.queries[payload["name"]] = registration
             engine.dispatch.register(payload["name"], matcher.tree.leaves())
         counters = sections["counters"]
@@ -290,6 +298,11 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
         engine.dispatch.lookups = dispatch_counters["lookups"]
         engine.dispatch.entries_matched = dispatch_counters["entries_matched"]
         engine.dispatch.entries_skipped = dispatch_counters["entries_skipped"]
+        # pre-replan snapshots: keep the fresh monitor / constructor cadence
+        if "plan_monitor" in counters:
+            engine.plan_monitor = PlanMonitor.from_state(counters["plan_monitor"])
+        if "replan_next_check" in counters:
+            engine._next_replan_check = counters["replan_next_check"]
         engine.collector.events.extend(
             _event_from_state(payload) for payload in sections["events"]
         )
@@ -346,6 +359,7 @@ def sharded_sections(
             "registration_seq": engine._registration_seq,
             "batches_processed": engine.batches_processed,
             "checkpoint_epoch": engine.checkpoint_epoch,
+            "replan_next_check": engine._next_replan_check,
             "throughput": engine.throughput.state_dict(),
             "router": {
                 "records_seen": engine.router.records_seen,
@@ -404,6 +418,9 @@ def load_sharded_sections(sections: Mapping[str, Any]) -> "ShardedStreamEngine":
         engine._registration_seq = counters["registration_seq"]
         engine.batches_processed = counters["batches_processed"]
         engine.checkpoint_epoch = counters["checkpoint_epoch"]
+        # pre-replan snapshots: keep the constructor's cadence marker
+        if "replan_next_check" in counters:
+            engine._next_replan_check = counters["replan_next_check"]
         engine.throughput = ThroughputMeter.from_state(counters["throughput"])
         router_counters = counters["router"]
         engine.router.records_seen = router_counters["records_seen"]

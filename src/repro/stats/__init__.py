@@ -9,6 +9,7 @@ uses through the :class:`SelectivityEstimator`.
 from .degree import DegreeDistribution, StreamingDegreeTracker
 from .labels import EdgeSignature, LabelDistribution, SignatureDistribution
 from .plan_cost import plan_cost
+from .plan_monitor import PlanMonitor
 from .selectivity import SelectivityEstimator
 from .summarizer import GraphSummary, StreamSummarizer
 from .triads import TriadCensus, TriadKey, wedge_key_for_query
@@ -18,6 +19,7 @@ __all__ = [
     "EdgeSignature",
     "GraphSummary",
     "LabelDistribution",
+    "PlanMonitor",
     "SelectivityEstimator",
     "SignatureDistribution",
     "StreamSummarizer",

@@ -20,7 +20,7 @@ getting the ranking right, which is what the ablation experiment E8 checks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..query.predicates import Predicate
 from ..query.query_graph import QueryEdge, QueryGraph
@@ -184,6 +184,41 @@ class SelectivityEstimator:
             else:
                 estimate *= edge_count
             covered |= set(edge.endpoints)
+        return estimate
+
+    # ------------------------------------------------------------------
+    # conditional estimates
+    # ------------------------------------------------------------------
+    def conditional_estimate(
+        self,
+        query: QueryGraph,
+        primitive: QueryGraph,
+        bound_vertices: Iterable[str],
+        marginal: Optional[float] = None,
+    ) -> float:
+        """Estimate ``primitive``'s expansion *given* already-bound vertices.
+
+        PAPERS.md "Exploiting Correlations for Expensive Predicate
+        Evaluation": join order should follow conditional, not marginal,
+        selectivity.  The marginal estimate counts free embeddings of the
+        primitive; once upstream primitives have bound some of its vertices,
+        each shared vertex no longer ranges over its label class — so the
+        expected *per-partial-match* expansion divides the marginal by the
+        label-class size of every shared vertex, the same conditioning used
+        per join step in :meth:`_estimate_chain`.  With no shared vertices
+        this degrades to the marginal (a cross product, which the
+        connectivity ordering avoids anyway).
+
+        ``marginal`` lets callers reuse a precomputed
+        :meth:`estimate_primitive` value.
+        """
+        if marginal is None:
+            marginal = self.estimate_primitive(query, primitive)
+        estimate = marginal
+        shared = set(primitive.vertex_names()) & set(bound_vertices)
+        for name in sorted(shared):
+            label = query.vertex(name).label
+            estimate /= max(1.0, float(self.summary.vertex_label_count(label)))
         return estimate
 
     # ------------------------------------------------------------------

@@ -11,9 +11,43 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["LatencyRecorder", "ThroughputMeter", "Stopwatch"]
+__all__ = ["LatencyRecorder", "ThroughputMeter", "Stopwatch", "replan_summary"]
+
+
+def replan_summary(
+    monitor: Any,
+    *,
+    enabled: bool,
+    threshold: Optional[float],
+    check_every: Optional[int],
+    plan_versions: Dict[str, int],
+) -> Dict[str, Any]:
+    """Build the ``metrics()["replan"]`` section from a plan monitor.
+
+    ``monitor`` is a :class:`repro.stats.plan_monitor.PlanMonitor`, accepted
+    duck-typed so this module stays import-light.  ``enabled`` reports whether
+    *automatic* cadence checks are armed (threshold + check_every both set);
+    manual ``run_replan_check()`` calls are counted either way.  Error
+    aggregates cover finite observations only; ``last_errors`` maps query name
+    to its most recent worst error (``inf`` for stats-blind plans).
+    """
+    return {
+        "enabled": enabled,
+        "threshold": threshold,
+        "check_every": check_every,
+        "checks_run": monitor.checks_run,
+        "triggers_fired": monitor.triggers_fired,
+        "plans_applied": monitor.plans_applied,
+        "partials_migrated": monitor.partials_migrated,
+        "partials_dropped": monitor.partials_dropped,
+        "max_error_seen": monitor.max_error_seen,
+        "mean_error": monitor.mean_error(),
+        "error_count": monitor.error_count,
+        "last_errors": dict(monitor.last_errors),
+        "plan_versions": plan_versions,
+    }
 
 
 class Stopwatch:

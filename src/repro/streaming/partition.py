@@ -65,9 +65,13 @@ class ShardBatch:
     scheduler-opaque eviction/expiry payload the owning engine attaches so
     a worker process can mirror the single engine's sweep sequence without
     any shared state; the stream layer never interprets it.
+    ``replan_checks`` is how many selectivity-drift replan checks the
+    parent's global cadence says are due after this sub-batch -- the parent
+    decides *when*, the shard engine applies them (equally opaque to the
+    stream layer).
     """
 
-    __slots__ = ("shard_id", "entries", "watermark", "clock")
+    __slots__ = ("shard_id", "entries", "watermark", "clock", "replan_checks")
 
     def __init__(
         self,
@@ -75,11 +79,13 @@ class ShardBatch:
         entries: List[Tuple[int, StreamEdge]],
         watermark: float = float("-inf"),
         clock: object = None,
+        replan_checks: int = 0,
     ):
         self.shard_id = shard_id
         self.entries = entries
         self.watermark = watermark
         self.clock = clock
+        self.replan_checks = replan_checks
 
     def records(self) -> List[StreamEdge]:
         """Return the batch's records without their global indices."""

@@ -5,10 +5,12 @@
 * :class:`NewsStreamGenerator` -- NYT-like article/keyword/location stream.
 * :class:`SocialStreamGenerator` -- user/post/hashtag activity stream.
 * :class:`RmatGenerator` -- scale-free multi-relational background.
+* :class:`DriftingGenerator` -- label mix shifts mid-stream (selectivity drift).
 * :mod:`~repro.workloads.planted` -- embed arbitrary query instances as ground truth.
 """
 
 from .attacks import AttackInjector, SmurfCascadePlan
+from .drifting import DriftingConfig, DriftingGenerator
 from .netflow import NetflowConfig, NetflowGenerator
 from .nyt import NewsStreamConfig, NewsStreamGenerator, PlantedNewsEvent
 from .planted import PlantedInstance, instances_detected, plant_query_instances
@@ -17,6 +19,8 @@ from .social import SocialStreamConfig, SocialStreamGenerator
 
 __all__ = [
     "AttackInjector",
+    "DriftingConfig",
+    "DriftingGenerator",
     "NetflowConfig",
     "NetflowGenerator",
     "NewsStreamConfig",

@@ -1,0 +1,110 @@
+"""Edge stream whose label distribution shifts mid-stream (selectivity drift).
+
+The adaptive-replanning loop exists because production streams drift: a plan
+ordered by the selectivities of the first N records degenerates when the
+label mix changes.  This generator makes that drift explicit and
+controllable so the replan-conformance suite can *guarantee* replans fire
+(its trigger assertions would otherwise pass vacuously on stationary
+streams): edge labels are drawn from ``initial_weights`` until ``drift_at``
+records have been emitted, then from ``drifted_weights`` — e.g. the rare
+label becoming the dominant one, inverting every marginal estimate the plan
+recorded at registration.
+
+Vertex labels stay a pure function of the vertex id (the data model's
+one-type-per-identity rule), so only *edge-label* selectivity drifts and
+the stream remains well-formed under label-routed sharding.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence
+
+from ..streaming.edge_stream import EdgeStream, StreamEdge
+
+__all__ = ["DriftingConfig", "DriftingGenerator"]
+
+
+class DriftingConfig:
+    """Parameters of the drifting-selectivity generator."""
+
+    def __init__(
+        self,
+        vertex_count: int = 64,
+        edge_labels: Sequence[str] = ("alpha", "beta", "gamma"),
+        vertex_labels: Sequence[str] = ("Host", "Server"),
+        initial_weights: Sequence[float] = (0.80, 0.15, 0.05),
+        drifted_weights: Sequence[float] = (0.05, 0.15, 0.80),
+        drift_at: int = 500,
+        mean_interarrival: float = 0.01,
+        seed: int = 11,
+    ):
+        if vertex_count < 2:
+            raise ValueError("vertex_count must be >= 2")
+        if drift_at < 0:
+            raise ValueError("drift_at must be >= 0")
+        if len(initial_weights) != len(edge_labels) or len(drifted_weights) != len(edge_labels):
+            raise ValueError("weights must have one entry per edge label")
+        if min(initial_weights) < 0 or min(drifted_weights) < 0:
+            raise ValueError("weights must be non-negative")
+        if sum(initial_weights) <= 0 or sum(drifted_weights) <= 0:
+            raise ValueError("weights must sum to a positive total")
+        self.vertex_count = vertex_count
+        self.edge_labels = list(edge_labels)
+        self.vertex_labels = list(vertex_labels)
+        self.initial_weights = list(initial_weights)
+        self.drifted_weights = list(drifted_weights)
+        self.drift_at = drift_at
+        self.mean_interarrival = mean_interarrival
+        self.seed = seed
+
+
+class DriftingGenerator:
+    """Generate a timestamped edge stream with a mid-stream label-mix shift.
+
+    The drift point counts records *emitted by this generator instance*
+    (across multiple :meth:`records` calls), so slicing one logical stream
+    into several batches keeps a single well-defined drift position.
+    """
+
+    def __init__(self, config: Optional[DriftingConfig] = None):
+        self.config = config or DriftingConfig()
+        self._rng = random.Random(self.config.seed)
+        self._emitted = 0
+
+    def _vertex_label(self, vertex_index: int) -> str:
+        labels = self.config.vertex_labels
+        return labels[vertex_index % len(labels)]
+
+    def _pick_label(self) -> str:
+        weights = (
+            self.config.initial_weights
+            if self._emitted < self.config.drift_at
+            else self.config.drifted_weights
+        )
+        return self._rng.choices(self.config.edge_labels, weights=weights, k=1)[0]
+
+    def records(self, count: int, start_time: float = 0.0) -> Iterator[StreamEdge]:
+        """Yield ``count`` edges with exponential inter-arrival times."""
+        timestamp = start_time
+        for _ in range(count):
+            timestamp += self._rng.expovariate(1.0 / self.config.mean_interarrival)
+            label = self._pick_label()
+            row = self._rng.randrange(self.config.vertex_count)
+            column = self._rng.randrange(self.config.vertex_count - 1)
+            if column >= row:
+                column += 1  # no self-loops
+            self._emitted += 1
+            yield StreamEdge(
+                f"v{row}",
+                f"v{column}",
+                label,
+                timestamp,
+                {"weight": self._rng.random()},
+                source_label=self._vertex_label(row),
+                target_label=self._vertex_label(column),
+            )
+
+    def stream(self, count: int, start_time: float = 0.0, name: str = "drifting") -> EdgeStream:
+        """Return a concrete :class:`EdgeStream` of ``count`` edges."""
+        return EdgeStream(self.records(count, start_time), name=name)

@@ -51,7 +51,14 @@ from repro.streaming import (
     split_by_source,
     tag_sources,
 )
-from repro.workloads import NetflowConfig, NetflowGenerator, RmatConfig, RmatGenerator
+from repro.workloads import (
+    DriftingConfig,
+    DriftingGenerator,
+    NetflowConfig,
+    NetflowGenerator,
+    RmatConfig,
+    RmatGenerator,
+)
 
 BATCH_SIZE = 40
 
@@ -261,6 +268,99 @@ def test_single_engine_event_time_tail_survives_crash(tmp_path):
             resumed.process_batch(batch)
         resumed.flush()
         assert_resumed_equals_oracle(oracle, resumed, f"event-time crash after batch {crash_after}")
+
+
+# ----------------------------------------------------------------------
+# adaptive replanning: every batch boundary is a replan boundary
+# ----------------------------------------------------------------------
+def drifting_replan_records(count=240, seed=7, drift_at=100):
+    return list(DriftingGenerator(DriftingConfig(seed=seed, drift_at=drift_at)).stream(count))
+
+
+def drifting_replan_queries():
+    return [
+        ("ab", chain_query("ab", ["alpha", "beta"]), 0.5),
+        ("ggg", chain_query("ggg", ["gamma", "gamma", "gamma"]), 0.5),
+    ]
+
+
+def test_single_engine_replan_crash_at_every_batch_boundary(tmp_path):
+    """With ``replan_check_every == BATCH_SIZE`` every crash point in this
+    loop is also a replan boundary: the checkpoint captures freshly-migrated
+    SJ-trees, the monitor counters and the cadence marker, and the resumed
+    run must keep replanning at the same stream positions."""
+    records = drifting_replan_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = StreamWorksEngine(
+            config=EngineConfig(replan_threshold=0.5, replan_check_every=BATCH_SIZE)
+        )
+        register_all(engine, drifting_replan_queries())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    assert oracle.events()
+    oracle_replan = oracle.metrics()["replan"]
+    assert oracle_replan["plans_applied"] > 0  # replans genuinely straddle crashes
+
+    path = str(tmp_path / "replan.snap")
+    for crash_after in range(len(batches)):
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        del engine  # the "crash": nothing in-process survives
+        resumed = StreamWorksEngine.restore(path)
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        assert_resumed_equals_oracle(
+            oracle, resumed, f"replan crash after batch {crash_after}"
+        )
+        assert resumed.metrics()["replan"] == oracle_replan, (
+            f"replan counters diverged after crash at batch {crash_after}"
+        )
+
+
+def test_sharded_replan_crash_at_every_batch_boundary(tmp_path):
+    records = drifting_replan_records()
+    batches = batches_of(records)
+
+    def build():
+        engine = ShardedStreamEngine(
+            config=ShardConfig(
+                shard_count=2,
+                engine=EngineConfig(replan_threshold=0.5, replan_check_every=BATCH_SIZE),
+            )
+        )
+        register_all(engine, drifting_replan_queries())
+        return engine
+
+    oracle = build()
+    for batch in batches:
+        oracle.process_batch(batch)
+    assert oracle.events()
+    oracle_replan = oracle.metrics()["replan"]
+    assert oracle_replan["plans_applied"] > 0
+
+    path = str(tmp_path / "sharded_replan.snap")
+    for crash_after in range(len(batches)):
+        engine = build()
+        for batch in batches[: crash_after + 1]:
+            engine.process_batch(batch)
+        engine.checkpoint(path)
+        del engine
+        resumed = ShardedStreamEngine.restore(path)
+        for batch in batches[crash_after + 1 :]:
+            resumed.process_batch(batch)
+        assert_resumed_equals_oracle(
+            oracle, resumed, f"sharded replan crash after batch {crash_after}"
+        )
+        assert resumed.metrics()["replan"] == oracle_replan, (
+            f"sharded replan counters diverged after crash at batch {crash_after}"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,32 @@ class TestReplanQuery:
         events = engine.process_stream(fresh)
         assert len(events) == 1
 
+    def test_in_flight_partials_survive_replan(self):
+        """Pin the migration bugfix: a match straddling a replan is still found.
+
+        ``replan_query`` used to rebuild the SJ-Tree empty, silently losing
+        every in-flight partial -- a match whose first edges arrived before
+        the replan and whose last edge arrived after was never reported.
+        Migration now replays the retained window store through the new
+        tree's leaves, so the straddling match below must be detected.
+        """
+        engine = StreamWorksEngine(config=EngineConfig(dedupe_structural=True))
+        engine.register_query(common_topic_location_query(2), name="q", window=60.0)
+        prefix = [
+            StreamEdge("a1", "kw:z", "mentions", 1.0, source_label="Article", target_label="Keyword"),
+            StreamEdge("a1", "loc:w", "locatedIn", 2.0, source_label="Article", target_label="Location"),
+            StreamEdge("a2", "kw:z", "mentions", 3.0, source_label="Article", target_label="Keyword"),
+        ]
+        assert engine.process_stream(prefix) == []
+        engine.replan_query("q")
+        assert engine.metrics()["replan"]["partials_migrated"] > 0
+        # the last edge of the straddling match arrives under the NEW plan
+        suffix = [
+            StreamEdge("a2", "loc:w", "locatedIn", 4.0, source_label="Article", target_label="Location"),
+        ]
+        events = engine.process_stream(suffix)
+        assert len(events) == 1
+
     def test_replan_all(self):
         engine = StreamWorksEngine()
         engine.register_query(common_topic_location_query(2), name="a", window=60.0)

@@ -7,6 +7,8 @@ from repro.graph.types import Edge
 from repro.queries.news import common_topic_location_query
 from repro.workloads import (
     AttackInjector,
+    DriftingConfig,
+    DriftingGenerator,
     NetflowConfig,
     NetflowGenerator,
     NewsStreamConfig,
@@ -233,3 +235,62 @@ class TestPlantedInstances:
         query = QueryBuilder("wild").edge("a", "b").build()
         with pytest.raises(ValueError):
             plant_query_instances(query, count=1)
+
+
+class TestDriftingGenerator:
+    def test_deterministic_for_seed(self):
+        first = list(DriftingGenerator(DriftingConfig(seed=3)).records(200))
+        second = list(DriftingGenerator(DriftingConfig(seed=3)).records(200))
+        assert [(e.source, e.target, e.label, e.timestamp) for e in first] == [
+            (e.source, e.target, e.label, e.timestamp) for e in second
+        ]
+        different = list(DriftingGenerator(DriftingConfig(seed=4)).records(200))
+        assert [e.label for e in first] != [e.label for e in different]
+
+    def test_drift_shifts_label_frequencies(self):
+        config = DriftingConfig(seed=5, drift_at=500)
+        records = list(DriftingGenerator(config).records(1000))
+        before = [e.label for e in records[:500]]
+        after = [e.label for e in records[500:]]
+        # the dominant label flips across the drift point (0.80 alpha -> 0.80 gamma)
+        assert before.count("alpha") > before.count("gamma")
+        assert after.count("gamma") > after.count("alpha")
+
+    def test_drift_point_counts_across_calls(self):
+        """Slicing one logical stream into batches keeps one drift position."""
+        config = DriftingConfig(seed=5, drift_at=500)
+        whole = [e.label for e in DriftingGenerator(config).records(1000)]
+        generator = DriftingGenerator(DriftingConfig(seed=5, drift_at=500))
+        sliced = []
+        for _ in range(10):
+            sliced.extend(e.label for e in generator.records(100))
+        assert sliced == whole
+
+    def test_stream_is_time_ordered_and_well_formed(self):
+        config = DriftingConfig(seed=7)
+        stream = DriftingGenerator(config).stream(300)
+        assert stream.is_time_ordered()
+        for edge in stream:
+            assert edge.source != edge.target  # no self-loops
+            assert edge.label in config.edge_labels
+            assert edge.source_label in config.vertex_labels
+            assert edge.target_label in config.vertex_labels
+
+    def test_vertex_labels_are_consistent_per_vertex(self):
+        records = list(DriftingGenerator(DriftingConfig(seed=9)).records(500))
+        seen = {}
+        for edge in records:
+            for vertex, label in ((edge.source, edge.source_label), (edge.target, edge.target_label)):
+                assert seen.setdefault(vertex, label) == label
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DriftingConfig(vertex_count=1)
+        with pytest.raises(ValueError):
+            DriftingConfig(drift_at=-1)
+        with pytest.raises(ValueError):
+            DriftingConfig(initial_weights=(1.0, 0.0))  # wrong arity
+        with pytest.raises(ValueError):
+            DriftingConfig(drifted_weights=(0.5, 0.5, -0.1))
+        with pytest.raises(ValueError):
+            DriftingConfig(initial_weights=(0.0, 0.0, 0.0))
