@@ -1,17 +1,27 @@
-"""The repro-lint framework: files, suppressions, the rule runner.
+"""The repro-lint framework: files, suppressions, the incremental rule runner.
 
 The moving parts, in the order the runner uses them:
 
 * :class:`SourceFile` -- one parsed module: path, text, AST, and the
   per-line ``# repro-lint: ignore[rule-id]`` suppressions found in it.
-* :class:`Project` -- every file of one run plus the cross-file indexes
-  rules share (class definitions by name, classes defining ``__len__``,
-  Optional-of-container attribute names).  Rules that need to see the
-  whole tree at once (config/persistence drift) implement
-  ``check_project`` instead of ``check_file``.
-* :func:`run_analysis` -- parse, index, run every rule, apply
-  suppressions, then report *unused* suppressions as findings of their
-  own (rule id ``unused-suppression``), so a fixed finding's stale
+* :class:`~repro.analysis.model.FileSummary` -- the parsed file reduced
+  to the JSON-serializable facts the whole-program rules need (built by
+  :func:`~repro.analysis.model.build_file_summary`, cached on disk by
+  :mod:`repro.analysis.cache` keyed by content hash).
+* :class:`Project` -- one run's view: the files that were actually
+  parsed this run, the repository root, and the
+  :class:`~repro.analysis.model.ProjectModel` covering *every* file
+  (parsed or replayed from cache).  Per-file rules implement
+  ``check_file`` and must be pure functions of the file text (that is
+  what makes their findings cacheable); whole-program rules implement
+  ``check_project`` and read the model.
+* :func:`run_analysis` -- hash every file, parse only cache misses, run
+  per-file rules on what was parsed and replay cached findings for the
+  rest, always rebuild the model indexes (cheap -- no parsing), run the
+  whole-program rules (or, under ``changed_only``, replay their cached
+  findings when the model key proves nothing they can see changed), then
+  apply suppressions and report *unused* suppressions as findings of
+  their own (rule id ``unused-suppression``), so a fixed finding's stale
   ignore comment fails the run until it is deleted.
 
 Suppressions are line-scoped: the comment must sit on the exact line the
@@ -32,6 +42,14 @@ import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .cache import AnalysisCache, model_key, text_hash
+from .model import (
+    FileSummary,
+    ProjectModel,
+    build_file_summary,
+    optional_inner_names,
+)
+
 __all__ = [
     "AnalysisError",
     "AnalysisReport",
@@ -40,6 +58,9 @@ __all__ = [
     "Rule",
     "SourceFile",
     "UNUSED_SUPPRESSION",
+    "collect_files",
+    "detect_root",
+    "optional_inner_names",
     "run_analysis",
 ]
 
@@ -72,6 +93,15 @@ class Finding:
             "line": self.line,
             "message": self.message,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            str(payload["rule"]),
+            str(payload["path"]),
+            int(payload["line"]),  # type: ignore[call-overload]
+            str(payload["message"]),
+        )
 
     def format(self) -> str:
         """Human one-liner: ``path:line: [rule] message``."""
@@ -111,7 +141,7 @@ class SourceFile:
                     self.suppressions[token.start[0]] = ids
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        return rule in self.suppressions.get(line, ())
+        return rule in self.suppressions.get(line, set())
 
     def segment(self, node: ast.AST) -> str:
         """Source text of a node (best effort, for messages)."""
@@ -120,50 +150,34 @@ class SourceFile:
 
 
 class Project:
-    """All files of one run plus the shared cross-file indexes."""
+    """One run's view: parsed files, repository root, the whole-tree model.
 
-    def __init__(self, files: Sequence[SourceFile], root: Optional[Path] = None):
+    ``files`` holds only the files *parsed this run* -- under a warm
+    cache that may be a strict subset of the analysed tree (or empty).
+    Whole-program rules must therefore read :attr:`model`, never iterate
+    ``files``; per-file rules receive each parsed file explicitly.
+    """
+
+    def __init__(
+        self,
+        files: Sequence[SourceFile],
+        root: Optional[Path] = None,
+        model: Optional[ProjectModel] = None,
+    ):
         self.files = list(files)
         #: Directory the analysed tree lives under (used to locate ``docs/``
         #: for the drift rule by walking upward); ``None`` disables checks
         #: that need the repository layout.
         self.root = root
-        #: ``{class name: (file, ClassDef)}`` across every analysed file.
-        self.classes: Dict[str, Tuple[SourceFile, ast.ClassDef]] = {}
-        for source in self.files:
-            for node in ast.walk(source.tree):
-                if isinstance(node, ast.ClassDef):
-                    self.classes[node.name] = (source, node)
-        #: Names of classes defining ``__len__`` -- objects for which an
-        #: *empty* instance is falsy yet may be meaningful state.
-        self.len_classes: Set[str] = {
-            name
-            for name, (_, node) in self.classes.items()
-            if any(
-                isinstance(item, ast.FunctionDef) and item.name == "__len__"
-                for item in node.body
-            )
-        }
-        self._optional_len_attrs: Optional[Set[str]] = None
+        #: Summaries for *every* analysed file, parsed or cache-replayed.
+        self.model = model if model is not None else ProjectModel(
+            [build_file_summary(source) for source in self.files]
+        )
 
-    def class_chain(self, name: str) -> List[Tuple[SourceFile, ast.ClassDef]]:
-        """Return ``name``'s ClassDef plus its project-resolvable bases (MRO-ish)."""
-        chain: List[Tuple[SourceFile, ast.ClassDef]] = []
-        seen: Set[str] = set()
-        queue = [name]
-        while queue:
-            current = queue.pop(0)
-            if current in seen or current not in self.classes:
-                continue
-            seen.add(current)
-            source, node = self.classes[current]
-            chain.append((source, node))
-            for base in node.bases:
-                if isinstance(base, ast.Name):
-                    queue.append(base.id)
-                elif isinstance(base, ast.Attribute):
-                    queue.append(base.attr)
-        return chain
+    @property
+    def len_classes(self) -> Set[str]:
+        """Classes defining ``__len__`` -- empty instances are falsy."""
+        return self.model.len_classes
 
     @property
     def optional_len_attrs(self) -> Set[str]:
@@ -175,73 +189,18 @@ class Project:
         attributes are exactly the PR 4 bug class: the empty-but-present
         value is falsy and silently takes the ``None`` branch.
         """
-        if self._optional_len_attrs is None:
-            names: Set[str] = set()
-            for source in self.files:
-                for node in ast.walk(source.tree):
-                    if not isinstance(node, ast.AnnAssign):
-                        continue
-                    target = node.target
-                    if not isinstance(target, ast.Attribute):
-                        continue
-                    inner = optional_inner_names(node.annotation)
-                    if inner & self.len_classes:
-                        names.add(target.attr)
-            self._optional_len_attrs = names
-        return self._optional_len_attrs
-
-
-def optional_inner_names(annotation: ast.AST) -> Set[str]:
-    """Class names ``C`` for which ``annotation`` spells Optional-of-``C``.
-
-    Recognises ``Optional[C]``, ``Union[C, None]`` and ``C | None`` (any
-    order, any quoting of the inner name).  Returns the empty set for
-    non-Optional annotations.
-    """
-    names: Set[str] = set()
-    has_none = False
-
-    def leaf_name(node: ast.AST) -> Optional[str]:
-        if isinstance(node, ast.Name):
-            return node.id
-        if isinstance(node, ast.Attribute):
-            return node.attr
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            return node.value.split(".")[-1].strip()
-        return None
-
-    def collect(node: ast.AST) -> None:
-        nonlocal has_none
-        if isinstance(node, ast.Constant) and node.value is None:
-            has_none = True
-            return
-        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
-            collect(node.left)
-            collect(node.right)
-            return
-        if isinstance(node, ast.Subscript):
-            head = leaf_name(node.value)
-            if head == "Optional":
-                has_none = True
-                collect(node.slice)
-                return
-            if head == "Union":
-                elements = (
-                    node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
-                )
-                for element in elements:
-                    collect(element)
-                return
-        name = leaf_name(node)
-        if name is not None:
-            names.add(name)
-
-    collect(annotation)
-    return names if has_none else set()
+        return self.model.optional_len_attrs
 
 
 class Rule:
-    """Base class: subclass and override ``check_file`` and/or ``check_project``."""
+    """Base class: subclass and override ``check_file`` and/or ``check_project``.
+
+    ``check_file`` implementations must be pure functions of the file's
+    text: their findings are cached by content hash and replayed without
+    re-running them.  Anything that reads cross-file state belongs in
+    ``check_project``, which runs (or is cache-replayed as a whole) every
+    run.
+    """
 
     id: str = ""
     description: str = ""
@@ -262,11 +221,17 @@ class AnalysisReport:
         files_analyzed: int,
         rules_run: Sequence[str],
         duration_seconds: float,
+        files_parsed: Optional[int] = None,
+        cache_hits: Optional[int] = None,
     ):
         self.findings = findings
         self.files_analyzed = files_analyzed
         self.rules_run = list(rules_run)
         self.duration_seconds = duration_seconds
+        #: Files actually parsed this run (< files_analyzed under a warm
+        #: cache); ``None`` when no cache was in play.
+        self.files_parsed = files_analyzed if files_parsed is None else files_parsed
+        self.cache_hits = cache_hits
 
     @property
     def clean(self) -> bool:
@@ -274,36 +239,106 @@ class AnalysisReport:
 
     def to_dict(self) -> Dict[str, object]:
         """Machine-readable report (the ``--format json`` payload)."""
-        return {
+        payload: Dict[str, object] = {
             "clean": self.clean,
             "files_analyzed": self.files_analyzed,
+            "files_parsed": self.files_parsed,
             "rules_run": self.rules_run,
             "duration_seconds": round(self.duration_seconds, 3),
             "finding_count": len(self.findings),
             "findings": [finding.to_dict() for finding in self.findings],
         }
+        if self.cache_hits is not None:
+            payload["cache_hits"] = self.cache_hits
+        return payload
+
+
+def detect_root(paths: Sequence[str]) -> Optional[Path]:
+    """Best-effort repository root: walk up from the first path to ``docs/``/``.git``."""
+    if not paths:
+        return None
+    anchor = Path(paths[0]).resolve()
+    for candidate in [anchor] + list(anchor.parents):
+        if (candidate / "docs").is_dir() or (candidate / ".git").is_dir():
+            return candidate
+    return None
+
+
+def _expand_paths(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    expanded: List[Path] = []
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            expanded.extend(
+                sorted(
+                    path for path in base.rglob("*.py") if "__pycache__" not in path.parts
+                )
+            )
+        elif base.is_file():
+            expanded.append(base)
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return expanded
+
+
+def _read_text(path: Path) -> str:
+    try:
+        return path.read_text()
+    except OSError as error:
+        raise AnalysisError(f"{path}: cannot read: {error}") from error
 
 
 def collect_files(paths: Sequence[str]) -> List[SourceFile]:
     """Expand ``paths`` (files or directories) into parsed :class:`SourceFile`\\ s."""
-    sources: List[SourceFile] = []
-    for raw in paths:
-        base = Path(raw)
-        if base.is_dir():
-            candidates = sorted(
-                path for path in base.rglob("*.py") if "__pycache__" not in path.parts
-            )
-        elif base.is_file():
-            candidates = [base]
-        else:
-            raise AnalysisError(f"no such file or directory: {raw}")
-        for path in candidates:
-            try:
-                text = path.read_text()
-            except OSError as error:
-                raise AnalysisError(f"{path}: cannot read: {error}") from error
-            sources.append(SourceFile(path, str(path), text))
-    return sources
+    return [
+        SourceFile(path, str(path), _read_text(path)) for path in _expand_paths(paths)
+    ]
+
+
+class _FileState:
+    """One analysed file's state for this run: parsed or replayed."""
+
+    __slots__ = ("display_path", "sha", "source", "summary", "findings", "suppressions")
+
+    def __init__(
+        self,
+        display_path: str,
+        sha: str,
+        source: Optional[SourceFile],
+        summary: FileSummary,
+        findings: List[Finding],
+        suppressions: Dict[int, Set[str]],
+    ):
+        self.display_path = display_path
+        self.sha = sha
+        #: ``None`` for cache hits -- the file was never parsed this run.
+        self.source = source
+        self.summary = summary
+        #: Raw (pre-suppression) per-file findings.
+        self.findings = findings
+        self.suppressions = suppressions
+
+
+def _replay_entry(
+    display_path: str, sha: str, entry: Dict[str, object]
+) -> Optional[_FileState]:
+    """Rebuild a :class:`_FileState` from a cache entry; ``None`` if bogus."""
+    try:
+        summary = FileSummary.from_dict(entry["summary"])  # type: ignore[arg-type]
+        findings = [
+            Finding.from_dict(item)  # type: ignore[arg-type]
+            for item in entry["findings"]  # type: ignore[union-attr,index]
+        ]
+        suppressions = {
+            int(line): set(ids)
+            for line, ids in entry["suppressions"].items()  # type: ignore[union-attr,index]
+        }
+    except (KeyError, TypeError, ValueError, AttributeError, IndexError):
+        return None
+    if summary.display_path != display_path:
+        return None  # an entry copied across paths would mislabel findings
+    return _FileState(display_path, sha, None, summary, findings, suppressions)
 
 
 def run_analysis(
@@ -311,62 +346,170 @@ def run_analysis(
     rules: Optional[Sequence[Rule]] = None,
     sources: Optional[Sequence[SourceFile]] = None,
     root: Optional[Path] = None,
+    cache_path: Optional[Path] = None,
+    changed_only: bool = False,
 ) -> AnalysisReport:
     """Run every rule over ``paths`` and return the suppression-filtered report.
 
     ``sources`` bypasses the filesystem (tests hand in synthetic
-    :class:`SourceFile` objects); ``root`` overrides the repository-root
-    guess used to locate ``docs/`` for the drift rule.
+    :class:`SourceFile` objects) and disables the cache; ``root``
+    overrides the repository-root guess used to locate ``docs/`` for the
+    drift rule.  ``cache_path`` enables the on-disk cache (the library
+    default is *no* cache -- the CLI opts in); ``changed_only``
+    additionally replays the cached whole-program findings when the model
+    key proves no input of the whole-program rules changed.
     """
     from .rules import ALL_RULES
 
     started = time.perf_counter()
     if rules is None:
         rules = [rule_class() for rule_class in ALL_RULES]
-    if sources is None:
-        sources = collect_files(paths)
-    if root is None and paths:
-        anchor = Path(paths[0]).resolve()
-        for candidate in [anchor] + list(anchor.parents):
-            if (candidate / "docs").is_dir() or (candidate / ".git").is_dir():
-                root = candidate
-                break
-    project = Project(sources, root=root)
+    rule_ids = [rule.id for rule in rules]
 
-    raw: List[Finding] = []
+    cache: Optional[AnalysisCache] = None
+    if cache_path is not None and sources is None:
+        cache = AnalysisCache(cache_path, rule_ids)
+
+    if root is None:
+        root = detect_root(paths)
+
+    # ------------------------------------------------------------------
+    # assemble per-file state: parse misses, replay hits
+    # ------------------------------------------------------------------
+    states: List[_FileState] = []
+    if sources is not None:
+        for source in sources:
+            states.append(
+                _FileState(
+                    source.display_path,
+                    text_hash(source.text),
+                    source,
+                    build_file_summary(source),
+                    [],
+                    dict(source.suppressions),
+                )
+            )
+    else:
+        for path in _expand_paths(paths):
+            display_path = str(path)
+            text = _read_text(path)
+            sha = text_hash(text)
+            state: Optional[_FileState] = None
+            if cache is not None:
+                entry = cache.lookup_file(display_path, sha)
+                if entry is not None:
+                    state = _replay_entry(display_path, sha, entry)
+            if state is not None:
+                states.append(state)
+            else:
+                source = SourceFile(path, display_path, text)
+                states.append(
+                    _FileState(
+                        display_path,
+                        sha,
+                        source,
+                        build_file_summary(source),
+                        [],
+                        dict(source.suppressions),
+                    )
+                )
+
+    parsed = [state.source for state in states if state.source is not None]
+    cache_hits = len(states) - len(parsed)
+    model = ProjectModel([state.summary for state in states])
+    project = Project(parsed, root=root, model=model)
+
+    # ------------------------------------------------------------------
+    # per-file rules on what was parsed; cached findings cover the rest
+    # ------------------------------------------------------------------
+    by_display = {state.display_path: state for state in states}
     for rule in rules:
-        for source in project.files:
-            raw.extend(rule.check_file(source, project))
-        raw.extend(rule.check_project(project))
+        for source in parsed:
+            by_display[source.display_path].findings.extend(
+                rule.check_file(source, project)
+            )
 
-    by_path = {source.display_path: source for source in project.files}
+    # ------------------------------------------------------------------
+    # whole-program rules: replay under --changed-only, else run
+    # ------------------------------------------------------------------
+    extra_inputs: List[str] = []
+    if root is not None:
+        operations = root / "docs" / "operations.md"
+        if operations.is_file():
+            extra_inputs.append(text_hash(operations.read_text()))
+    project_key = model_key(
+        [(state.display_path, state.sha) for state in states], rule_ids, extra_inputs
+    )
+    project_findings: Optional[List[Finding]] = None
+    if changed_only and cache is not None:
+        cached = cache.lookup_project(project_key)
+        if cached is not None:
+            try:
+                project_findings = [Finding.from_dict(item) for item in cached]
+            except (KeyError, TypeError, ValueError):
+                project_findings = None
+    if project_findings is None:
+        project_findings = []
+        for rule in rules:
+            project_findings.extend(rule.check_project(project))
+
+    # ------------------------------------------------------------------
+    # persist the cache (parsed entries + project findings)
+    # ------------------------------------------------------------------
+    if cache is not None:
+        for state in states:
+            if state.source is None:
+                continue  # the hit entry is already stored
+            cache.store_file(
+                state.display_path,
+                state.sha,
+                state.summary.to_dict(),
+                [finding.to_dict() for finding in state.findings],
+                {str(line): sorted(ids) for line, ids in state.suppressions.items()},
+            )
+        cache.store_project(
+            project_key, [finding.to_dict() for finding in project_findings]
+        )
+        cache.prune([state.display_path for state in states])
+        cache.save()
+
+    # ------------------------------------------------------------------
+    # suppressions, stale-suppression findings, the report
+    # ------------------------------------------------------------------
+    raw: List[Finding] = []
+    for state in states:
+        raw.extend(state.findings)
+    raw.extend(project_findings)
+
     used: Set[Tuple[str, int, str]] = set()
     findings: List[Finding] = []
     for finding in raw:
-        source = by_path.get(finding.path)
-        if source is not None and source.is_suppressed(finding.rule, finding.line):
+        state_for = by_display.get(finding.path)
+        if state_for is not None and finding.rule in state_for.suppressions.get(
+            finding.line, set()
+        ):
             used.add((finding.path, finding.line, finding.rule))
             continue
         findings.append(finding)
 
-    known_ids = {rule.id for rule in rules}
-    for source in project.files:
-        for line, ids in sorted(source.suppressions.items()):
+    known_ids = set(rule_ids)
+    for state in states:
+        for line, ids in sorted(state.suppressions.items()):
             for rule_id in sorted(ids):
                 if rule_id not in known_ids:
                     findings.append(
                         Finding(
                             UNUSED_SUPPRESSION,
-                            source.display_path,
+                            state.display_path,
                             line,
                             f"suppression names unknown rule {rule_id!r}",
                         )
                     )
-                elif (source.display_path, line, rule_id) not in used:
+                elif (state.display_path, line, rule_id) not in used:
                     findings.append(
                         Finding(
                             UNUSED_SUPPRESSION,
-                            source.display_path,
+                            state.display_path,
                             line,
                             f"suppression for {rule_id!r} matches no finding; delete it",
                         )
@@ -375,7 +518,9 @@ def run_analysis(
     findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
     return AnalysisReport(
         findings=findings,
-        files_analyzed=len(project.files),
-        rules_run=[rule.id for rule in rules],
+        files_analyzed=len(states),
+        rules_run=rule_ids,
         duration_seconds=time.perf_counter() - started,
+        files_parsed=len(parsed),
+        cache_hits=cache_hits if cache is not None else None,
     )

@@ -1,0 +1,1202 @@
+"""The project model: per-file interprocedural summaries, JSON-cacheable.
+
+PR 6's repro-lint rules are per-file and syntactic; the rule classes this
+package grew next (fork-safety, lock-order, exception-atomicity) need the
+*whole program*: who calls whom, which locks are held where, which
+attributes a class persists.  Re-deriving that from every AST on every run
+would blow the tier-1 runtime budget, so the model follows the same
+incremental-maintenance discipline as the engine it checks (small
+per-update work, never a full recompute): each file reduces to a
+:class:`FileSummary` that is a **pure function of the file's text**, and
+:mod:`repro.analysis.cache` stores summaries on disk keyed by content
+hash.  A whole-program run then parses only the files whose hash changed
+and rebuilds the cheap derived indexes (:class:`ProjectModel`,
+:class:`~repro.analysis.callgraph.CallGraph`) from the summaries.
+
+What a summary records, per method (:class:`MethodSummary`):
+
+* every ``self.<attr>`` access -- read / write / delete -- with the set of
+  the class's locks syntactically held at the access;
+* every ``self.<method>()`` call with the locks held at the call site
+  (the call-graph layer propagates lock contexts through these edges);
+* every lock *acquisition* (``with self.<lock>:``) with the locks already
+  held -- the edges of the lock-order graph;
+* an ordered event stream (attribute writes, calls, ``raise``) in
+  evaluation order, each tagged with whether a ``try``/``except`` guards
+  it -- what the exception-atomicity rule replays;
+* worker-boundary facts: ``Thread(target=self.x)`` / ``Process(target=…,
+  args=…)`` spawn sites with the ``self`` attributes shipped to the
+  child, payload hygiene issues on ``conn.send`` / ``ShardBatch`` /
+  ``Process`` argument expressions, and module-``global`` writes.
+
+Scope limits, shared with the syntactic rules and documented here once:
+lambda bodies and nested functions are **not** traversed (they execute
+later, in a context static analysis cannot see), and attribute tracking
+is rooted at the method's ``self`` name only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a core<->model cycle)
+    from .core import SourceFile
+
+__all__ = [
+    "ClassSummary",
+    "FileSummary",
+    "FunctionSummary",
+    "MethodSummary",
+    "ProjectModel",
+    "build_file_summary",
+    "captured_keys",
+    "covers_key",
+    "init_attributes",
+    "module_name_of",
+    "optional_inner_names",
+    "paths_compatible",
+    "restored_keys",
+]
+
+#: Constructors recognised as lock factories in ``__init__``.
+LOCK_FACTORIES = ("Lock", "RLock", "Condition")
+
+#: Loader method names the snapshot rules accept (kept in one place).
+LOADER_NAMES = ("from_state", "load_state", "_load_base_state")
+
+
+# ----------------------------------------------------------------------
+# annotation / key helpers (shared with the per-file snapshot rules)
+# ----------------------------------------------------------------------
+def optional_inner_names(annotation: ast.AST) -> Set[str]:
+    """Class names ``C`` for which ``annotation`` spells Optional-of-``C``.
+
+    Recognises ``Optional[C]``, ``Union[C, None]`` and ``C | None`` (any
+    order, any quoting of the inner name).  Returns the empty set for
+    non-Optional annotations.
+    """
+    names: Set[str] = set()
+    has_none = False
+
+    def leaf_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.split(".")[-1].strip()
+        return None
+
+    def collect(node: ast.AST) -> None:
+        nonlocal has_none
+        if isinstance(node, ast.Constant) and node.value is None:
+            has_none = True
+            return
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            collect(node.left)
+            collect(node.right)
+            return
+        if isinstance(node, ast.Subscript):
+            head = leaf_name(node.value)
+            if head == "Optional":
+                has_none = True
+                collect(node.slice)
+                return
+            if head == "Union":
+                elements = (
+                    node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+                )
+                for element in elements:
+                    collect(element)
+                return
+        name = leaf_name(node)
+        if name is not None:
+            names.add(name)
+
+    collect(annotation)
+    return names if has_none else set()
+
+
+def captured_keys(method: ast.FunctionDef) -> Set[str]:
+    """String keys a ``state_dict``-style method writes into its payload.
+
+    Collected from dict literals, ``payload["key"] = ...`` subscript
+    stores, ``dict(key=...)`` keyword constructors and ``.update({...})``
+    literals anywhere in the method.
+    """
+    keys: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "dict":
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        keys.add(keyword.arg)
+    return keys
+
+
+def restored_keys(method: ast.FunctionDef) -> Set[str]:
+    """Every string constant in a loader method.
+
+    Loaders are small codecs; any string they mention is (in this
+    codebase, by construction) a payload key.  Casting the net this wide
+    only ever *weakens* the restore check, never produces a false
+    positive.
+    """
+    keys: Set[str] = set()
+    body = method.body
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]  # the docstring is prose, not keys
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                keys.add(node.value)
+    return keys
+
+
+def init_attributes(node: ast.ClassDef) -> List[Tuple[str, int]]:
+    """``(attribute name, line)`` for every *stateful* ``self.x`` in ``__init__``.
+
+    Assignments whose right-hand side references a constructor parameter
+    are construction input, not snapshot state: the rebuild-then-load
+    pattern re-supplies them through ``__init__`` before the loader runs,
+    so they are excluded here.
+    """
+    init: Optional[ast.FunctionDef] = None
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            init = item
+            break
+    if init is None:
+        return []
+    args = init.args
+    self_name = args.args[0].arg if args.args else "self"
+    params = {
+        arg.arg
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if arg.arg != self_name
+    }
+    seen: Set[str] = set()
+    attrs: List[Tuple[str, int]] = []
+    for stmt in ast.walk(init):
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets, value = [stmt.target], getattr(stmt, "value", None)
+        from_params = value is not None and any(
+            isinstance(inner, ast.Name) and inner.id in params
+            for inner in ast.walk(value)
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self_name
+                and target.attr not in seen
+            ):
+                seen.add(target.attr)
+                if not from_params:
+                    attrs.append((target.attr, target.lineno))
+    return attrs
+
+
+def paths_compatible(
+    first: Sequence[Tuple[int, str]], second: Sequence[Tuple[int, str]]
+) -> bool:
+    """Can two events (by their ``if``-branch trails) occur in one pass?
+
+    Trails diverge fatally only when, at the first differing position,
+    both name the **same** ``if`` statement but different arms -- then the
+    events are mutually exclusive.  Different ``if`` statements at the
+    same depth are sequential (both arms can run in one pass), and a
+    shared prefix with one trail extending deeper is plain nesting.
+    """
+    for left, right in zip(first, second):
+        if left == right:
+            continue
+        return left[0] != right[0]
+    return True
+
+
+def covers_key(attr: str, keys: Sequence[str]) -> bool:
+    """True when some payload key plausibly persists attribute ``attr``.
+
+    Key matching strips the attribute's leading underscores and accepts an
+    underscore-boundary prefix either way, so ``self._pending`` is covered
+    by ``"pending"`` and ``self._rng`` by ``"rng_state"``.
+    """
+    name = attr.lstrip("_")
+    return any(
+        key == name or key.startswith(name + "_") or name.startswith(key + "_")
+        for key in keys
+    )
+
+
+def module_name_of(path_parts: Sequence[str]) -> str:
+    """Dotted module name of a file path, rooted at the ``repro`` package.
+
+    Fixture trees mirror the package layout (``repro/streaming/x.py``), so
+    anchoring at the last ``repro`` path component names both the real
+    tree and the fixtures consistently; paths outside any ``repro`` tree
+    fall back to their stem.
+    """
+    parts = list(path_parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro") :]
+    if not parts:
+        return "<unknown>"
+    if parts[-1] == "__init__":
+        parts = parts[:-1] or ["<unknown>"]
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# summary containers (plain dicts in, plain dicts out -- JSON-cacheable)
+# ----------------------------------------------------------------------
+class MethodSummary:
+    """Everything the interprocedural rules need to know about one method."""
+
+    __slots__ = (
+        "name",
+        "accesses",
+        "self_calls",
+        "calls",
+        "acquisitions",
+        "raises_directly",
+        "events",
+        "payload_issues",
+        "global_writes",
+        "emitted_keys",
+        "line",
+    )
+
+    def __init__(self, name: str, line: int = 0):
+        self.name = name
+        self.line = line
+        #: ``(attr, "read"|"write"|"del", sorted locks held, line)``.
+        self.accesses: List[Tuple[str, str, Tuple[str, ...], int]] = []
+        #: ``(method name, sorted locks held, line)`` for ``self.m()`` calls.
+        self.self_calls: List[Tuple[str, Tuple[str, ...], int]] = []
+        #: ``(spelled callee, line)`` for every other call -- ``"name"``,
+        #: ``"self.m"`` (duplicated from self_calls for event replay) or
+        #: ``"?.m"`` when the receiver is not resolvable statically.
+        self.calls: List[Tuple[str, int]] = []
+        #: ``(lock acquired, sorted locks already held, line)``.
+        self.acquisitions: List[Tuple[str, Tuple[str, ...], int]] = []
+        #: ``raise`` reachable in this body outside a try/except guard.
+        self.raises_directly = False
+        #: Ordered ``(kind, payload, line, in_try, path)`` events in
+        #: evaluation order; kinds: ``write`` (payload = attr), ``call``
+        #: (payload = spelled callee), ``raise`` (payload = "").  ``path``
+        #: is the enclosing ``if``-branch trail as ``((lineno, arm), ...)``
+        #: with arm ``"t"``/``"e"`` -- two events whose paths diverge at
+        #: the same ``if`` into different arms are mutually exclusive and
+        #: never execute in one pass through the method.
+        self.events: List[Tuple[str, str, int, bool, Tuple[Tuple[int, str], ...]]] = []
+        #: ``(boundary, description, line)`` payload hygiene issues at
+        #: worker boundaries; boundary in {"send", "ShardBatch", "Process"}.
+        self.payload_issues: List[Tuple[str, str, int]] = []
+        #: ``(name, line)`` writes to module globals (``global x; x = ...``).
+        self.global_writes: List[Tuple[str, int]] = []
+        #: ``(key, line)`` dict keys emitted by metrics()/stats() methods.
+        self.emitted_keys: List[Tuple[str, int]] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "accesses": [list(item) for item in self.accesses],
+            "self_calls": [list(item) for item in self.self_calls],
+            "calls": [list(item) for item in self.calls],
+            "acquisitions": [list(item) for item in self.acquisitions],
+            "raises_directly": self.raises_directly,
+            "events": [list(item) for item in self.events],
+            "payload_issues": [list(item) for item in self.payload_issues],
+            "global_writes": [list(item) for item in self.global_writes],
+            "emitted_keys": [list(item) for item in self.emitted_keys],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MethodSummary":
+        summary = cls(payload["name"], payload.get("line", 0))
+        summary.accesses = [
+            (attr, kind, tuple(locks), line)
+            for attr, kind, locks, line in payload["accesses"]
+        ]
+        summary.self_calls = [
+            (name, tuple(locks), line) for name, locks, line in payload["self_calls"]
+        ]
+        summary.calls = [(name, line) for name, line in payload["calls"]]
+        summary.acquisitions = [
+            (lock, tuple(held), line) for lock, held, line in payload["acquisitions"]
+        ]
+        summary.raises_directly = bool(payload["raises_directly"])
+        summary.events = [
+            (kind, value, line, bool(in_try), tuple((int(at), arm) for at, arm in path))
+            for kind, value, line, in_try, path in payload["events"]
+        ]
+        summary.payload_issues = [
+            (target, desc, line) for target, desc, line in payload["payload_issues"]
+        ]
+        summary.global_writes = [(name, line) for name, line in payload["global_writes"]]
+        summary.emitted_keys = [(key, line) for key, line in payload["emitted_keys"]]
+        return summary
+
+
+class FunctionSummary(MethodSummary):
+    """A module-level function: a method summary without a ``self``."""
+
+
+class ClassSummary:
+    """Class-level facts: locks, persistence surface, worker boundaries."""
+
+    __slots__ = (
+        "name",
+        "line",
+        "bases",
+        "defines_len",
+        "lock_attrs",
+        "has_state_dict",
+        "has_loader",
+        "captured_keys",
+        "restored_keys",
+        "init_params",
+        "init_line",
+        "init_attrs",
+        "thread_targets",
+        "process_targets",
+        "ship_roots",
+        "ship_root_writes",
+        "methods",
+    )
+
+    def __init__(self, name: str, line: int = 0):
+        self.name = name
+        self.line = line
+        self.bases: List[str] = []
+        self.defines_len = False
+        #: ``{lock attribute: factory name}`` (Lock / RLock / Condition).
+        self.lock_attrs: Dict[str, str] = {}
+        self.has_state_dict = False
+        self.has_loader = False
+        self.captured_keys: List[str] = []
+        self.restored_keys: List[str] = []
+        #: ``__init__`` parameter names (config-drift compares these).
+        self.init_params: List[str] = []
+        self.init_line = 0
+        #: Stateful ``(attr, line)`` pairs from ``__init__`` (snapshot rule).
+        self.init_attrs: List[Tuple[str, int]] = []
+        #: Method names passed as ``Thread(target=self.<m>)``.
+        self.thread_targets: List[str] = []
+        #: Spelled targets of ``Process(target=...)`` spawn sites.
+        self.process_targets: List[str] = []
+        #: ``self`` attributes shipped into worker processes via Process args.
+        self.ship_roots: List[str] = []
+        #: ``(attr, method, line)`` post-spawn-capable writes to ship roots.
+        self.ship_root_writes: List[Tuple[str, str, int]] = []
+        self.methods: Dict[str, MethodSummary] = {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "defines_len": self.defines_len,
+            "lock_attrs": dict(self.lock_attrs),
+            "has_state_dict": self.has_state_dict,
+            "has_loader": self.has_loader,
+            "captured_keys": list(self.captured_keys),
+            "restored_keys": list(self.restored_keys),
+            "init_params": list(self.init_params),
+            "init_line": self.init_line,
+            "init_attrs": [list(item) for item in self.init_attrs],
+            "thread_targets": list(self.thread_targets),
+            "process_targets": list(self.process_targets),
+            "ship_roots": list(self.ship_roots),
+            "ship_root_writes": [list(item) for item in self.ship_root_writes],
+            "methods": {name: method.to_dict() for name, method in self.methods.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClassSummary":
+        summary = cls(payload["name"], payload.get("line", 0))
+        summary.bases = list(payload["bases"])
+        summary.defines_len = bool(payload["defines_len"])
+        summary.lock_attrs = dict(payload["lock_attrs"])
+        summary.has_state_dict = bool(payload["has_state_dict"])
+        summary.has_loader = bool(payload["has_loader"])
+        summary.captured_keys = list(payload["captured_keys"])
+        summary.restored_keys = list(payload["restored_keys"])
+        summary.init_params = list(payload["init_params"])
+        summary.init_line = int(payload["init_line"])
+        summary.init_attrs = [(attr, line) for attr, line in payload["init_attrs"]]
+        summary.thread_targets = list(payload["thread_targets"])
+        summary.process_targets = list(payload["process_targets"])
+        summary.ship_roots = list(payload["ship_roots"])
+        summary.ship_root_writes = [
+            (attr, method, line) for attr, method, line in payload["ship_root_writes"]
+        ]
+        summary.methods = {
+            name: MethodSummary.from_dict(method)
+            for name, method in payload["methods"].items()
+        }
+        return summary
+
+
+class FileSummary:
+    """One file's contribution to the project model."""
+
+    __slots__ = (
+        "display_path",
+        "module",
+        "imports",
+        "constants",
+        "classes",
+        "functions",
+        "optional_attrs",
+        "truthiness_sites",
+    )
+
+    def __init__(self, display_path: str, module: str):
+        self.display_path = display_path
+        self.module = module
+        #: ``{local name: (module, original name)}`` for project imports.
+        self.imports: Dict[str, Tuple[str, str]] = {}
+        #: ``{name: (string elements, line)}`` for module-level tuple/list
+        #: string constants (``_CONFIG_FIELDS`` and friends).
+        self.constants: Dict[str, Tuple[List[str], int]] = {}
+        self.classes: Dict[str, ClassSummary] = {}
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: ``(attr, [Optional inner class names])`` from every annotated
+        #: attribute assignment in the file (feeds ``optional_len_attrs``).
+        self.optional_attrs: List[Tuple[str, List[str]]] = []
+        #: Truthiness-test sites for the optional-truthiness rule:
+        #: ``(kind, name, [param annotation inner names], spelled, line)``
+        #: with kind ``attr`` (attribute operand, inner names empty) or
+        #: ``param`` (bare parameter operand).
+        self.truthiness_sites: List[Tuple[str, str, List[str], str, int]] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "display_path": self.display_path,
+            "module": self.module,
+            "imports": {name: list(target) for name, target in self.imports.items()},
+            "constants": {
+                name: [list(values), line]
+                for name, (values, line) in self.constants.items()
+            },
+            "classes": {name: cls.to_dict() for name, cls in self.classes.items()},
+            "functions": {name: fn.to_dict() for name, fn in self.functions.items()},
+            "optional_attrs": [[attr, list(inner)] for attr, inner in self.optional_attrs],
+            "truthiness_sites": [
+                [kind, name, list(inner), spelled, line]
+                for kind, name, inner, spelled, line in self.truthiness_sites
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FileSummary":
+        summary = cls(payload["display_path"], payload["module"])
+        summary.imports = {
+            name: (target[0], target[1]) for name, target in payload["imports"].items()
+        }
+        summary.constants = {
+            name: (list(values), line)
+            for name, (values, line) in payload["constants"].items()
+        }
+        summary.classes = {
+            name: ClassSummary.from_dict(item)
+            for name, item in payload["classes"].items()
+        }
+        summary.functions = {
+            name: FunctionSummary.from_dict(item)  # type: ignore[arg-type]
+            for name, item in payload["functions"].items()
+        }
+        summary.optional_attrs = [
+            (attr, list(inner)) for attr, inner in payload["optional_attrs"]
+        ]
+        summary.truthiness_sites = [
+            (kind, name, list(inner), spelled, line)
+            for kind, name, inner, spelled, line in payload["truthiness_sites"]
+        ]
+        return summary
+
+
+# ----------------------------------------------------------------------
+# the summary builder
+# ----------------------------------------------------------------------
+def _call_leaf(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _spell_call(func: ast.AST, self_name: Optional[str]) -> str:
+    """Spell a call target for later resolution.
+
+    ``self.m`` for methods, a bare name for local/imported functions,
+    ``mod.f`` for one-level qualified calls (the call-graph layer checks
+    whether ``mod`` is a project import) and ``?.f`` when the receiver is
+    an arbitrary expression no static resolution will name.
+    """
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            if self_name is not None and func.value.id == self_name:
+                return f"self.{func.attr}"
+            return f"{func.value.id}.{func.attr}"
+        return f"?.{func.attr}"
+    return "?"
+
+
+def _self_attr(node: ast.AST, self_name: Optional[str]) -> Optional[str]:
+    if (
+        self_name is not None
+        and isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _is_setish(node: ast.AST, set_names: Set[str]) -> Optional[str]:
+    """Describe ``node`` if it is an order-unstable or unpicklable payload."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set expression (iteration order varies across processes)"
+    if isinstance(node, ast.Call):
+        name = _call_leaf(node.func)
+        if name in ("set", "frozenset"):
+            return "a set() value (iteration order varies across processes)"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression (not picklable)"
+    if isinstance(node, ast.Lambda):
+        return "a lambda (not picklable)"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"`{node.id}`, assigned a set in this scope (order-unstable)"
+    return None
+
+
+def _local_set_names(func: ast.AST) -> Set[str]:
+    """Names assigned a set expression (and never anything else) in ``func``."""
+    set_names: Set[str] = set()
+    other_names: Set[str] = set()
+    for node in _scope_walk(func):
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], None
+        for target in targets:
+            if isinstance(target, ast.Name):
+                is_set = value is not None and (
+                    isinstance(value, (ast.Set, ast.SetComp))
+                    or (
+                        isinstance(value, ast.Call)
+                        and _call_leaf(value.func) in ("set", "frozenset")
+                    )
+                )
+                (set_names if is_set else other_names).add(target.id)
+    return set_names - other_names
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function scope without descending into nested scopes."""
+    queue: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while queue:
+        node = queue.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _self_roots(expr: ast.AST, self_name: Optional[str], local_roots: Dict[str, Set[str]]) -> Set[str]:
+    """``self`` attributes an expression's value is derived from.
+
+    Follows one level of local-variable indirection (``owned = {...
+    self.shards[i] ...}; Process(args=(conn, owned))``) via
+    ``local_roots``, the per-method map of local name -> self-attr roots.
+    """
+    roots: Set[str] = set()
+    for node in ast.walk(expr):
+        attr = _self_attr(node, self_name)
+        if attr is not None:
+            roots.add(attr)
+        elif isinstance(node, ast.Name) and node.id in local_roots:
+            roots.update(local_roots[node.id])
+    return roots
+
+
+class _FunctionScanner:
+    """One pass over a function/method body, carrying (locks, try) context."""
+
+    def __init__(
+        self,
+        summary: MethodSummary,
+        self_name: Optional[str],
+        lock_attrs: Set[str],
+        class_context: Optional["_ClassContext"],
+    ):
+        self.summary = summary
+        self.self_name = self_name
+        self.lock_attrs = lock_attrs
+        self.class_context = class_context
+        self.global_names: Set[str] = set()
+        self.set_names: Set[str] = set()
+        #: local name -> self-attr roots its value was derived from
+        self.local_roots: Dict[str, Set[str]] = {}
+
+    # -- entry -----------------------------------------------------------
+    def scan(self, func: ast.AST) -> None:
+        self.set_names = _local_set_names(func)
+        for stmt in func.body:
+            self._visit(stmt, frozenset(), False, ())
+
+    # -- the recursive walk ---------------------------------------------
+    def _visit(
+        self,
+        node: ast.AST,
+        locks: frozenset,
+        in_try: bool,
+        path: Tuple[Tuple[int, str], ...],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested scopes execute later; out of the model's scope
+        if isinstance(node, ast.Global):
+            self.global_names.update(node.names)
+            return
+        if isinstance(node, ast.If):
+            # branch arms are mutually exclusive: tag their events so the
+            # atomicity scan never fabricates a cross-arm ordering
+            self._visit(node.test, locks, in_try, path)
+            for stmt in node.body:
+                self._visit(stmt, locks, in_try, path + ((node.lineno, "t"),))
+            for stmt in node.orelse:
+                self._visit(stmt, locks, in_try, path + ((node.lineno, "e"),))
+            return
+        if isinstance(node, ast.With):
+            acquired: List[str] = []
+            for item in node.items:
+                self._visit(item.context_expr, locks, in_try, path)
+                lock = _self_attr(item.context_expr, self.self_name)
+                if lock in self.lock_attrs:
+                    self.summary.acquisitions.append(
+                        (lock, tuple(sorted(locks | set(acquired))), item.context_expr.lineno)
+                    )
+                    acquired.append(lock)
+            inner = locks | set(acquired) if acquired else locks
+            for stmt in node.body:
+                self._visit(stmt, inner, in_try, path)
+            return
+        if isinstance(node, ast.Try):
+            guarded = in_try or bool(node.handlers)
+            for stmt in node.body:
+                self._visit(stmt, locks, guarded, path)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._visit(stmt, locks, in_try, path)
+            for stmt in list(node.orelse) + list(node.finalbody):
+                self._visit(stmt, locks, in_try, path)
+            return
+        if isinstance(node, ast.Raise):
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, locks, in_try, path)
+            if not in_try:
+                self.summary.raises_directly = True
+            self.summary.events.append(("raise", "", node.lineno, in_try, path))
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            # evaluation order: the RHS (and its calls) run before the store
+            value = getattr(node, "value", None)
+            if value is not None:
+                self._visit(value, locks, in_try, path)
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                self._record_local_root(target, value)
+                self._visit(target, locks, in_try, path)
+            return
+        if isinstance(node, ast.For):
+            self._visit(node.iter, locks, in_try, path)
+            self._record_local_root(node.target, node.iter)
+            self._visit(node.target, locks, in_try, path)
+            for stmt in list(node.body) + list(node.orelse):
+                self._visit(stmt, locks, in_try, path)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, locks, in_try, path)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, locks, in_try, path)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node, self.self_name)
+            if attr is not None and attr not in self.lock_attrs:
+                kind = (
+                    "write"
+                    if isinstance(node.ctx, ast.Store)
+                    else "del" if isinstance(node.ctx, ast.Del) else "read"
+                )
+                self.summary.accesses.append(
+                    (attr, kind, tuple(sorted(locks)), node.lineno)
+                )
+                if kind in ("write", "del"):
+                    self.summary.events.append(("write", attr, node.lineno, in_try, path))
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, locks, in_try, path)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks, in_try, path)
+
+    # -- pieces ----------------------------------------------------------
+    def _record_local_root(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        """Track ``name = <expr over self.X>`` / ``for name in self.X`` aliases."""
+        if value is None or not isinstance(target, ast.Name):
+            return
+        roots = _self_roots(value, self.self_name, self.local_roots)
+        if roots:
+            self.local_roots.setdefault(target.id, set()).update(roots)
+
+    def _record_call(
+        self,
+        node: ast.Call,
+        locks: frozenset,
+        in_try: bool,
+        path: Tuple[Tuple[int, str], ...],
+    ) -> None:
+        spelled = _spell_call(node.func, self.self_name)
+        self.summary.calls.append((spelled, node.lineno))
+        self.summary.events.append(("call", spelled, node.lineno, in_try, path))
+        if spelled.startswith("self."):
+            self.summary.self_calls.append(
+                (spelled[5:], tuple(sorted(locks)), node.lineno)
+            )
+        leaf = _call_leaf(node.func)
+        if leaf == "Thread" and self.class_context is not None:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = _self_attr(keyword.value, self.self_name)
+                    if target is not None:
+                        self.class_context.thread_targets.append(target)
+        if leaf == "Process" and self.class_context is not None:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    self.class_context.process_targets.append(
+                        _spell_call(keyword.value, self.self_name)
+                    )
+                if keyword.arg == "args":
+                    self.class_context.ship_roots.update(
+                        _self_roots(keyword.value, self.self_name, self.local_roots)
+                    )
+                    self._scan_payload(keyword.value, "Process")
+        if leaf == "send" and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            is_conn = (isinstance(receiver, ast.Name) and receiver.id == "conn") or (
+                isinstance(receiver, ast.Attribute) and receiver.attr == "conn"
+            )
+            if is_conn:
+                for arg in node.args:
+                    self._scan_payload(arg, "send")
+        if leaf == "ShardBatch":
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                self._scan_payload(arg, "ShardBatch")
+
+    def _scan_payload(self, expr: ast.AST, boundary: str) -> None:
+        # a comprehension fed straight into a materializer is consumed
+        # before pickling -- ``sorted(x for ...)`` is an ordered list
+        materialized = {
+            id(call.args[0])
+            for call in ast.walk(expr)
+            if isinstance(call, ast.Call)
+            and _call_leaf(call.func) in ("sorted", "list", "tuple")
+            and call.args
+        }
+        for node in ast.walk(expr):
+            if id(node) in materialized and isinstance(node, ast.GeneratorExp):
+                continue
+            issue = _is_setish(node, self.set_names)
+            if issue is not None:
+                self.summary.payload_issues.append(
+                    (boundary, issue, getattr(node, "lineno", getattr(expr, "lineno", 0)))
+                )
+
+
+class _ClassContext:
+    """Mutable scratch state shared by a class's method scans."""
+
+    def __init__(self) -> None:
+        self.thread_targets: List[str] = []
+        self.process_targets: List[str] = []
+        self.ship_roots: Set[str] = set()
+
+
+def _scan_global_stores(func: ast.AST, declared: Set[str]) -> List[Tuple[str, int]]:
+    """``(name, line)`` stores to names the function declared ``global``."""
+    writes: List[Tuple[str, int]] = []
+    if not declared:
+        return writes
+    for node in _scope_walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if node.id in declared:
+                writes.append((node.id, node.lineno))
+    return writes
+
+
+def _lock_attr_factories(class_node: ast.ClassDef) -> Dict[str, str]:
+    """Lock attributes assigned ``threading.Lock()``-style in ``__init__``."""
+    locks: Dict[str, str] = {}
+    for item in class_node.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            name = _call_leaf(value.func)
+            if name not in LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    locks[target.attr] = name
+    return locks
+
+
+def _scan_function(
+    func: ast.AST,
+    summary: MethodSummary,
+    self_name: Optional[str],
+    lock_attrs: Set[str],
+    class_context: Optional[_ClassContext],
+) -> None:
+    scanner = _FunctionScanner(summary, self_name, lock_attrs, class_context)
+    scanner.scan(func)
+    summary.global_writes.extend(_scan_global_stores(func, scanner.global_names))
+    if summary.name in ("metrics", "stats"):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        summary.emitted_keys.append((key.value, key.lineno))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        summary.emitted_keys.append((target.slice.value, target.lineno))
+
+
+def _summarize_class(node: ast.ClassDef) -> ClassSummary:
+    summary = ClassSummary(node.name, node.lineno)
+    summary.init_line = node.lineno
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            summary.bases.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            summary.bases.append(base.attr)
+    summary.lock_attrs = _lock_attr_factories(node)
+    context = _ClassContext()
+    captured: Set[str] = set()
+    restored: Set[str] = set()
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name == "__len__":
+            summary.defines_len = True
+        if item.name == "state_dict" and isinstance(item, ast.FunctionDef):
+            summary.has_state_dict = True
+            captured |= captured_keys(item)
+        if item.name in LOADER_NAMES and isinstance(item, ast.FunctionDef):
+            summary.has_loader = True
+            restored |= restored_keys(item)
+        if item.name == "__init__":
+            summary.init_line = item.lineno
+            args = item.args
+            self_name = args.args[0].arg if args.args else "self"
+            summary.init_params = [
+                arg.arg
+                for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+                if arg.arg != self_name
+            ]
+        self_name = item.args.args[0].arg if item.args.args else None
+        method = MethodSummary(item.name, item.lineno)
+        _scan_function(item, method, self_name, set(summary.lock_attrs), context)
+        summary.methods[item.name] = method
+    summary.captured_keys = sorted(captured)
+    summary.restored_keys = sorted(restored)
+    summary.init_attrs = init_attributes(node)
+    summary.thread_targets = sorted(dict.fromkeys(context.thread_targets))
+    summary.process_targets = sorted(dict.fromkeys(context.process_targets))
+    summary.ship_roots = sorted(context.ship_roots)
+    summary.ship_root_writes = _ship_root_writes(node, summary)
+    return summary
+
+
+def _ship_root_writes(node: ast.ClassDef, summary: ClassSummary) -> List[Tuple[str, str, int]]:
+    """Direct stores to fork-shipped attributes outside ``__init__``/spawn.
+
+    Detects ``self.R = ...`` / ``self.R[...] = ...`` / ``del self.R`` and
+    one level of alias indirection (``for engine in self.R: engine.x = ...``
+    or ``e = self.R[i]; e.x = ...``).  Calls that mutate (``self.R[i].m()``)
+    are out of scope -- documented in the fork-safety rule.
+    """
+    if not summary.ship_roots:
+        return []
+    roots = set(summary.ship_roots)
+    spawn_methods = {
+        target[5:] for target in summary.process_targets if target.startswith("self.")
+    }
+    # the method that performs the Process() call is the spawn boundary
+    spawners: Set[str] = set()
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(item):
+            if isinstance(inner, ast.Call) and _call_leaf(inner.func) == "Process":
+                spawners.add(item.name)
+    writes: List[Tuple[str, str, int]] = []
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name == "__init__" or item.name in spawners or item.name in spawn_methods:
+            continue
+        self_name = item.args.args[0].arg if item.args.args else None
+        if self_name is None:
+            continue
+        aliases: Dict[str, str] = {}
+        for inner in _scope_walk(item):
+            # build alias map in walk order (assignments precede later uses)
+            if isinstance(inner, ast.Assign) and isinstance(inner.value, (ast.Attribute, ast.Subscript)):
+                root = _root_of(inner.value, self_name, roots)
+                if root is not None:
+                    for target in inner.targets:
+                        if isinstance(target, ast.Name):
+                            aliases[target.id] = root
+            if isinstance(inner, ast.For):
+                root = _root_of(inner.iter, self_name, roots)
+                if root is not None and isinstance(inner.target, ast.Name):
+                    aliases[inner.target.id] = root
+            if isinstance(inner, (ast.Attribute, ast.Subscript)) and isinstance(
+                inner.ctx, (ast.Store, ast.Del)
+            ):
+                root = _root_of(inner, self_name, roots)
+                if root is None:
+                    base = inner
+                    while isinstance(base, (ast.Attribute, ast.Subscript)):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id in aliases:
+                        root = aliases[base.id]
+                if root is not None:
+                    writes.append((root, item.name, inner.lineno))
+    return writes
+
+
+def _root_of(node: ast.AST, self_name: str, roots: Set[str]) -> Optional[str]:
+    """The shipped root attribute an attribute/subscript chain is based on."""
+    base = node
+    while isinstance(base, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == self_name
+            and base.attr in roots
+        ):
+            return base.attr
+        base = base.value
+    return None
+
+
+def build_file_summary(source: "SourceFile") -> FileSummary:
+    """Reduce one parsed file to its cacheable :class:`FileSummary`."""
+    summary = FileSummary(source.display_path, module_name_of(source.path.parts))
+    for node in source.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    summary.imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    summary.imports[alias.asname or alias.name] = (alias.name, "*")
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                values = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str)
+                ]
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and values:
+                        summary.constants[target.id] = (values, node.lineno)
+        elif isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = _summarize_class(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function = FunctionSummary(node.name, node.lineno)
+            _scan_function(node, function, None, set(), None)
+            summary.functions[node.name] = function
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Attribute):
+            inner = optional_inner_names(node.annotation)
+            if inner:
+                summary.optional_attrs.append((node.target.attr, sorted(inner)))
+    summary.truthiness_sites = _truthiness_sites(source.tree)
+    return summary
+
+
+def _truthiness_operands(node: ast.AST) -> Iterator[ast.AST]:
+    """Expressions evaluated *for their truth value* by ``node``."""
+    if isinstance(node, (ast.If, ast.While)):
+        yield node.test
+    elif isinstance(node, ast.IfExp):
+        yield node.test
+    elif isinstance(node, ast.BoolOp):
+        # every operand of and/or is truth-tested (the last of `or` is
+        # returned, but its selection still hinged on the others)
+        for value in node.values[:-1] if isinstance(node.op, ast.And) else node.values:
+            yield value
+    elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        yield node.operand
+    elif isinstance(node, ast.Assert):
+        yield node.test
+    elif isinstance(node, ast.comprehension):
+        for condition in node.ifs:
+            yield condition
+
+
+def _truthiness_sites(tree: ast.Module) -> List[Tuple[str, str, List[str], str, int]]:
+    """Candidate sites for the optional-truthiness rule, one pass per file.
+
+    The rule itself is cross-file (it needs the project-wide
+    ``optional_len_attrs`` / ``len_classes`` indexes), so the summary only
+    records *where* truthiness tests happen and on what; the rule filters
+    against the indexes at check time.
+    """
+    sites: List[Tuple[str, str, List[str], str, int]] = []
+    seen: Set[Tuple[str, str, int]] = set()
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = func.args
+        params: Dict[str, List[str]] = {}
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is not None:
+                inner = optional_inner_names(arg.annotation)
+                if inner:
+                    params[arg.arg] = sorted(inner)
+        for node in ast.walk(func):
+            for operand in _truthiness_operands(node):
+                if isinstance(operand, ast.Name) and operand.id in params:
+                    site = ("param", operand.id, operand.lineno)
+                    if site not in seen:
+                        seen.add(site)
+                        sites.append(
+                            ("param", operand.id, params[operand.id], operand.id, operand.lineno)
+                        )
+                elif isinstance(operand, ast.Attribute):
+                    spelled = ast.unparse(operand)
+                    site = ("attr", spelled, operand.lineno)
+                    if site not in seen:
+                        seen.add(site)
+                        sites.append(
+                            ("attr", operand.attr, [], spelled, operand.lineno)
+                        )
+    sites.sort(key=lambda item: (item[4], item[3]))
+    return sites
+
+
+# ----------------------------------------------------------------------
+# the assembled model
+# ----------------------------------------------------------------------
+class ProjectModel:
+    """Every file's summary plus the derived cross-file indexes."""
+
+    def __init__(self, summaries: Sequence[FileSummary]):
+        self.summaries = list(summaries)
+        self.by_path: Dict[str, FileSummary] = {
+            summary.display_path: summary for summary in self.summaries
+        }
+        #: ``{module name: FileSummary}`` (last definition wins, like imports).
+        self.modules: Dict[str, FileSummary] = {}
+        #: ``{class name: (FileSummary, ClassSummary)}``.
+        self.classes: Dict[str, Tuple[FileSummary, ClassSummary]] = {}
+        for summary in self.summaries:
+            self.modules[summary.module] = summary
+            for name, class_summary in summary.classes.items():
+                self.classes[name] = (summary, class_summary)
+        #: Classes defining ``__len__`` -- empty instances are falsy.
+        self.len_classes: Set[str] = {
+            name for name, (_, cls) in self.classes.items() if cls.defines_len
+        }
+        #: Attribute names annotated Optional-of-``__len__``-class anywhere.
+        self.optional_len_attrs: Set[str] = set()
+        for summary in self.summaries:
+            for attr, inner in summary.optional_attrs:
+                if set(inner) & self.len_classes:
+                    self.optional_len_attrs.add(attr)
+
+    def class_chain(self, name: str) -> List[Tuple[FileSummary, ClassSummary]]:
+        """``name``'s summary plus its project-resolvable bases (MRO-ish)."""
+        chain: List[Tuple[FileSummary, ClassSummary]] = []
+        seen: Set[str] = set()
+        queue = [name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            file_summary, class_summary = self.classes[current]
+            chain.append((file_summary, class_summary))
+            queue.extend(class_summary.bases)
+        return chain
+
+    def chain_keys(self, name: str) -> Tuple[Set[str], Set[str]]:
+        """Captured and restored snapshot keys across ``name``'s class chain."""
+        captured: Set[str] = set()
+        restored: Set[str] = set()
+        for _, class_summary in self.class_chain(name):
+            captured.update(class_summary.captured_keys)
+            restored.update(class_summary.restored_keys)
+        return captured, restored

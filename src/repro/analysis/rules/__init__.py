@@ -5,8 +5,14 @@ instantiates.  Adding a rule is three steps (see ``docs/development.md``):
 implement it in a module here, import it below, append it to
 ``ALL_RULES``, and give it good/bad fixtures in
 ``tests/fixtures/analysis/``.
+
+Per-file rules (``check_file``) must be pure functions of the file text
+-- the cache replays their findings by content hash.  Anything that
+reads another file, the project model or the repository belongs in a
+whole-program rule (``check_project``).
 """
 
+from .atomicity import ExceptionAtomicityRule
 from .determinism import (
     IdHashKeyRule,
     SetIterationRule,
@@ -14,6 +20,8 @@ from .determinism import (
     WallClockRule,
 )
 from .drift import ConfigDriftRule, MetricsDocsRule
+from .forksafety import ForkSafetyRule
+from .lockorder import LockOrderRule
 from .locks import LockDisciplineRule
 from .snapshots import SnapshotCoverageRule
 from .truthiness import OptionalTruthinessRule
@@ -28,6 +36,9 @@ ALL_RULES = [
     SnapshotCoverageRule,
     OptionalTruthinessRule,
     LockDisciplineRule,
+    LockOrderRule,
+    ForkSafetyRule,
+    ExceptionAtomicityRule,
     ConfigDriftRule,
     MetricsDocsRule,
 ]

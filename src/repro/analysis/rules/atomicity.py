@@ -1,0 +1,139 @@
+"""Exception-atomicity: no raising call between writes to persisted state.
+
+The exact-resume contract assumes a checkpoint observes each object in a
+*consistent* state.  A method of a snapshot-covered class (one with
+``state_dict``) that writes persisted attribute A, then makes a call
+that can raise, then writes persisted attribute B has a window where an
+exception leaves A updated and B stale.  The engine's crash-recovery
+suite then checkpoints that torn object -- and restore replays from a
+state no uninterrupted run ever inhabited.  The bug is invisible until
+the *specific* raising input arrives mid-method.
+
+The rule replays each method's evaluation-order event stream from the
+project model -- ``write`` / ``call`` / ``raise`` events, each tagged
+with whether a ``try``/``except`` guards it -- and reports when
+
+* a persisted write (an attribute covered by the class chain's
+  ``state_dict`` keys, same matching as ``snapshot-coverage``),
+* is followed by an **unguarded raising event** (a literal ``raise``, or
+  a call the interprocedural graph resolves to something that can
+  propagate an exception),
+* which is followed by another persisted write.
+
+One finding per method, anchored at the raising event.  Fixes, in
+preference order: hoist the raising validation above the first write,
+compute-then-commit (build new values, assign both after the last call),
+or wrap with a handler that rolls back.  Deliberately non-atomic designs
+document themselves with ``# repro-lint: ignore[exception-atomicity]``
+on the raising line.
+
+Scope limits: ``__init__`` and loaders are exempt (no checkpoint can
+observe a half-built object -- registration order guarantees it), writes
+made by *callees* are not attributed to the caller (intra-method writes
+only), and unresolved calls (builtins, dynamic dispatch) are assumed
+non-raising to stay quiet rather than noisy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..callgraph import CallGraph
+from ..core import Finding, Project, Rule
+from ..model import (
+    LOADER_NAMES,
+    ClassSummary,
+    FileSummary,
+    covers_key,
+    paths_compatible,
+)
+
+__all__ = ["ExceptionAtomicityRule"]
+
+#: Methods that legitimately tear state while rebuilding it.
+_EXEMPT = ("__init__",) + LOADER_NAMES
+
+
+class ExceptionAtomicityRule(Rule):
+    """Flag write -> raising event -> write sequences on persisted attributes."""
+
+    id = "exception-atomicity"
+    description = (
+        "a method of a snapshot-covered class mutates two persisted "
+        "attributes with a raising call between the writes; a crash in that "
+        "window checkpoints torn state that no uninterrupted run inhabits"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = CallGraph(project.model)
+        findings: List[Finding] = []
+        for summary in project.model.summaries:
+            for class_summary in summary.classes.values():
+                if not class_summary.has_state_dict:
+                    continue
+                captured, _restored = project.model.chain_keys(class_summary.name)
+                if not captured:
+                    continue  # opaque codec: cannot tell which attrs persist
+                keys = sorted(captured)
+                for method_name, method in class_summary.methods.items():
+                    if method_name in _EXEMPT or method_name == "state_dict":
+                        continue
+                    finding = self._check_method(
+                        graph, summary, class_summary, method_name, keys
+                    )
+                    if finding is not None:
+                        findings.append(finding)
+        return findings
+
+    def _check_method(
+        self,
+        graph: CallGraph,
+        summary: FileSummary,
+        class_summary: ClassSummary,
+        method_name: str,
+        keys: List[str],
+    ) -> Optional[Finding]:
+        method = class_summary.methods[method_name]
+        #: Persisted writes seen so far: (event index, attr, line, path).
+        writes: List[Tuple[int, str, int, Tuple]] = []
+        #: Unguarded raising events so far: (event index, text, line, path).
+        hazards: List[Tuple[int, str, int, Tuple]] = []
+        for index, (kind, payload, line, in_try, path) in enumerate(
+            method.events
+        ):
+            if kind == "write" and covers_key(payload, keys):
+                # A write closes the torn window for any earlier hazard
+                # that itself follows an earlier write, provided all
+                # three share compatible branch paths: only then can one
+                # invocation execute write -> raise -> write.
+                for hazard_at, what, hazard_line, hazard_path in hazards:
+                    if not paths_compatible(hazard_path, path):
+                        continue
+                    for write_at, attr, write_line, write_path in writes:
+                        if write_at >= hazard_at:
+                            continue
+                        if not paths_compatible(write_path, hazard_path):
+                            continue
+                        if not paths_compatible(write_path, path):
+                            continue
+                        return Finding(
+                            self.id,
+                            summary.display_path,
+                            hazard_line,
+                            f"{class_summary.name}.{method_name}() writes "
+                            f"persisted `{attr}` (line {write_line}), then "
+                            f"{what} can raise before `{payload}` "
+                            f"(line {line}) is written; a crash there "
+                            f"checkpoints torn state",
+                        )
+                writes.append((index, payload, line, path))
+            elif writes and not in_try:
+                if kind == "raise":
+                    hazards.append((index, "a `raise`", line, path))
+                elif kind == "call" and graph.call_raises(
+                    summary, class_summary, payload
+                ):
+                    hazards.append(
+                        (index, f"the call `{payload}()`", line, path)
+                    )
+        return None

@@ -16,31 +16,33 @@ have historically been updated by hand:
   run (no engine construction, no workload) catches the drift too, and
   so the check covers classes the runtime harness never instantiates.
 
-Both are project-scoped rules (``check_project``): they need the whole
-tree (and the repository root, to find ``docs/``) rather than one file.
+Both are whole-program rules reading the project model: the constant
+tuple contents, ``__init__`` signatures and emitted metrics keys all
+live in the per-file summaries, so neither rule forces unchanged files
+to be re-parsed.  (``metrics-docs`` additionally reads
+``docs/operations.md``; its content hash is part of the cache's project
+key, so a docs edit re-fires the rule too.)
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterable, List, Optional, Set, Tuple
 
-from ..core import Finding, Project, Rule, SourceFile
+from ..core import Finding, Project, Rule
 from ..docsync import backticked_terms
+from ..model import FileSummary
 
 __all__ = ["ConfigDriftRule", "MetricsDocsRule"]
 
 
-def _find_assignment(
+def _find_constant(
     project: Project, name: str
-) -> Optional[Tuple[SourceFile, ast.Assign]]:
-    """Locate the module-level ``name = ...`` assignment, if any file has one."""
-    for source in project.files:
-        for node in source.tree.body:
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if isinstance(target, ast.Name) and target.id == name:
-                        return source, node
+) -> Optional[Tuple[FileSummary, List[str], int]]:
+    """Locate the module-level ``name = (...)`` string tuple, if any file has one."""
+    for summary in project.model.summaries:
+        if name in summary.constants:
+            values, line = summary.constants[name]
+            return summary, values, line
     return None
 
 
@@ -55,35 +57,23 @@ class ConfigDriftRule(Rule):
     )
 
     def check_project(self, project: Project) -> Iterable[Finding]:
-        located = _find_assignment(project, "_CONFIG_FIELDS")
-        if located is None or "EngineConfig" not in project.classes:
+        located = _find_constant(project, "_CONFIG_FIELDS")
+        if located is None or "EngineConfig" not in project.model.classes:
             # nothing to compare against in this tree (e.g. fixture runs)
             return []
-        fields_source, fields_node = located
-        fields: Set[str] = set()
-        if isinstance(fields_node.value, (ast.Tuple, ast.List)):
-            for element in fields_node.value.elts:
-                if isinstance(element, ast.Constant) and isinstance(element.value, str):
-                    fields.add(element.value)
+        fields_summary, values, fields_line = located
+        fields = set(values)
 
-        config_source, config_node = project.classes["EngineConfig"]
-        params: Set[str] = set()
-        init_line = config_node.lineno
-        for item in config_node.body:
-            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
-                init_line = item.lineno
-                args = item.args
-                for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
-                    if arg.arg != "self":
-                        params.add(arg.arg)
+        config_file, config_class = project.model.classes["EngineConfig"]
+        params = set(config_class.init_params)
 
         findings: List[Finding] = []
         for missing in sorted(params - fields):
             findings.append(
                 Finding(
                     self.id,
-                    fields_source.display_path,
-                    fields_node.lineno,
+                    fields_summary.display_path,
+                    fields_line,
                     f"EngineConfig parameter {missing!r} is not in _CONFIG_FIELDS: "
                     f"it would silently reset to its default on restore",
                 )
@@ -92,8 +82,8 @@ class ConfigDriftRule(Rule):
             findings.append(
                 Finding(
                     self.id,
-                    config_source.display_path,
-                    init_line,
+                    config_file.display_path,
+                    config_class.init_line,
                     f"_CONFIG_FIELDS lists {stale!r}, which is not an "
                     f"EngineConfig constructor parameter",
                 )
@@ -123,53 +113,29 @@ class MetricsDocsRule(Rule):
         documented = backticked_terms(operations.read_text())
 
         findings: List[Finding] = []
-        for source in project.files:
-            if not self._in_scope(source):
+        for summary in project.model.summaries:
+            if not self._in_scope(summary):
                 continue
-            for class_node in ast.walk(source.tree):
-                if not isinstance(class_node, ast.ClassDef):
-                    continue
-                for item in class_node.body:
-                    if not (
-                        isinstance(item, ast.FunctionDef)
-                        and item.name in self._METHOD_NAMES
-                    ):
+            for class_summary in summary.classes.values():
+                for method_name in self._METHOD_NAMES:
+                    method = class_summary.methods.get(method_name)
+                    if method is None:
                         continue
-                    for key, line in sorted(self._emitted_keys(item)):
+                    emitted: Set[Tuple[str, int]] = set(method.emitted_keys)
+                    for key, line in sorted(emitted):
                         if key not in documented:
                             findings.append(
                                 Finding(
                                     self.id,
-                                    source.display_path,
+                                    summary.display_path,
                                     line,
-                                    f"{class_node.name}.{item.name}() emits key "
-                                    f"{key!r}, which docs/operations.md never "
+                                    f"{class_summary.name}.{method_name}() emits "
+                                    f"key {key!r}, which docs/operations.md never "
                                     f"mentions in backticks",
                                 )
                             )
         return findings
 
-    def _in_scope(self, source: SourceFile) -> bool:
-        parts = source.path.parts
-        if "repro" in parts:
-            parts = parts[parts.index("repro") + 1 :]
-        return bool(parts) and parts[0] in self._SCOPES
-
-    @staticmethod
-    def _emitted_keys(method: ast.FunctionDef) -> Set[Tuple[str, int]]:
-        """``(key, line)`` for dict-literal keys and ``x["key"]`` stores."""
-        keys: Set[Tuple[str, int]] = set()
-        for node in ast.walk(method):
-            if isinstance(node, ast.Dict):
-                for key in node.keys:
-                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                        keys.add((key.value, key.lineno))
-            elif isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if (
-                        isinstance(target, ast.Subscript)
-                        and isinstance(target.slice, ast.Constant)
-                        and isinstance(target.slice.value, str)
-                    ):
-                        keys.add((target.slice.value, target.lineno))
-        return keys
+    def _in_scope(self, summary: FileSummary) -> bool:
+        parts = summary.module.split(".")
+        return len(parts) > 1 and parts[0] == "repro" and parts[1] in self._SCOPES

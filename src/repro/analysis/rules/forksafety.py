@@ -1,0 +1,124 @@
+"""Fork-safety: cross-process determinism for the sharded worker pool.
+
+``ShardedStreamEngine`` forks workers with ``Process(target=..., args=
+(conn, engines))``: each child gets a **fork-time copy** of the shipped
+state and talks to the parent only through pickled messages.  Three ways
+that model silently breaks, each a determinism or lost-update bug the
+single-process test suite cannot see:
+
+* **parent-side mutation after fork** -- the parent writes to state that
+  was shipped into the workers (directly, or through an alias like
+  ``for engine in self.shards: engine...``).  The workers keep computing
+  on the stale copy; results diverge from the single-process oracle.
+* **worker-side global writes** -- a function reachable inside the
+  worker process assigns a module global.  Every worker mutates its own
+  copy; the parent's copy never changes, and nothing merges them back.
+* **unstable or unpicklable payloads** -- a set (iteration order varies
+  across processes), a generator or a lambda reaching a ``conn.send``,
+  ``ShardBatch`` or ``Process`` argument.  Sets are the insidious case:
+  they pickle fine, then replay in a different order on the other side,
+  violating byte-for-byte determinism.
+
+The checks consume the project model: ship roots and post-fork writes
+come from :class:`~repro.analysis.model.ClassSummary` (with one level of
+local-alias dataflow), worker-reachable code from the call graph's
+closure over ``Process`` targets, payload issues from per-method scans
+of the boundary expressions.
+
+Deliberate designs carry suppressions: e.g. the sharded engine's
+retention sync mutates shard engines through an alias, but is gated by
+its register-before-ingest contract and re-ships the value per batch --
+the suppression comment documents exactly that.
+
+Scope limits: mutations through method *calls* (``self.shards[0].m()``)
+are not tracked (no points-to analysis), and only ``conn``-named pipe
+ends are treated as send boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..callgraph import CallGraph
+from ..core import Finding, Project, Rule
+
+__all__ = ["ForkSafetyRule"]
+
+
+class ForkSafetyRule(Rule):
+    """Flag state that crosses the fork boundary incoherently."""
+
+    id = "fork-safety"
+    description = (
+        "state shipped into forked workers is mutated parent-side after the "
+        "fork, written worker-side without a merge, or serialized through an "
+        "order-unstable/unpicklable payload; shard results then diverge from "
+        "the single-process oracle"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = CallGraph(project.model)
+        findings: List[Finding] = []
+        worker_nodes: Set[Tuple[str, int]] = set()
+
+        for summary in project.model.summaries:
+            for class_summary in summary.classes.values():
+                if class_summary.process_targets:
+                    # (1) parent-side writes to fork-shipped state
+                    for attr, method, line in sorted(
+                        set(class_summary.ship_root_writes)
+                    ):
+                        findings.append(
+                            Finding(
+                                self.id,
+                                summary.display_path,
+                                line,
+                                f"{class_summary.name}.{method}() writes to "
+                                f"`{attr}`, which was shipped into forked "
+                                f"workers: they keep their fork-time copy, so "
+                                f"the mutation never reaches them",
+                            )
+                        )
+                    # (2) worker-side writes to module globals
+                    for node_file, node in graph.worker_closure(summary, class_summary):
+                        key = (node_file.display_path, node.line)
+                        if key in worker_nodes:
+                            continue
+                        worker_nodes.add(key)
+                        for name, line in sorted(set(node.global_writes)):
+                            findings.append(
+                                Finding(
+                                    self.id,
+                                    node_file.display_path,
+                                    line,
+                                    f"worker-reachable {node.name}() writes "
+                                    f"module global `{name}`: each worker "
+                                    f"mutates its own copy and the parent "
+                                    f"never sees it",
+                                )
+                            )
+
+            # (3) payload hygiene at every process boundary in the file
+            scopes = [
+                method
+                for class_summary in summary.classes.values()
+                for method in class_summary.methods.values()
+            ] + list(summary.functions.values())
+            seen: Set[Tuple[str, str, int]] = set()
+            for scope in scopes:
+                for boundary, description, line in scope.payload_issues:
+                    key = (boundary, description, line)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            self.id,
+                            summary.display_path,
+                            line,
+                            f"{boundary} payload contains {description}; "
+                            f"cross-process messages must be order-stable "
+                            f"and picklable",
+                        )
+                    )
+        return findings

@@ -1,0 +1,80 @@
+"""Lock-order: cycles in the acquisition graph are latent deadlocks.
+
+A class with two locks has an implicit protocol: every code path that
+needs both must take them in the same order.  The protocol lives nowhere
+-- it is the *absence* of a counterexample -- so a new helper that takes
+``B`` then calls something that takes ``A`` compiles, passes every
+single-threaded test, and deadlocks in production the first time another
+thread runs the ``A``-then-``B`` path.  (``AsyncIngestFrontend``'s
+quiesce protocol takes ``_buffer_lock`` then ``_released_lock``;
+everything else must follow suit.)
+
+The rule builds, per class, the directed graph *held -> acquired* from
+
+* nested ``with`` statements inside one method, and
+* calls made while holding a lock (including the method's call-graph
+  entry context) into methods that transitively acquire another --
+  the interprocedural edge a syntactic check cannot see.
+
+Every cycle is reported once, with a witness acquisition site per edge.
+Re-acquiring a plain ``threading.Lock`` already held is an immediate
+self-deadlock and reported as a one-lock cycle; ``RLock`` and
+``Condition`` are reentrant and exempt from self-loops.
+
+Scope limit: the graph is per-class (this codebase shares no locks
+across classes), and lambdas/nested functions are skipped as everywhere
+in the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..callgraph import CallGraph
+from ..core import Finding, Project, Rule
+
+__all__ = ["LockOrderRule"]
+
+
+class LockOrderRule(Rule):
+    """Report cycles in each class's lock-acquisition graph."""
+
+    id = "lock-order"
+    description = (
+        "two code paths acquire the same locks in opposite orders (or "
+        "re-acquire a non-reentrant Lock): threads interleaving those paths "
+        "deadlock, freezing ingest mid-batch"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = CallGraph(project.model)
+        findings: List[Finding] = []
+        for summary in project.model.summaries:
+            for class_summary in summary.classes.values():
+                if not class_summary.lock_attrs:
+                    continue
+                for cycle in graph.lock_order_cycles(class_summary):
+                    method, _edge, line = cycle.sites[0]
+                    if len(cycle.locks) == 1:
+                        lock = cycle.locks[0]
+                        message = (
+                            f"{class_summary.name}.{method}() can re-acquire "
+                            f"non-reentrant Lock `{lock}` while already "
+                            f"holding it; that deadlocks immediately (use "
+                            f"RLock or restructure the call)"
+                        )
+                    else:
+                        path = " -> ".join(cycle.locks + (cycle.locks[0],))
+                        witnesses = ", ".join(
+                            f"{site_method}() takes {edge} at line {site_line}"
+                            for site_method, edge, site_line in cycle.sites
+                        )
+                        message = (
+                            f"lock-order cycle in {class_summary.name}: "
+                            f"{path} ({witnesses}); threads interleaving "
+                            f"these paths deadlock"
+                        )
+                    findings.append(
+                        Finding(self.id, summary.display_path, line, message)
+                    )
+        return findings

@@ -1,167 +1,182 @@
-"""Lock discipline: mutable shared attributes must be touched under the lock.
+"""Lock discipline, interprocedurally: guarded attrs & two-thread escapes.
 
-The async ingest front-end (PR 5) runs a producer thread (``submit``) and
-an ingest thread (``_ingest_loop``) against the same object.  Python's
-GIL makes single attribute loads atomic, which is precisely why these
-bugs survive review: a counter incremented off-lock *usually* reads
-right, then a quiescence check pairs two counters read at different
-instants and the drain hangs or releases early -- a timing-dependent
-failure no deterministic test reproduces.
+The engine's threading layer is small and deliberate -- a class owns
+``threading.Lock``/``RLock``/``Condition`` objects created in
+``__init__`` and guards its mutable state with ``with self._lock:``
+blocks.  Two ways that discipline rots:
 
-The rule, per class that creates a lock in ``__init__``
-(``self._lock = threading.Lock()`` / ``RLock()`` / ``Condition()``):
+* **off-lock access** -- an attribute consistently accessed under a lock
+  gets a new call site that forgets the ``with``.  The syntactic version
+  of this rule (PR 6) flagged any off-lock access, which made *helpers
+  only ever invoked under the lock* false positives; this version
+  computes each method's **entry lock context** via the call graph (the
+  intersection, over every intra-class call site, of the locks provably
+  held there), so a private helper called exclusively from locked regions
+  inherits that protection and is not flagged.  Public methods are
+  externally callable and always start bare.  Helpers reachable only
+  from ``__init__`` never run concurrently and are exempt.
+* **thread escape** -- a class that spawns ``Thread(target=self._loop)``
+  has two sides: the spawned thread (the closure of the target over
+  ``self`` calls) and the callers of its public surface.  An attribute
+  written on either side and accessed on both with **no common lock** is
+  a data race no single-method inspection can see.  This is exactly
+  ``AsyncIngestFrontend``'s documented two-thread contract, promoted
+  from a docstring to a checked invariant.
 
-* an attribute is *guarded* if any method reads or writes it inside a
-  ``with self.<lock>:`` block;
-* an attribute is *mutable* if some method other than ``__init__``
-  assigns it (attributes only ever written during construction are
-  immutable-after-init and exempt -- readers need no lock);
-* every access to a guarded, mutable attribute outside a ``with``
-  block on one of the class's locks is a finding.
+Why these races matter here: Python's GIL makes single attribute loads
+atomic, which is precisely why such bugs survive review -- a counter
+incremented off-lock *usually* reads right, then a quiescence check
+pairs two counters read at different instants and the drain hangs or
+releases early, a timing-dependent failure no deterministic test
+reproduces.
 
-Scope limits (to stay on the right side of false positives): only the
-class's own methods are inspected, ``__init__`` is exempt (no second
-thread can hold the object yet), and lambda bodies / nested functions
-are skipped -- they execute later, in a context the rule cannot see.
+Scope limits (shared with the model layer): lambda bodies and nested
+functions are skipped -- a callback executed under someone else's lock is
+invisible, so e.g. the ``_quiesced(lambda: ...)`` pattern relies on the
+quiesce protocol, not on this rule.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..core import Finding, Project, Rule, SourceFile
+from ..callgraph import CallGraph
+from ..core import Finding, Project, Rule
+from ..model import ClassSummary, FileSummary
 
 __all__ = ["LockDisciplineRule"]
 
-_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
-
-
-def _lock_attr_names(class_node: ast.ClassDef) -> Set[str]:
-    """Attributes assigned ``threading.Lock()``-style objects in ``__init__``."""
-    locks: Set[str] = set()
-    for item in class_node.body:
-        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
-            continue
-        for node in ast.walk(item):
-            if not isinstance(node, ast.Assign):
-                continue
-            value = node.value
-            if not isinstance(value, ast.Call):
-                continue
-            func = value.func
-            name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else None
-            )
-            if name not in _LOCK_FACTORIES:
-                continue
-            for target in node.targets:
-                if (
-                    isinstance(target, ast.Attribute)
-                    and isinstance(target.value, ast.Name)
-                ):
-                    locks.add(target.attr)
-    return locks
-
-
-def _is_self_attr(node: ast.AST, self_name: str) -> Optional[str]:
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == self_name
-    ):
-        return node.attr
-    return None
-
-
-def _walk_with_lock_depth(
-    body: List[ast.stmt], self_name: str, locks: Set[str], depth: int = 0
-) -> Iterator[Tuple[ast.AST, int]]:
-    """Yield ``(node, lock depth)`` without descending into nested scopes."""
-    for stmt in body:
-        for node, node_depth in _walk_node(stmt, self_name, locks, depth):
-            yield node, node_depth
-
-
-def _walk_node(
-    node: ast.AST, self_name: str, locks: Set[str], depth: int
-) -> Iterator[Tuple[ast.AST, int]]:
-    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-        return
-    yield node, depth
-    if isinstance(node, ast.With):
-        held = any(
-            _is_self_attr(item.context_expr, self_name) in locks
-            for item in node.items
-        )
-        for item in node.items:
-            yield from _walk_node(item.context_expr, self_name, locks, depth)
-        inner = depth + 1 if held else depth
-        for stmt in node.body:
-            yield from _walk_node(stmt, self_name, locks, inner)
-        return
-    for child in ast.iter_child_nodes(node):
-        yield from _walk_node(child, self_name, locks, depth)
+#: One attribute access with its effective lock set resolved:
+#: ``(method, kind, effective locks, line)``.
+_Access = Tuple[str, str, FrozenSet[str], int]
 
 
 class LockDisciplineRule(Rule):
-    """Flag off-lock access to attributes the class guards elsewhere."""
+    """Flag off-lock access to guarded state and two-thread lock-free sharing."""
 
     id = "lock-discipline"
     description = (
-        "this attribute is accessed under a lock in other methods of the "
-        "class, so touching it off-lock races the guarded readers/writers; "
-        "move the access inside `with self.<lock>:`"
+        "an attribute accessed under a lock elsewhere (or shared between a "
+        "spawned thread and its caller side) is touched with no lock held; "
+        "the interleaving window corrupts state or tears checkpoints"
     )
 
-    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = CallGraph(project.model)
         findings: List[Finding] = []
-        for class_node in ast.walk(source.tree):
-            if not isinstance(class_node, ast.ClassDef):
-                continue
-            locks = _lock_attr_names(class_node)
-            if not locks:
-                continue
-            findings.extend(self._check_class(class_node, locks, source))
+        for summary in project.model.summaries:
+            for class_summary in summary.classes.values():
+                if not class_summary.lock_attrs:
+                    continue
+                findings.extend(self._check_class(graph, summary, class_summary))
         return findings
 
+    # ------------------------------------------------------------------
     def _check_class(
-        self, class_node: ast.ClassDef, locks: Set[str], source: SourceFile
-    ) -> Iterable[Finding]:
-        methods = [
-            item
-            for item in class_node.body
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
+        self, graph: CallGraph, summary: FileSummary, class_summary: ClassSummary
+    ) -> List[Finding]:
+        entry = graph.entry_locks(class_summary)
+        accesses = self._effective_accesses(class_summary, entry)
+
         guarded: Set[str] = set()
         mutable: Set[str] = set()
-        # (method name, attr, node) accesses outside any lock
-        unguarded: List[Tuple[str, str, ast.AST]] = []
-        for method in methods:
-            self_name = method.args.args[0].arg if method.args.args else "self"
-            for node, depth in _walk_with_lock_depth(method.body, self_name, locks):
-                attr = _is_self_attr(node, self_name)
-                if attr is None or attr in locks:
-                    continue
-                if depth > 0:
+        for attr, items in accesses.items():
+            for _method, kind, locks, _line in items:
+                if locks:
                     guarded.add(attr)
-                elif method.name != "__init__":
-                    unguarded.append((method.name, attr, node))
-                if (
-                    isinstance(node, ast.Attribute)
-                    and isinstance(node.ctx, (ast.Store, ast.Del))
-                    and method.name != "__init__"
-                ):
+                if kind in ("write", "del"):
                     mutable.add(attr)
-        # AugAssign targets carry Store ctx on the Attribute, so `self.x += 1`
-        # lands in `mutable` through the same path as plain assignment.
-        risky = guarded & mutable
-        for method_name, attr, node in unguarded:
-            if attr in risky:
-                yield Finding(
-                    self.id,
-                    source.display_path,
-                    node.lineno,
-                    f"{class_node.name}.{attr} is lock-guarded elsewhere but "
-                    f"accessed off-lock in {method_name}()",
+
+        findings: List[Finding] = []
+        for attr in sorted(guarded & mutable):
+            for method, _kind, locks, line in accesses[attr]:
+                if not locks:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            summary.display_path,
+                            line,
+                            f"{class_summary.name}.{attr} is lock-guarded "
+                            f"elsewhere but accessed off-lock in {method}()",
+                        )
+                    )
+
+        findings.extend(self._check_escape(graph, summary, class_summary, accesses))
+        return findings
+
+    @staticmethod
+    def _effective_accesses(
+        class_summary: ClassSummary,
+        entry: Dict[str, Optional[FrozenSet[str]]],
+    ) -> Dict[str, List[_Access]]:
+        """Per attribute: every non-``__init__`` access with effective locks.
+
+        The effective set is the locks syntactically held at the site plus
+        the method's entry context.  Methods with entry ``None`` are
+        ``__init__``-only helpers: construction is single-threaded, so
+        their accesses are exempt exactly like ``__init__``'s own.
+        """
+        accesses: Dict[str, List[_Access]] = {}
+        for method_name, method in class_summary.methods.items():
+            if method_name == "__init__":
+                continue
+            base = entry.get(method_name, frozenset())
+            if base is None:
+                continue
+            for attr, kind, locks, line in method.accesses:
+                effective = frozenset(locks) | base
+                accesses.setdefault(attr, []).append(
+                    (method_name, kind, effective, line)
                 )
+        return accesses
+
+    def _check_escape(
+        self,
+        graph: CallGraph,
+        summary: FileSummary,
+        class_summary: ClassSummary,
+        accesses: Dict[str, List[_Access]],
+    ) -> List[Finding]:
+        """Attributes reachable from both threads with no common lock."""
+        partition = graph.thread_partition(class_summary)
+        if partition is None:
+            return []
+        thread_side, caller_side = partition
+        findings: List[Finding] = []
+        for attr in sorted(accesses):
+            thread_hits = [item for item in accesses[attr] if item[0] in thread_side]
+            caller_hits = [item for item in accesses[attr] if item[0] in caller_side]
+            witness: Optional[Tuple[_Access, _Access]] = None
+            for thread_hit in thread_hits:
+                for caller_hit in caller_hits:
+                    if thread_hit[1] not in ("write", "del") and caller_hit[1] not in (
+                        "write",
+                        "del",
+                    ):
+                        continue  # two reads cannot race
+                    if thread_hit[2] & caller_hit[2]:
+                        continue  # a common lock orders them
+                    candidate = (thread_hit, caller_hit)
+                    if witness is None or self._witness_key(candidate) < self._witness_key(
+                        witness
+                    ):
+                        witness = candidate
+            if witness is not None:
+                thread_hit, caller_hit = witness
+                findings.append(
+                    Finding(
+                        self.id,
+                        summary.display_path,
+                        caller_hit[3],
+                        f"{class_summary.name}.{attr} is accessed by the "
+                        f"spawned thread (in {thread_hit[0]}(), line "
+                        f"{thread_hit[3]}) and by callers (in {caller_hit[0]}()) "
+                        f"with no common lock; the two threads race on it",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _witness_key(pair: Tuple[_Access, _Access]) -> Tuple[int, int]:
+        thread_hit, caller_hit = pair
+        return (caller_hit[3], thread_hit[3])

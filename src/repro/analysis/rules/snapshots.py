@@ -36,140 +36,22 @@ Everything else that is deliberately derived (recomputed from other
 persisted fields on load) carries a ``# repro-lint:
 ignore[snapshot-coverage]`` on its assignment line -- and because unused
 suppressions are errors, the ignore dies with the attribute.
+
+Since the base-class chain can live in *other* files, this runs as a
+whole-program rule over the project model (``ClassSummary.init_attrs``,
+``captured_keys``/``restored_keys`` per chain link); a base-class edit
+re-fires the check for every subclass even when the subclass file's own
+cache entry is warm.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List
 
-from ..core import Finding, Project, Rule, SourceFile
+from ..core import Finding, Project, Rule
+from ..model import LOADER_NAMES, covers_key
 
 __all__ = ["SnapshotCoverageRule"]
-
-_LOADER_NAMES = ("from_state", "load_state", "_load_base_state")
-
-
-def _methods(node: ast.ClassDef, names: Iterable[str]) -> List[ast.FunctionDef]:
-    wanted = set(names)
-    return [
-        item
-        for item in node.body
-        if isinstance(item, ast.FunctionDef) and item.name in wanted
-    ]
-
-
-def captured_keys(method: ast.FunctionDef) -> Set[str]:
-    """String keys a ``state_dict``-style method writes into its payload.
-
-    Collected from dict literals, ``payload["key"] = ...`` subscript
-    stores, ``dict(key=...)`` keyword constructors and ``.update({...})``
-    literals anywhere in the method.
-    """
-    keys: Set[str] = set()
-    for node in ast.walk(method):
-        if isinstance(node, ast.Dict):
-            for key in node.keys:
-                if isinstance(key, ast.Constant) and isinstance(key.value, str):
-                    keys.add(key.value)
-        elif isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for target in targets:
-                if (
-                    isinstance(target, ast.Subscript)
-                    and isinstance(target.slice, ast.Constant)
-                    and isinstance(target.slice.value, str)
-                ):
-                    keys.add(target.slice.value)
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name) and func.id == "dict":
-                for keyword in node.keywords:
-                    if keyword.arg is not None:
-                        keys.add(keyword.arg)
-    return keys
-
-
-def restored_keys(method: ast.FunctionDef) -> Set[str]:
-    """Every string constant in a loader method.
-
-    Loaders are small codecs; any string they mention is (in this
-    codebase, by construction) a payload key -- whether spelled as
-    ``state["key"]``, ``state.get("key")`` or a key list driving a loop
-    (``for key, target in (("degrees", ...), ...)``).  Casting the net
-    this wide only ever *weakens* the restore check, never produces a
-    false positive.
-    """
-    keys: Set[str] = set()
-    body = method.body
-    if (
-        body
-        and isinstance(body[0], ast.Expr)
-        and isinstance(body[0].value, ast.Constant)
-        and isinstance(body[0].value.value, str)
-    ):
-        body = body[1:]  # the docstring is prose, not keys
-    for stmt in body:
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Constant) and isinstance(node.value, str):
-                keys.add(node.value)
-    return keys
-
-
-def init_attributes(node: ast.ClassDef) -> List[Tuple[str, int]]:
-    """``(attribute name, line)`` for every *stateful* ``self.x`` in ``__init__``.
-
-    Assignments whose right-hand side references a constructor parameter
-    are construction input, not snapshot state: the rebuild-then-load
-    pattern re-supplies them through ``__init__`` before the loader runs,
-    so they are excluded here.
-    """
-    init: Optional[ast.FunctionDef] = None
-    for item in node.body:
-        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
-            init = item
-            break
-    if init is None:
-        return []
-    args = init.args
-    self_name = args.args[0].arg if args.args else "self"
-    params = {
-        arg.arg
-        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
-        if arg.arg != self_name
-    }
-    seen: Set[str] = set()
-    attrs: List[Tuple[str, int]] = []
-    for stmt in ast.walk(init):
-        targets: List[ast.AST] = []
-        value: Optional[ast.AST] = None
-        if isinstance(stmt, ast.Assign):
-            targets, value = stmt.targets, stmt.value
-        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
-            targets, value = [stmt.target], getattr(stmt, "value", None)
-        from_params = value is not None and any(
-            isinstance(inner, ast.Name) and inner.id in params
-            for inner in ast.walk(value)
-        )
-        for target in targets:
-            if (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == self_name
-                and target.attr not in seen
-            ):
-                seen.add(target.attr)
-                if not from_params:
-                    attrs.append((target.attr, target.lineno))
-    return attrs
-
-
-def _covers(attr: str, keys: Set[str]) -> bool:
-    name = attr.lstrip("_")
-    return any(
-        key == name or key.startswith(name + "_") or name.startswith(key + "_")
-        for key in keys
-    )
 
 
 class SnapshotCoverageRule(Rule):
@@ -182,44 +64,37 @@ class SnapshotCoverageRule(Rule):
         "contract; persist it or mark it derived with a suppression"
     )
 
-    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+    def check_project(self, project: Project) -> Iterable[Finding]:
         findings: List[Finding] = []
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            if not _methods(node, ["state_dict"]):
-                continue
-            if not _methods(node, _LOADER_NAMES):
-                continue
-            chain = project.class_chain(node.name) or [(source, node)]
-            captured: Set[str] = set()
-            restored: Set[str] = set()
-            for _, chain_node in chain:
-                for method in _methods(chain_node, ["state_dict"]):
-                    captured |= captured_keys(method)
-                for method in _methods(chain_node, _LOADER_NAMES):
-                    restored |= restored_keys(method)
-            if not captured:
-                continue  # list/opaque codec: no keys for the heuristic to check
-            for attr, line in init_attributes(node):
-                if not _covers(attr, captured):
-                    findings.append(
-                        Finding(
-                            self.id,
-                            source.display_path,
-                            line,
-                            f"{node.name}.{attr} is assigned in __init__ but no "
-                            f"state_dict key captures it (restore would reset it)",
+        model = project.model
+        for summary in model.summaries:
+            for class_summary in summary.classes.values():
+                if not (class_summary.has_state_dict and class_summary.has_loader):
+                    continue
+                captured, restored = model.chain_keys(class_summary.name)
+                if not captured:
+                    continue  # list/opaque codec: no keys for the heuristic
+                for attr, line in class_summary.init_attrs:
+                    if not covers_key(attr, sorted(captured)):
+                        findings.append(
+                            Finding(
+                                self.id,
+                                summary.display_path,
+                                line,
+                                f"{class_summary.name}.{attr} is assigned in "
+                                f"__init__ but no state_dict key captures it "
+                                f"(restore would reset it)",
+                            )
                         )
-                    )
-                elif restored and not _covers(attr, restored):
-                    findings.append(
-                        Finding(
-                            self.id,
-                            source.display_path,
-                            line,
-                            f"{node.name}.{attr} is captured by state_dict but no "
-                            f"loader ({'/'.join(_LOADER_NAMES)}) reads it back",
+                    elif restored and not covers_key(attr, sorted(restored)):
+                        findings.append(
+                            Finding(
+                                self.id,
+                                summary.display_path,
+                                line,
+                                f"{class_summary.name}.{attr} is captured by "
+                                f"state_dict but no loader "
+                                f"({'/'.join(LOADER_NAMES)}) reads it back",
+                            )
                         )
-                    )
         return findings

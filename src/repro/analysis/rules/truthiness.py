@@ -14,8 +14,13 @@ y``, ``a if x else b``, ``not x`` -- whose operand is
 
 * ``self.<attr>`` / ``<name>.<attr>`` where ``<attr>`` is annotated
   ``Optional[C]`` anywhere in the project with ``C`` defining ``__len__``
-  (the project-wide index in :attr:`Project.optional_len_attrs`), or
+  (the project-wide index in ``ProjectModel.optional_len_attrs``), or
 * a bare parameter of the enclosing function annotated the same way.
+
+The candidate sites are extracted into each file's summary at parse time
+(:func:`repro.analysis.model._truthiness_sites`), so this is a
+whole-program rule: it cross-references the cached sites against the
+project-wide indexes without re-parsing unchanged files.
 
 The fix is to spell the intent: ``if x is not None:`` (configured?) or
 ``if x is not None and len(x):`` (configured *and* non-empty?).
@@ -23,19 +28,11 @@ The fix is to spell the intent: ``if x is not None:`` (configured?) or
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Iterable, List
 
-from ..core import Finding, Project, Rule, SourceFile, optional_inner_names
+from ..core import Finding, Project, Rule
 
 __all__ = ["OptionalTruthinessRule"]
-
-
-def _param_annotations(func: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
-    args = func.args
-    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
-        if arg.annotation is not None:
-            yield arg.arg, arg.annotation
 
 
 class OptionalTruthinessRule(Rule):
@@ -48,60 +45,24 @@ class OptionalTruthinessRule(Rule):
         "empty-but-configured value as absent; test `x is not None`"
     )
 
-    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+    def check_project(self, project: Project) -> Iterable[Finding]:
         findings: List[Finding] = []
-        attr_names = project.optional_len_attrs
-        for func in self._functions(source.tree):
-            params: Set[str] = {
-                name
-                for name, annotation in _param_annotations(func)
-                if optional_inner_names(annotation) & project.len_classes
-            }
-            for node in ast.walk(func):
-                for operand in self._truthiness_operands(node):
-                    if self._is_risky(operand, params, attr_names):
-                        findings.append(
-                            Finding(
-                                self.id,
-                                source.display_path,
-                                operand.lineno,
-                                f"truthiness test on Optional container "
-                                f"`{source.segment(operand)}` treats the empty "
-                                f"value as None; use `is not None`",
-                            )
+        model = project.model
+        for summary in model.summaries:
+            for kind, name, inner, spelled, line in summary.truthiness_sites:
+                if kind == "attr":
+                    risky = name in model.optional_len_attrs
+                else:
+                    risky = bool(set(inner) & model.len_classes)
+                if risky:
+                    findings.append(
+                        Finding(
+                            self.id,
+                            summary.display_path,
+                            line,
+                            f"truthiness test on Optional container "
+                            f"`{spelled}` treats the empty "
+                            f"value as None; use `is not None`",
                         )
+                    )
         return findings
-
-    @staticmethod
-    def _functions(tree: ast.Module) -> Iterator[ast.AST]:
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node
-
-    @staticmethod
-    def _truthiness_operands(node: ast.AST) -> Iterator[ast.AST]:
-        """Expressions evaluated *for their truth value* by ``node``."""
-        if isinstance(node, (ast.If, ast.While)):
-            yield node.test
-        elif isinstance(node, ast.IfExp):
-            yield node.test
-        elif isinstance(node, ast.BoolOp):
-            # every operand of and/or is truth-tested (the last of `or`
-            # is returned, but its selection still hinged on the others)
-            for value in node.values[:-1] if isinstance(node.op, ast.And) else node.values:
-                yield value
-        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
-            yield node.operand
-        elif isinstance(node, ast.Assert):
-            yield node.test
-        elif isinstance(node, ast.comprehension):
-            for condition in node.ifs:
-                yield condition
-
-    @staticmethod
-    def _is_risky(operand: ast.AST, params: Set[str], attr_names: Set[str]) -> bool:
-        if isinstance(operand, ast.Name):
-            return operand.id in params
-        if isinstance(operand, ast.Attribute):
-            return operand.attr in attr_names
-        return False

@@ -681,7 +681,10 @@ class ShardedStreamEngine:
             (q.window for q in self.queries.values()), self.config.engine.default_window
         )
         for engine in self.shards:
-            engine.graph.window = retention
+            # pre-fork only by design: register/unregister call _check_mutable
+            # first, which refuses once the worker pool has started, so this
+            # write never happens after the shards were shipped to workers
+            engine.graph.window = retention  # repro-lint: ignore[fork-safety]
 
     def _check_mutable(self, operation: str) -> None:
         if self._closed:

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .edge_stream import StreamEdge
 from .events import MatchEvent
@@ -85,7 +85,7 @@ class AsyncIngestFrontend:
     (``close()`` on exit).
     """
 
-    def __init__(self, engine, max_queue_batches: int = 64):
+    def __init__(self, engine: Any, max_queue_batches: int = 64):
         buffer = getattr(engine, "reorder", None)
         if buffer is None:
             raise ValueError(
@@ -111,10 +111,12 @@ class AsyncIngestFrontend:
         #: Guards the reorder buffer (shared: ingest thread admits, the
         #: consumer thread flushes/checkpoints).
         self._buffer_lock = threading.Lock()
-        self._submitted: "queue.Queue" = queue.Queue(maxsize=max_queue_batches)
+        self._submitted: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue_batches)
         #: Released work in submission order: ``(ready, late, watermark)``.
         self._released: List[Tuple[List[StreamEdge], List[StreamEdge], float]] = []
         self._released_lock = threading.Lock()
+        #: Sticky admission failure; shared with the ingest thread, so every
+        #: access after __init__ holds ``_released_lock``.
         self._error: Optional[BaseException] = None
         self._closed = False
         # counters (exposed via stats())
@@ -136,7 +138,9 @@ class AsyncIngestFrontend:
             try:
                 if item is _STOP:
                     return
-                if self._error is not None:
+                with self._released_lock:
+                    poisoned = self._error is not None
+                if poisoned:
                     continue  # drain the queue so join()/barrier never hang
                 with self._buffer_lock:
                     late = self._buffer.offer_all(item)
@@ -156,7 +160,8 @@ class AsyncIngestFrontend:
                     # the ingest thread's hands
                     self.batches_admitted += 1
             except BaseException as error:  # surfaced on the next API call
-                self._error = error
+                with self._released_lock:
+                    self._error = error
             finally:
                 self._submitted.task_done()
 
@@ -166,11 +171,13 @@ class AsyncIngestFrontend:
         stays poisoned (every later call raises too) rather than pretending
         the next call is healthy; only :meth:`close` still works (it stops
         the thread, then re-raises)."""
-        if self._error is not None:
+        with self._released_lock:
+            error = self._error
+        if error is not None:
             raise RuntimeError(
                 "async ingest thread failed during admission; the frontend is "
                 "unusable (the failed batch may be partially admitted)"
-            ) from self._error
+            ) from error
 
     # ------------------------------------------------------------------
     # producer side
@@ -201,7 +208,7 @@ class AsyncIngestFrontend:
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------
-    def _take_released(self):
+    def _take_released(self) -> List[Tuple[List[StreamEdge], List[StreamEdge], float]]:
         with self._released_lock:
             items, self._released = self._released, []
         return items
@@ -227,7 +234,7 @@ class AsyncIngestFrontend:
         self._submitted.join()
         self._check_error()
 
-    def _quiesced(self, action):
+    def _quiesced(self, action: Callable[[], Any]) -> Tuple[List[MatchEvent], Any]:
         """Drain to a clean submitted-batch boundary, then run ``action``.
 
         Loops barrier + drain until, *under the buffer lock*, no
@@ -313,7 +320,7 @@ class AsyncIngestFrontend:
     def __enter__(self) -> "AsyncIngestFrontend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -349,8 +356,9 @@ class AsyncIngestFrontend:
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._released_lock:
+            submitted = self.batches_submitted
         return (
             f"AsyncIngestFrontend(queued={self._submitted.qsize()}, "
-            # racy read tolerated: debug repr must never take locks
-            f"submitted={self.batches_submitted}, closed={self._closed})"  # repro-lint: ignore[lock-discipline]
+            f"submitted={submitted}, closed={self._closed})"
         )

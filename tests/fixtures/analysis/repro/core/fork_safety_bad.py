@@ -1,0 +1,33 @@
+"""Bad: state crosses the fork boundary incoherently, three ways.
+
+* the parent mutates ``shards`` after shipping it into worker processes
+  (workers keep their fork-time copy; the retune never reaches them);
+* the worker function bumps a module global the parent never merges back;
+* a worker message carries a ``set`` -- iteration order varies per
+  process, so the parent's view of the payload is order-unstable.
+"""
+
+import multiprocessing
+
+PROGRESS = 0
+
+
+def _worker(conn, shards):
+    global PROGRESS
+    PROGRESS += 1
+    conn.send({shard.name for shard in shards})
+
+
+class Pool:
+    def __init__(self, shards):
+        self.shards = shards
+        self._procs = []
+
+    def start(self, conn):
+        proc = multiprocessing.Process(target=_worker, args=(conn, self.shards))
+        proc.start()
+        self._procs.append(proc)
+
+    def retune(self, window):
+        for shard in self.shards:
+            shard.window = window

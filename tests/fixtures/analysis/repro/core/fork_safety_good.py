@@ -1,0 +1,33 @@
+"""Good: fork-shipped state is frozen; progress flows back as messages.
+
+The parent never mutates ``shards`` after the fork (retuning happens on
+a parent-only mirror instead), the worker keeps its progress in a local
+and reports it through the pipe, and every payload is an order-stable
+sorted list.
+"""
+
+import multiprocessing
+
+
+def _worker(conn, shards):
+    progress = 0
+    for shard in shards:
+        progress += 1
+    conn.send(sorted(shard.name for shard in shards))
+    conn.send(progress)
+
+
+class Pool:
+    def __init__(self, shards):
+        self.shards = shards
+        self._procs = []
+        self._parent_windows = {}
+
+    def start(self, conn):
+        proc = multiprocessing.Process(target=_worker, args=(conn, self.shards))
+        proc.start()
+        self._procs.append(proc)
+
+    def retune(self, window):
+        for index, _shard in enumerate(self.shards):
+            self._parent_windows[index] = window

@@ -1,0 +1,36 @@
+"""Bad: a raising call sits between two writes to persisted state.
+
+``observe`` updates ``records_seen``, then calls a validator that can
+raise, then updates ``batches_seen``.  An exception in that window
+leaves the object torn -- ``records_seen`` new, ``batches_seen`` stale
+-- and a checkpoint taken afterwards persists a state no uninterrupted
+run ever inhabited.
+"""
+
+
+class Tally:
+    def __init__(self):
+        self.records_seen = 0
+        self.batches_seen = 0
+
+    def observe(self, batch):
+        self.records_seen += len(batch)
+        self._validate(batch)
+        self.batches_seen += 1
+
+    def _validate(self, batch):
+        if len(batch) == 0:
+            raise ValueError("empty batch")
+
+    def state_dict(self):
+        return {
+            "records_seen": self.records_seen,
+            "batches_seen": self.batches_seen,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        tally = cls()
+        tally.records_seen = state["records_seen"]
+        tally.batches_seen = state["batches_seen"]
+        return tally

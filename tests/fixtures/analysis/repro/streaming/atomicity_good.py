@@ -1,0 +1,52 @@
+"""Good: persisted writes are exception-atomic, three idioms' worth.
+
+``observe`` validates *before* touching state (hoist), ``absorb`` wraps
+the raising call in a handler that rolls back, and ``allocate`` keeps
+its write and its raise on mutually exclusive ``if`` arms -- a single
+invocation can never execute write -> raise -> write.
+"""
+
+
+class Tally:
+    def __init__(self):
+        self.records_seen = 0
+        self.batches_seen = 0
+
+    def observe(self, batch):
+        self._validate(batch)
+        self.records_seen += len(batch)
+        self.batches_seen += 1
+
+    def absorb(self, other):
+        snapshot = self.records_seen
+        try:
+            self.records_seen += other.records_seen
+            self._validate([1])
+            self.batches_seen += other.batches_seen
+        except ValueError:
+            self.records_seen = snapshot
+            raise
+
+    def allocate(self, batch, fresh):
+        if fresh:
+            self.records_seen += len(batch)
+        else:
+            self._validate(batch)
+            self.batches_seen += 1
+
+    def _validate(self, batch):
+        if len(batch) == 0:
+            raise ValueError("empty batch")
+
+    def state_dict(self):
+        return {
+            "records_seen": self.records_seen,
+            "batches_seen": self.batches_seen,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        tally = cls()
+        tally.records_seen = state["records_seen"]
+        tally.batches_seen = state["batches_seen"]
+        return tally

@@ -1,0 +1,33 @@
+"""Bad: two paths take the same two locks in opposite orders.
+
+``rename`` nests names -> stats in one method; ``report`` holds stats
+and calls a helper that takes names -- the interprocedural edge a
+per-method check cannot see.  Threads interleaving the two paths
+deadlock.  ``double`` re-acquires a plain (non-reentrant) Lock it
+already holds via the same helper: an immediate self-deadlock.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._names = threading.Lock()
+        self._stats = threading.Lock()
+
+    def rename(self):
+        with self._names:
+            with self._stats:
+                pass
+
+    def report(self):
+        with self._stats:
+            self._describe()
+
+    def double(self):
+        with self._names:
+            self._describe()
+
+    def _describe(self):
+        with self._names:
+            pass

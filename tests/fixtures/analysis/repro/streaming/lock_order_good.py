@@ -1,0 +1,40 @@
+"""Good: one documented order -- names before stats -- on every path.
+
+Both the nested acquisition and the call-into-helper path agree, so the
+acquisition graph has no cycle; the reentrant pair re-acquires an RLock,
+which is legal by construction.
+"""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._names = threading.Lock()
+        self._stats = threading.Lock()
+
+    def rename(self):
+        with self._names:
+            with self._stats:
+                pass
+
+    def report(self):
+        with self._names:
+            self._describe()
+
+    def _describe(self):
+        with self._stats:
+            pass
+
+
+class Reentrant:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            pass

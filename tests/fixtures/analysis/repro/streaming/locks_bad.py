@@ -1,4 +1,10 @@
-"""Bad: a lock-guarded counter read off-lock by another method."""
+"""Bad: off-lock access to guarded state, plus a two-thread escape race.
+
+``Counter.peek`` reads a counter every other access guards.  ``Pump``
+never locks at all: the spawned thread writes ``_failure`` while public
+callers read it -- no common lock, so the failure can be observed torn
+or not at all.
+"""
 
 import threading
 
@@ -14,3 +20,18 @@ class Counter:
 
     def peek(self):
         return self.total
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._failure = None
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        self._failure = ValueError("boom")
+
+    def check(self):
+        if self._failure is not None:
+            raise RuntimeError("pump failed")

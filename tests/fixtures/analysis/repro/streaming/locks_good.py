@@ -1,4 +1,10 @@
-"""Good: every access to the shared counter holds the lock."""
+"""Good: every shared access holds the lock -- including via helpers.
+
+``Counter._bump`` touches the counter off-lock *syntactically*, but its
+only call sites hold the lock, so the interprocedural entry context
+proves it guarded (the per-method check used to flag this).  ``Pump``
+publishes and reads its failure under one common lock.
+"""
 
 import threading
 
@@ -12,6 +18,32 @@ class Counter:
         with self._lock:
             self.total += n
 
+    def add_twice(self, n):
+        with self._lock:
+            self._bump(n)
+            self._bump(n)
+
+    def _bump(self, n):
+        self.total += n
+
     def peek(self):
         with self._lock:
             return self.total
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._failure = None
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        with self._lock:
+            self._failure = ValueError("boom")
+
+    def check(self):
+        with self._lock:
+            failure = self._failure
+        if failure is not None:
+            raise RuntimeError("pump failed")

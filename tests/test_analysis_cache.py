@@ -1,0 +1,241 @@
+"""The analysis cache never changes an answer and never crashes a run.
+
+Mirrors the snapshot-corruption contract pinned in
+``tests/test_checkpoint.py``: a cache is strictly a performance
+artifact, so every read problem -- corrupt JSON, a truncated write, a
+stale schema version, a different rule set -- must degrade silently to
+a full re-parse with byte-identical findings.  On top of that sit the
+incremental guarantees: a warm cache parses nothing, an edited file is
+always re-analysed (stale findings can never be served), and
+``--changed-only`` replays the whole-program findings only when *no*
+model input moved.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.cache import CACHE_VERSION, AnalysisCache
+from repro.analysis.rules import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+BAD = (FIXTURES / "repro" / "streaming" / "set_iteration_bad.py").read_text()
+GOOD = (FIXTURES / "repro" / "streaming" / "set_iteration_good.py").read_text()
+
+
+def make_tree(tmp_path):
+    tree = tmp_path / "repro" / "streaming"
+    tree.mkdir(parents=True)
+    (tree / "flaky.py").write_text(BAD)
+    (tree / "steady.py").write_text(GOOD)
+    return tmp_path / "repro"
+
+
+def rendered(report):
+    return [finding.format() for finding in report.findings]
+
+
+def analyse(tree, cache, **kwargs):
+    return run_analysis([str(tree)], cache_path=cache, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# warm-cache behaviour
+# ----------------------------------------------------------------------
+def test_warm_run_parses_nothing_and_answers_identically(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = analyse(tree, cache)
+    assert cold.files_parsed == 2
+    assert any(f.rule == "set-iteration" for f in cold.findings)
+
+    warm = analyse(tree, cache)
+    assert warm.files_parsed == 0
+    assert warm.cache_hits == 2
+    assert rendered(warm) == rendered(cold)
+
+
+def test_an_edited_file_is_reparsed_and_stale_findings_are_never_served(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    assert not analyse(tree, cache).clean
+
+    (tree / "streaming" / "flaky.py").write_text(GOOD)  # bug fixed on disk
+    fixed = analyse(tree, cache)
+    assert fixed.clean, rendered(fixed)
+    assert fixed.files_parsed == 1  # only the edited file
+
+    (tree / "streaming" / "flaky.py").write_text(BAD)  # bug reintroduced
+    broken = analyse(tree, cache)
+    assert not broken.clean
+
+
+def test_deleted_files_are_pruned_from_the_cache(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    analyse(tree, cache)
+    (tree / "streaming" / "flaky.py").unlink()
+    report = analyse(tree, cache)
+    assert report.clean
+    stored = json.loads(cache.read_text())
+    assert all("flaky" not in path for path in stored["files"])
+
+
+# ----------------------------------------------------------------------
+# corruption: every read problem is a silent miss, never a crash
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        lambda text: "{ not json at all",
+        lambda text: text[: len(text) // 2],  # torn write
+        lambda text: "",  # zero-byte file
+        lambda text: '"a bare string"',  # wrong top-level shape
+        lambda text: json.dumps({"version": CACHE_VERSION + 999}),  # stale schema
+    ],
+    ids=["garbage", "truncated", "empty", "wrong-shape", "stale-version"],
+)
+def test_corrupt_caches_are_ignored_and_rebuilt(tmp_path, corruption):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = analyse(tree, cache)
+
+    cache.write_text(corruption(cache.read_text()))
+    recovered = analyse(tree, cache)
+    assert recovered.files_parsed == 2  # full re-parse, no replay
+    assert rendered(recovered) == rendered(cold)
+    # and the rebuild leaves a healthy cache behind
+    assert analyse(tree, cache).cache_hits == 2
+
+
+def test_a_structurally_bogus_file_entry_is_dropped_not_trusted(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = analyse(tree, cache)
+
+    stored = json.loads(cache.read_text())
+    victim = next(path for path in stored["files"] if "flaky" in path)
+    stored["files"][victim] = {"hash": "matching-is-not-enough"}
+    cache.write_text(json.dumps(stored))
+
+    recovered = analyse(tree, cache)
+    assert rendered(recovered) == rendered(cold)
+
+
+def test_a_different_rule_set_invalidates_cached_findings(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    analyse(tree, cache)
+    subset = analyse(tree, cache, rules=[ALL_RULES[0]()])
+    assert subset.files_parsed == 2  # old findings came from other rules
+
+
+def test_save_failures_are_non_fatal(tmp_path):
+    tree = make_tree(tmp_path)
+    missing_dir = tmp_path / "does-not-exist" / "cache.json"
+    report = analyse(tree, missing_dir)  # cannot write: still answers
+    assert any(f.rule == "set-iteration" for f in report.findings)
+    assert not missing_dir.exists()
+
+
+def test_identical_state_produces_identical_cache_bytes(tmp_path):
+    tree = make_tree(tmp_path)
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    analyse(tree, first)
+    analyse(tree, second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# --changed-only: whole-program findings replay iff nothing moved
+# ----------------------------------------------------------------------
+def test_changed_only_replays_project_findings_when_nothing_changed(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = analyse(tree, cache)
+    warm = analyse(tree, cache, changed_only=True)
+    assert warm.files_parsed == 0
+    assert rendered(warm) == rendered(cold)
+
+
+def test_changed_only_reruns_project_rules_when_any_dependency_moved(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    analyse(tree, cache)
+    # an edit that changes a *whole-program* answer: the edited file now
+    # holds a snapshot-covered class missing a loader read-back
+    (tree / "streaming" / "steady.py").write_text(
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self.level = 0\n"
+        "        self.phantom = 0\n"
+        "    def state_dict(self):\n"
+        '        return {"level": self.level}\n'
+        "    @classmethod\n"
+        "    def from_state(cls, state):\n"
+        "        box = cls()\n"
+        '        box.level = state["level"]\n'
+        "        return box\n"
+    )
+    report = analyse(tree, cache, changed_only=True)
+    assert report.files_parsed == 1
+    assert any(
+        f.rule == "snapshot-coverage" and "phantom" in f.message
+        for f in report.findings
+    ), rendered(report)
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+CLI_ENV = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env=CLI_ENV,
+    )
+
+
+def test_cli_changed_only_without_a_cache_is_a_usage_error(tmp_path):
+    tree = make_tree(tmp_path)
+    result = run_cli(str(tree), "--changed-only", "--no-cache")
+    assert result.returncode == 2
+    assert "--changed-only needs the cache" in result.stderr
+
+
+def test_cli_warm_run_reports_the_cache_hit_split(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    first = run_cli(str(tree), "--cache-path", str(cache))
+    assert first.returncode == 1  # the planted set-iteration finding
+    second = run_cli(str(tree), "--cache-path", str(cache))
+    assert second.returncode == 1
+    assert "(0 parsed, rest cached)" in second.stdout
+    assert "[set-iteration]" in second.stdout  # replayed, not lost
+
+
+def test_cli_json_reports_parse_and_hit_counts(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    run_cli(str(tree), "--cache-path", str(cache))
+    result = run_cli(str(tree), "--cache-path", str(cache), "--format", "json")
+    payload = json.loads(result.stdout)
+    assert payload["files_parsed"] == 0
+    assert payload["cache_hits"] == 2
+
+
+def test_cache_object_never_raises_on_unreadable_path(tmp_path):
+    cache = AnalysisCache(tmp_path, ["set-iteration"])  # a directory, not a file
+    assert cache.lookup_file("x.py", "sha") is None
+    cache.save()  # os.replace onto a directory fails -> swallowed

@@ -692,6 +692,52 @@ class TestAsyncIngestFrontend:
         assert not frontend._thread.is_alive()
         assert frontend.close() == []  # idempotent after the failed close
 
+    def test_error_publication_synchronizes_on_released_lock(self):
+        """Regression: ``_error`` used to be written by the ingest thread and
+        read by ``_check_error`` with no lock -- a data race flagged by
+        repro-lint's interprocedural lock-discipline.  Publication now holds
+        ``_released_lock``: while a consumer holds that lock, the ingest
+        thread cannot make a failure visible (or even finish the poisoned
+        batch)."""
+        import time
+
+        engine = build_engine(allowed_lateness=1.0)
+        frontend = AsyncIngestFrontend(engine)
+        frontend._released_lock.acquire()
+        try:
+            # bypass submit(): it takes _released_lock for its own counters
+            frontend._submitted.put([None])  # not a StreamEdge: admission explodes
+            deadline = time.monotonic() + 0.5
+            while frontend._submitted.unfinished_tasks and time.monotonic() < deadline:
+                if frontend._error is not None:
+                    break
+                time.sleep(0.01)
+            # the thread is parked on the lock we hold; the failure is not
+            # published past it (pre-fix, _error flips while we hold the lock)
+            assert frontend._error is None
+        finally:
+            frontend._released_lock.release()
+        frontend._submitted.join()
+        with pytest.raises(RuntimeError, match="ingest thread failed"):
+            frontend.drain()
+        with pytest.raises(RuntimeError, match="ingest thread failed"):
+            frontend.close()
+        frontend._thread.join(timeout=5.0)
+        assert not frontend._thread.is_alive()
+
+    def test_repr_reads_counters_under_the_lock(self):
+        """Regression companion to the lock-discipline audit: ``__repr__``
+        used to read ``batches_submitted`` off-lock under a suppression; it
+        now takes ``_released_lock`` like every other reader."""
+        engine = build_engine(allowed_lateness=1.0)
+        with AsyncIngestFrontend(engine) as frontend:
+            frontend.submit([edge(1.0)])
+            frontend.flush()
+            text = repr(frontend)
+            assert "submitted=1" in text
+            assert "closed=False" in text
+        assert "closed=True" in repr(frontend)
+
     def test_process_degraded_late_records_flow_through(self):
         engine = build_engine(
             allowed_lateness=0.0,
