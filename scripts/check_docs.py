@@ -119,7 +119,14 @@ def check_metrics_coverage(errors: list) -> None:
 
     record = StreamEdge("1", "2", "x", 1.0, source_label="Host", target_label="Host")
 
-    single = StreamWorksEngine(config=EngineConfig(allowed_lateness=1.0))
+    single = StreamWorksEngine(
+        config=EngineConfig(
+            allowed_lateness=1.0,
+            sketch_dispatch=True,
+            dedup_memory_budget=16,
+            sketch_stats=True,
+        )
+    )
     single.register_query(tiny_query(), window=5.0)
     single.process_batch([record])
     sharded = ShardedStreamEngine(config=ShardConfig(shard_count=2))
@@ -129,11 +136,19 @@ def check_metrics_coverage(errors: list) -> None:
     frontend.close()
 
     operations = (REPO_ROOT / "docs" / "operations.md").read_text()
+    sketch = single.metrics()["sketch"]
     surfaces = {
         "single-engine metrics": single.metrics(),
         "reorder stats": single.metrics()["reorder"],
         "sharded metrics": sharded.metrics(),
         "async front-end stats": frontend.stats(),
+        # the sketch surface is nested one level; flatten so every leaf
+        # counter (and the sub-surface names themselves) is enforced
+        "sketch stats": {
+            **sketch,
+            **sketch["dispatch_front"],
+            **sketch["dedup_memory"],
+        },
     }
     for surface, payload in surfaces.items():
         for key in payload:

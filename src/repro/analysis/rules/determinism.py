@@ -47,7 +47,7 @@ __all__ = [
 ]
 
 #: Subpackages whose code can influence event output (see module docstring).
-DETERMINISM_SCOPES = ("core", "streaming", "graph", "isomorphism", "stats")
+DETERMINISM_SCOPES = ("core", "streaming", "graph", "isomorphism", "stats", "sketch")
 
 
 def in_determinism_scope(source: SourceFile) -> bool:

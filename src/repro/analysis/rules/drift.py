@@ -102,7 +102,7 @@ class MetricsDocsRule(Rule):
 
     _METHOD_NAMES = ("metrics", "stats")
     #: Subpackages whose metrics surfaces the operations guide documents.
-    _SCOPES = ("core", "streaming")
+    _SCOPES = ("core", "streaming", "sketch")
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         if project.root is None:

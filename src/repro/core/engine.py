@@ -162,6 +162,9 @@ class EngineConfig:
         checkpoint_path: Optional[str] = None,
         replan_threshold: Optional[float] = None,
         replan_check_every: Optional[int] = None,
+        sketch_dispatch: bool = False,
+        dedup_memory_budget: Optional[int] = None,
+        sketch_stats: bool = False,
     ):
         self.default_window = self.validate_default_window(default_window)
         self.collect_statistics = collect_statistics
@@ -292,6 +295,45 @@ class EngineConfig:
             if replan_check_every <= 0:
                 raise ValueError("replan_check_every must be a positive edge count or None")
         self.replan_check_every = replan_check_every
+        #: Front the dispatch index with a counting Bloom filter so edges
+        #: whose label binds no registered leaf are rejected before endpoint
+        #: vertex labels are resolved or the routing dict is probed.  The
+        #: front is exact in the reject direction, so routing -- and
+        #: therefore every event -- is byte-identical with the flag on or
+        #: off (``tests/test_sketch.py`` differential suite).  Requires
+        #: ``use_dispatch_index``.
+        self.sketch_dispatch = bool(sketch_dispatch)
+        if self.sketch_dispatch and not use_dispatch_index:
+            raise ValueError(
+                "sketch_dispatch requires use_dispatch_index=True: the Bloom "
+                "front guards the dispatch index's negative-lookup path"
+            )
+        #: Bound each matcher's duplicate-suppression stores to this many
+        #: entries (``None`` = unbounded, the historical behaviour).  Entries
+        #: expire against the graph retention window regardless; the budget
+        #: additionally caps adversarial high-cardinality growth with
+        #: deterministic oldest-horizon-first eviction.  Suppression stays
+        #: exact whenever the budget covers the identities alive inside the
+        #: retention horizon.
+        if dedup_memory_budget is not None:
+            dedup_memory_budget = int(dedup_memory_budget)
+            if dedup_memory_budget <= 0:
+                raise ValueError(
+                    "dedup_memory_budget must be a positive entry count or None"
+                )
+        self.dedup_memory_budget = dedup_memory_budget
+        #: Back the stream summarizer's label/signature counters with
+        #: count-min sketches (bounded memory at high label cardinality)
+        #: instead of exact dicts.  Counts become one-sided estimates, which
+        #: can only shift *plan choice* -- the emitted event stream is
+        #: plan-independent, so conformance is unaffected.  Requires
+        #: ``collect_statistics``.
+        self.sketch_stats = bool(sketch_stats)
+        if self.sketch_stats and not collect_statistics:
+            raise ValueError(
+                "sketch_stats requires collect_statistics=True: there is no "
+                "summarizer to back with sketches otherwise"
+            )
 
     @staticmethod
     def validate_default_window(value: Optional[float]) -> Optional[float]:
@@ -411,9 +453,10 @@ class StreamWorksEngine:
             self.summarizer = StreamSummarizer(
                 track_triads=config.track_triads,
                 triad_sample_cap=config.triad_sample_cap,
+                sketch_stats=config.sketch_stats,
             )
         self.queries: Dict[str, RegisteredQuery] = {}
-        self.dispatch = DispatchIndex()
+        self.dispatch = DispatchIndex(sketch=config.sketch_dispatch)
         self.collector = CollectingSink()
         self._sinks = MultiSink([self.collector])
         self._sequence = 0
@@ -503,6 +546,7 @@ class StreamWorksEngine:
                 else self.config.dedupe_structural
             ),
             store_complete_matches=self.config.store_complete_matches,
+            dedup_memory_budget=self.config.dedup_memory_budget,
         )
         registration = RegisteredQuery(query_name, query, query_window, plan, matcher)
         self.queries[query_name] = registration
@@ -605,12 +649,12 @@ class StreamWorksEngine:
             dedupe_structural=old_matcher.dedupe_structural,
             store_complete_matches=old_matcher.store_complete_matches,
             expiry_min_interval=old_matcher.expiry_min_interval,
+            dedup_memory_budget=old_matcher.dedup_memory_budget,
         )
-        # carry the duplicate-suppression memory (the same set objects) so
+        # carry the duplicate-suppression memory (the same store objects) so
         # re-planning never causes an already-delivered event to be delivered
         # again -- the migration replay below relies on this to stay silent
-        new_matcher._reported_identities = old_matcher._reported_identities
-        new_matcher._reported_edge_sets = old_matcher._reported_edge_sets
+        new_matcher.adopt_dedup_memories(*old_matcher.dedup_memories())
         migrated, dropped = self._migrate_matcher_state(old_matcher, new_matcher)
         registration.plan = new_plan
         registration.matcher = new_matcher
@@ -850,6 +894,10 @@ class StreamWorksEngine:
         expiry sweep (the batched path sweeps once per batch instead).
         """
         if self.config.use_dispatch_index:
+            if self.dispatch.front_rejects(edge.label):
+                # sketch front proved no registered leaf can bind this label;
+                # skip endpoint-label resolution and the dict probe entirely
+                return
             source_label = (
                 self.graph.vertex(edge.source).label if self.graph.has_vertex(edge.source) else None
             )
@@ -1406,8 +1454,46 @@ class StreamWorksEngine:
                     for name, registration in self.queries.items()
                 },
             ),
+            "sketch": self._sketch_metrics(),
         }
         return result
+
+    def _sketch_metrics(self) -> Dict[str, Any]:
+        """Aggregate sketch counters for ``metrics()["sketch"]``.
+
+        Always present (zeros when the sketches are off) so dashboards and
+        the sharded parent's rollup see a uniform shape.  Dedup counters sum
+        the identity and structural stores across every registered matcher;
+        the per-store split is diagnostic-only and not surfaced.
+        """
+        dedup: Dict[str, Any] = {
+            "budget": self.config.dedup_memory_budget,
+            "entries": 0,
+            "peak_entries": 0,
+            "probes": 0,
+            "front_negatives": 0,
+            "front_false_positives": 0,
+            "confirms": 0,
+            "evictions_budget": 0,
+            "evictions_horizon": 0,
+        }
+        for registration in self.queries.values():
+            for memory in registration.matcher.dedup_memories():
+                stats = memory.stats()
+                for key in dedup:
+                    if key == "budget":
+                        continue
+                    dedup[key] += stats[key]
+        return {
+            "dispatch_front": {
+                "enabled": self.dispatch.sketch_enabled,
+                "probes": self.dispatch.front_probes,
+                "rejections": self.dispatch.front_rejections,
+                "false_positives": self.dispatch.front_false_positives,
+            },
+            "dedup_memory": dedup,
+            "stats_backend": "countmin" if self.config.sketch_stats else "exact",
+        }
 
     def describe(self) -> str:
         """Return a human-readable status report of the engine."""

@@ -18,22 +18,54 @@ execution:
 Partial matches are expired once their earliest edge has aged out of the
 query window (they can never complete any more), which keeps both memory and
 join fan-out bounded on long streams.
+
+Duplicate-suppression memory ("which matches have we already reported?") is
+held in :class:`~repro.sketch.dedup.DedupMemory` -- a cuckoo-filter front
+over a bounded exact confirm store -- instead of grow-only sets.  Entries
+expire against the *graph retention* window (not the query window): the only
+mechanisms that can re-derive an already-reported identity are same-run
+re-discovery and replan migration replay, both of which operate exclusively
+on edges still retained in the graph, so an identity whose earliest edge has
+been evicted can never be probed again and its memory can be reclaimed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..graph.types import Edge
 from ..graph.window import TimeWindow
 from ..isomorphism.match import Match
 from ..query.query_graph import QueryGraph
+from ..sketch import DedupMemory
 from .decomposition import Decomposition
 from .join import try_join
 from .local_search import LocalSearcher
 from .sjtree import SJTree, SJTreeNode
 
 __all__ = ["MatcherStats", "ContinuousQueryMatcher"]
+
+
+def _identity_key(identity: Tuple[frozenset, frozenset]) -> str:
+    """Render a match identity as its canonical string key.
+
+    Uses the same sorted-``repr`` canonicalisation the matcher snapshots
+    have always used for identity sets, so keys are hash-seed independent,
+    JSON-safe, and equal to ``repr()`` of the legacy snapshot entries
+    (which is how pre-sketch snapshots are migrated on load).
+    """
+    vertices, edges = identity
+    return repr(
+        [
+            sorted(([name, vertex] for name, vertex in vertices), key=repr),
+            sorted([query_edge, edge_id] for query_edge, edge_id in edges),
+        ]
+    )
+
+
+def _edge_set_key(edge_set: FrozenSet[int]) -> str:
+    """Render a structural identity (set of data edge ids) canonically."""
+    return repr(sorted(edge_set))
 
 
 class MatcherStats:
@@ -102,6 +134,12 @@ class ContinuousQueryMatcher:
         Minimum stream-time gap between partial-match expiry sweeps; ``0.0``
         (default) sweeps on every :meth:`process_edge`.  The engine's batched
         ingest fast path instead calls :meth:`expire_partials` once per batch.
+    dedup_memory_budget:
+        Maximum number of entries in each duplicate-suppression store
+        (``None`` = unbounded).  When the budget covers every identity alive
+        inside the graph retention horizon -- the common case -- suppression
+        is exact; under adversarial cardinality the store stays bounded and
+        the oldest-horizon entries are evicted first, deterministically.
     """
 
     def __init__(
@@ -113,6 +151,7 @@ class ContinuousQueryMatcher:
         dedupe_structural: bool = False,
         store_complete_matches: bool = True,
         expiry_min_interval: float = 0.0,
+        dedup_memory_budget: Optional[int] = None,
     ):
         self.query = query
         self.decomposition = decomposition
@@ -123,12 +162,13 @@ class ContinuousQueryMatcher:
         #: Minimum stream-time gap between expiry sweeps (0.0 sweeps on every
         #: call); see :meth:`SJTree.expire_matches` for why skipping is safe.
         self.expiry_min_interval = expiry_min_interval
+        self.dedup_memory_budget = dedup_memory_budget
         self.tree: SJTree = decomposition.build_tree()
         self.tree.validate()
         self.local_searcher = LocalSearcher(graph, self.window)
         self.stats = MatcherStats()
-        self._reported_edge_sets: Set[frozenset] = set()
-        self._reported_identities: Set[tuple] = set()
+        self._dedup_identities = DedupMemory(budget=dedup_memory_budget, seed=31)
+        self._dedup_edge_sets = DedupMemory(budget=dedup_memory_budget, seed=37)
 
     # ------------------------------------------------------------------
     # main entry points
@@ -145,6 +185,15 @@ class ContinuousQueryMatcher:
             return 0
         dropped = self.tree.expire_matches(self.window, now, self.expiry_min_interval)
         self.stats.partial_matches_expired += dropped
+        # Reclaim dedup memory on the same cadence, but against the *graph
+        # retention* window: an identity whose earliest edge is no longer
+        # retained cannot be re-derived by any path (same-run re-discovery
+        # and replan migration both replay retained edges only), so its
+        # entry is dead weight.  ``now`` is the caller's conservative
+        # batch-start anchor, which only ever retains entries longer.
+        retention = self.graph.window
+        self._dedup_identities.expire(retention, now)
+        self._dedup_edge_sets.expire(retention, now)
         return dropped
 
     def process_edge_leaves(self, edge: Edge, leaves) -> List[Match]:
@@ -219,17 +268,17 @@ class ContinuousQueryMatcher:
     def _emit(self, root: SJTreeNode, match: Match, out: List[Match]) -> None:
         if self.window.bounded and not self.window.admits_span(match.span):
             return
-        identity = match.identity()
-        if identity in self._reported_identities:
+        identity_key = _identity_key(match.identity())
+        if self._dedup_identities.seen(identity_key):
             self.stats.duplicate_matches_suppressed += 1
             return
         if self.dedupe_structural:
-            edge_set = match.structural_identity()
-            if edge_set in self._reported_edge_sets:
+            edge_set_key = _edge_set_key(match.structural_identity())
+            if self._dedup_edge_sets.seen(edge_set_key):
                 self.stats.duplicate_matches_suppressed += 1
                 return
-            self._reported_edge_sets.add(edge_set)
-        self._reported_identities.add(identity)
+            self._dedup_edge_sets.add(edge_set_key, match.earliest)
+        self._dedup_identities.add(identity_key, match.earliest)
         if self.store_complete_matches:
             root.store_match(match)
         self.stats.complete_matches += 1
@@ -272,9 +321,23 @@ class ContinuousQueryMatcher:
     def reset(self) -> None:
         """Drop all partial matches and reported-match memory (keeps the plan)."""
         self.tree.clear_matches()
-        self._reported_edge_sets.clear()
-        self._reported_identities.clear()
+        self._dedup_edge_sets.clear()
+        self._dedup_identities.clear()
         self.stats = MatcherStats()
+
+    def dedup_memories(self) -> Tuple[DedupMemory, DedupMemory]:
+        """Return the (identity, structural) duplicate-suppression stores.
+
+        The engine uses this for metrics aggregation and for carrying dedup
+        memory across a re-plan (the new matcher must keep suppressing what
+        the old one already reported).
+        """
+        return self._dedup_identities, self._dedup_edge_sets
+
+    def adopt_dedup_memories(self, identities: DedupMemory, edge_sets: DedupMemory) -> None:
+        """Take ownership of another matcher's duplicate-suppression stores."""
+        self._dedup_identities = identities
+        self._dedup_edge_sets = edge_sets
 
     # ------------------------------------------------------------------
     # persistence support
@@ -285,38 +348,41 @@ class ContinuousQueryMatcher:
         The plan-derived structure (decomposition, SJ-Tree shape, window) is
         *not* stored here -- the owning engine persists the plan and rebuilds
         the matcher from it, then calls :meth:`load_state` on the fresh
-        instance.  Dedupe identities are sets (membership-only), so their
-        serialisation order is canonicalised rather than preserved.
+        instance.  Dedup memory is serialised verbatim (entries in insertion
+        order plus the front's cell layout), so a restored matcher replays
+        future suppression decisions, evictions, and sketch counters
+        byte-identically.
         """
         return {
             "tree": self.tree.state_dict(),
             "stats": self.stats.to_dict(),
             "expiry_min_interval": self.expiry_min_interval,
-            "reported_identities": sorted(
-                (
-                    [sorted(([name, vertex] for name, vertex in vertices), key=repr),
-                     sorted([query_edge, edge_id] for query_edge, edge_id in edges)]
-                    for vertices, edges in self._reported_identities
-                ),
-                key=repr,
-            ),
-            "reported_edge_sets": sorted(
-                (sorted(edge_set) for edge_set in self._reported_edge_sets), key=repr
-            ),
+            "dedup_identities": self._dedup_identities.state_dict(),
+            "dedup_edge_sets": self._dedup_edge_sets.state_dict(),
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
-        """Restore state captured by :meth:`state_dict` onto a freshly-built matcher."""
+        """Restore state captured by :meth:`state_dict` onto a freshly-built matcher.
+
+        Pre-sketch snapshots stored dedup memory as canonically-sorted
+        ``reported_identities`` / ``reported_edge_sets`` lists; those load
+        into the bounded stores with never-expiring anchors (the
+        conservative choice -- see
+        :meth:`~repro.sketch.dedup.DedupMemory.load_legacy_keys`).
+        """
         self.tree.load_state(state["tree"])
         self.stats = MatcherStats.from_dict(state["stats"])
         self.expiry_min_interval = state["expiry_min_interval"]
-        self._reported_identities = {
-            (
-                frozenset((name, vertex) for name, vertex in vertices),
-                frozenset((query_edge, edge_id) for query_edge, edge_id in edges),
+        if "dedup_identities" in state:
+            self._dedup_identities.load_state(state["dedup_identities"])
+            self._dedup_edge_sets.load_state(state["dedup_edge_sets"])
+        else:
+            # Legacy entries were serialised through the same canonical
+            # sorted-repr rendering _identity_key/_edge_set_key use, so the
+            # stored lists repr() straight back into today's string keys.
+            self._dedup_identities.load_legacy_keys(
+                [repr(entry) for entry in state["reported_identities"]]
             )
-            for vertices, edges in state["reported_identities"]
-        }
-        self._reported_edge_sets = {
-            frozenset(edge_set) for edge_set in state["reported_edge_sets"]
-        }
+            self._dedup_edge_sets.load_legacy_keys(
+                [repr(entry) for entry in state["reported_edge_sets"]]
+            )

@@ -1296,6 +1296,38 @@ class ShardedStreamEngine:
             "last_errors": last_errors,
             "plan_versions": plan_versions,
         }
+        # sketch rollup: every counter sums cleanly over shards (each shard
+        # owns a private dispatch front and its matchers' dedup memories);
+        # configuration facts come from the shared engine config
+        shard_sketches = [m["sketch"] for m in shard_metrics.values()]
+        dedup_keys = (
+            "entries",
+            "peak_entries",
+            "probes",
+            "front_negatives",
+            "front_false_positives",
+            "confirms",
+            "evictions_budget",
+            "evictions_horizon",
+        )
+        sketch = {
+            "dispatch_front": {
+                "enabled": self.config.engine.sketch_dispatch,
+                "probes": sum(s["dispatch_front"]["probes"] for s in shard_sketches),
+                "rejections": sum(s["dispatch_front"]["rejections"] for s in shard_sketches),
+                "false_positives": sum(
+                    s["dispatch_front"]["false_positives"] for s in shard_sketches
+                ),
+            },
+            "dedup_memory": dict(
+                {"budget": self.config.engine.dedup_memory_budget},
+                **{
+                    key: sum(s["dedup_memory"][key] for s in shard_sketches)
+                    for key in dedup_keys
+                },
+            ),
+            "stats_backend": "countmin" if self.config.engine.sketch_stats else "exact",
+        }
         totals = {
             "shard_edges_processed": sum(m["edges_processed"] for m in shard_metrics.values()),
             "graph_vertices": sum(m["graph_vertices"] for m in shard_metrics.values()),
@@ -1316,6 +1348,7 @@ class ShardedStreamEngine:
             "shard_loads": self.shard_loads(),
             "assignments": self.assignments(),
             "replan": replan,
+            "sketch": sketch,
             "totals": totals,
             "shards": {shard_id: shard_metrics[shard_id] for shard_id in sorted(shard_metrics)},
         }

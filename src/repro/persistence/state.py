@@ -99,6 +99,9 @@ _CONFIG_FIELDS = (
     "idle_source_timeout",
     "checkpoint_every",
     "checkpoint_path",
+    "sketch_dispatch",
+    "dedup_memory_budget",
+    "sketch_stats",
 )
 
 
@@ -189,10 +192,17 @@ def _event_from_state(state: Mapping[str, Any]) -> MatchEvent:
 
 
 def _dispatch_counters(dispatch: DispatchIndex) -> Dict[str, int]:
+    # Only the counters travel: the sketch front's counting cells are
+    # rebuilt exactly by the register() calls the loader replays (same
+    # queries, same insertion order), so future false-positive patterns --
+    # and therefore the restored counter stream -- stay byte-identical.
     return {
         "lookups": dispatch.lookups,
         "entries_matched": dispatch.entries_matched,
         "entries_skipped": dispatch.entries_skipped,
+        "front_probes": dispatch.front_probes,
+        "front_rejections": dispatch.front_rejections,
+        "front_false_positives": dispatch.front_false_positives,
     }
 
 
@@ -275,6 +285,7 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
                 window=window,
                 dedupe_structural=payload["dedupe_structural"],
                 store_complete_matches=payload["store_complete_matches"],
+                dedup_memory_budget=config.dedup_memory_budget,
             )
             matcher.load_state(payload["matcher"])
             registration = RegisteredQuery(payload["name"], query, window, plan, matcher)
@@ -298,6 +309,13 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
         engine.dispatch.lookups = dispatch_counters["lookups"]
         engine.dispatch.entries_matched = dispatch_counters["entries_matched"]
         engine.dispatch.entries_skipped = dispatch_counters["entries_skipped"]
+        # pre-sketch snapshots carry no front counters: the front started
+        # from zero there too (sketch_dispatch defaulted off)
+        engine.dispatch.front_probes = dispatch_counters.get("front_probes", 0)
+        engine.dispatch.front_rejections = dispatch_counters.get("front_rejections", 0)
+        engine.dispatch.front_false_positives = dispatch_counters.get(
+            "front_false_positives", 0
+        )
         # pre-replan snapshots: keep the fresh monitor / constructor cadence
         if "plan_monitor" in counters:
             engine.plan_monitor = PlanMonitor.from_state(counters["plan_monitor"])

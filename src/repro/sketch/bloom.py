@@ -1,0 +1,149 @@
+"""Counting Bloom filter with deterministic seeded hashing.
+
+Fronts the :class:`~repro.core.dispatch.DispatchIndex` negative-lookup path:
+edge labels that bind no registered leaf are rejected from a few
+cache-resident counter cells before any dict probe or vertex-label
+resolution happens.  Counting cells (rather than plain bits) make deletion
+exact, which :meth:`~repro.core.dispatch.DispatchIndex.unregister` relies on
+-- skipping a decrement leaves stale cells behind and turns what should be
+front rejections into observable false positives (the mutation meta-tests
+pin exactly that signal).
+
+The filter is approximate in one direction only: :meth:`might_contain` can
+return ``True`` for an absent key (a false positive, absorbed by the exact
+structures behind it) but never ``False`` for a present one.  All indexes
+derive from :func:`repro.sketch.hashing.crc_pair`, so cell layout is a pure
+function of the add/remove history and round-trips byte-exactly through
+:meth:`state_dict` / :meth:`from_state`.
+"""
+
+from __future__ import annotations
+
+from zlib import crc32
+
+from typing import Any, Dict, List, Tuple
+
+from .hashing import crc_pair
+
+__all__ = ["CountingBloomFilter"]
+
+
+def _round_up_pow2(value: int) -> int:
+    size = 1
+    while size < value:
+        size <<= 1
+    return size
+
+
+class CountingBloomFilter:
+    """A two-probe counting Bloom filter over ``bytes`` keys.
+
+    Parameters
+    ----------
+    bits:
+        Number of counter cells; rounded up to a power of two so probe
+        indexes reduce with a mask.  Degenerate sizes (down to 8) are legal
+        and useful in tests to force false-positive storms.
+    seed:
+        Hash seed; two filters with equal seeds and histories are
+        cell-for-cell identical.
+    """
+
+    __slots__ = ("_size", "_mask", "_seed", "_cells", "_items")
+
+    def __init__(self, bits: int = 2048, seed: int = 7):
+        if bits < 2:
+            raise ValueError("CountingBloomFilter bits must be >= 2")
+        self._size = _round_up_pow2(int(bits))
+        # derived from the persisted bits count, recomputed on from_state
+        self._mask = self._size - 1  # repro-lint: ignore[snapshot-coverage]
+        self._seed = int(seed)
+        self._cells: List[int] = [0] * self._size
+        self._items = 0
+
+    def _indexes(self, key: bytes) -> Tuple[int, int]:
+        low, high = crc_pair(key, self._seed)
+        return low & self._mask, high & self._mask
+
+    def add(self, key: bytes) -> None:
+        """Record one occurrence of ``key``."""
+        first, second = self._indexes(key)
+        cells = self._cells
+        cells[first] += 1
+        cells[second] += 1
+        self._items += 1
+
+    def remove(self, key: bytes) -> None:
+        """Remove one previously-added occurrence of ``key``.
+
+        Callers must pair every ``remove`` with an earlier ``add`` of the
+        same key; under that contract cells never underflow.  The defensive
+        floor keeps a buggy caller from corrupting unrelated keys.
+        """
+        first, second = self._indexes(key)
+        cells = self._cells
+        if cells[first] > 0:
+            cells[first] -= 1
+        if cells[second] > 0:
+            cells[second] -= 1
+        if self._items > 0:
+            self._items -= 1
+
+    def might_contain(self, key: bytes) -> bool:
+        """Return ``False`` only when ``key`` was definitely never added.
+
+        This is the per-edge probe on the dispatch negative-lookup path, so
+        the CRC split is inlined (one C call, no helper frames) -- it must
+        stay cheaper than the endpoint resolutions it short-circuits.  The
+        index derivation is the same ``crc_pair`` computation ``add`` and
+        ``remove`` go through.
+        """
+        value = crc32(key, self._seed & 0xFFFFFFFF)
+        cells = self._cells
+        mask = self._mask
+        return cells[value & 0xFFFF & mask] > 0 and cells[(value >> 16) & 0xFFFF & mask] > 0
+
+    def clear(self) -> None:
+        """Reset every cell to empty."""
+        self._cells = [0] * self._size
+        self._items = 0
+
+    @property
+    def bits(self) -> int:
+        """Number of counter cells."""
+        return self._size
+
+    @property
+    def seed(self) -> int:
+        """Hash seed the cell layout derives from."""
+        return self._seed
+
+    def __len__(self) -> int:
+        return self._items
+
+    def fill_ratio(self) -> float:
+        """Fraction of cells currently non-zero (diagnostic)."""
+        occupied = sum(1 for cell in self._cells if cell > 0)
+        return occupied / self._size
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise the filter; the cell array is captured verbatim."""
+        return {
+            "bits": self._size,
+            "seed": self._seed,
+            "items": self._items,
+            "cells": list(self._cells),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "CountingBloomFilter":
+        """Rebuild a filter that is cell-for-cell identical to the source."""
+        filt = cls(bits=int(state["bits"]), seed=int(state["seed"]))
+        cells = [int(cell) for cell in state["cells"]]
+        if len(cells) != filt._size:
+            raise ValueError(
+                f"CountingBloomFilter state has {len(cells)} cells, expected {filt._size}"
+            )
+        filt._cells = cells
+        filt._items = int(state["items"])
+        return filt

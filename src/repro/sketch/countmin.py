@@ -1,0 +1,115 @@
+"""Count-min sketch with retraction support and deterministic rows.
+
+Backs the high-cardinality statistics path (:mod:`repro.stats.sketches`):
+per-label and per-signature counters whose memory is fixed by ``width *
+depth`` instead of growing with the number of distinct keys.  Estimates are
+one-sided -- ``estimate`` never undercounts a key whose additions and
+retractions are balanced the way the stream summarizer drives them -- so the
+selectivity planner consuming the counts sees the same "never miss a hot
+key" guarantee the exact counters give, at bounded memory.
+
+Rows are indexed through :func:`repro.sketch.hashing.blake_row_indexes`
+(one keyed blake2b digest sliced per row), so the table contents are a pure
+function of the observation history and round-trip byte-exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .hashing import blake_row_indexes
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Count-min sketch over ``bytes`` keys with saturating retraction.
+
+    Parameters
+    ----------
+    width:
+        Cells per row; the error scale is ``total / width``.
+    depth:
+        Number of independent rows minimised over.
+    seed:
+        Hash seed; equal seeds and histories give identical tables.
+    """
+
+    __slots__ = ("_width", "_depth", "_seed", "_rows", "_total")
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 13):
+        if width < 1:
+            raise ValueError("CountMinSketch width must be >= 1")
+        if depth < 1:
+            raise ValueError("CountMinSketch depth must be >= 1")
+        self._width = int(width)
+        self._depth = int(depth)
+        self._seed = int(seed)
+        self._rows: List[List[int]] = [[0] * self._width for _ in range(self._depth)]
+        self._total = 0
+
+    def _indexes(self, key: bytes) -> tuple:
+        return blake_row_indexes(key, self._seed, self._depth, self._width)
+
+    def add(self, key: bytes, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key``."""
+        for row, index in zip(self._rows, self._indexes(key)):
+            row[index] += count
+        self._total += count
+
+    def retract(self, key: bytes, count: int = 1) -> None:
+        """Withdraw ``count`` occurrences previously added for ``key``.
+
+        Cells floor at zero defensively; under the add/retract pairing the
+        summarizer guarantees, the floor never engages and the one-sided
+        error bound survives retraction.
+        """
+        for row, index in zip(self._rows, self._indexes(key)):
+            cell = row[index] - count
+            row[index] = cell if cell > 0 else 0
+        self._total = max(0, self._total - count)
+
+    def estimate(self, key: bytes) -> int:
+        """Return an upper-bound estimate of ``key``'s net count."""
+        return min(row[index] for row, index in zip(self._rows, self._indexes(key)))
+
+    @property
+    def total(self) -> int:
+        """Exact net total of all counts (maintained outside the table)."""
+        return self._total
+
+    @property
+    def width(self) -> int:
+        """Cells per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    def clear(self) -> None:
+        """Reset every cell and the total."""
+        self._rows = [[0] * self._width for _ in range(self._depth)]
+        self._total = 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise the sketch; tables are captured verbatim."""
+        return {
+            "width": self._width,
+            "depth": self._depth,
+            "seed": self._seed,
+            "total": self._total,
+            "rows": [list(row) for row in self._rows],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "CountMinSketch":
+        """Rebuild a sketch cell-for-cell identical to the source."""
+        sketch = cls(width=int(state["width"]), depth=int(state["depth"]), seed=int(state["seed"]))
+        rows = [[int(cell) for cell in row] for row in state["rows"]]
+        if len(rows) != sketch._depth or any(len(row) != sketch._width for row in rows):
+            raise ValueError("CountMinSketch state table shape mismatch")
+        sketch._rows = rows
+        sketch._total = int(state["total"])
+        return sketch

@@ -1,0 +1,251 @@
+"""Cuckoo filter with deterministic displacement and an overflow stash.
+
+Fronts :class:`~repro.sketch.dedup.DedupMemory`: the matcher asks "have we
+emitted this match identity before?" once per completion, and the cuckoo
+filter answers the overwhelmingly common *no* from two bucket probes before
+the exact confirm store is consulted.  Cuckoo fingerprints support exact
+deletion, which the dedup store needs when budget eviction or horizon expiry
+drops an entry.
+
+Two departures from the textbook structure keep the exactness contract and
+the repo's determinism rules intact:
+
+* **No randomness.**  Classic cuckoo insertion evicts a *random* victim per
+  kick; here the victim slot cycles through a persistent counter, so the
+  bucket layout is a pure function of the operation history and replays
+  identically after checkpoint/restore.
+* **No silent drops.**  When an insert exhausts its kick budget the homeless
+  fingerprint lands in an overflow stash that :meth:`might_contain` always
+  consults.  A cuckoo front may therefore degrade (stash scans) but can
+  never produce a false negative -- which would surface as a duplicate
+  emission downstream.
+
+False positives happen when two keys share a fingerprint and a bucket;
+shrinking ``fingerprint_bits`` (down to 2) makes storms easy to provoke in
+tests while the confirm store keeps observable behaviour exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .hashing import crc_hash
+
+__all__ = ["CuckooFilter"]
+
+
+def _round_up_pow2(value: int) -> int:
+    size = 1
+    while size < value:
+        size <<= 1
+    return size
+
+
+class CuckooFilter:
+    """Partial-key cuckoo filter over ``bytes`` keys.
+
+    Parameters
+    ----------
+    buckets:
+        Number of buckets (rounded up to a power of two).
+    bucket_size:
+        Slots per bucket.
+    fingerprint_bits:
+        Width of stored fingerprints (2..32).  Smaller widths raise the
+        false-positive rate; 2 bits is the degenerate storm setting.
+    max_kicks:
+        Displacement budget per insert before the fingerprint is stashed.
+    seed:
+        Hash seed shared by the index and fingerprint derivations.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_bucket_size",
+        "_bucket_mask",
+        "_fingerprint_bits",
+        "_fingerprint_mask",
+        "_max_kicks",
+        "_seed",
+        "_slots",
+        "_stash",
+        "_kick_cursor",
+        "_items",
+    )
+
+    def __init__(
+        self,
+        buckets: int = 1024,
+        bucket_size: int = 4,
+        fingerprint_bits: int = 16,
+        max_kicks: int = 128,
+        seed: int = 11,
+    ):
+        if buckets < 1:
+            raise ValueError("CuckooFilter buckets must be >= 1")
+        if bucket_size < 1:
+            raise ValueError("CuckooFilter bucket_size must be >= 1")
+        if not 2 <= fingerprint_bits <= 32:
+            raise ValueError("CuckooFilter fingerprint_bits must be in [2, 32]")
+        self._buckets = _round_up_pow2(int(buckets))
+        self._bucket_size = int(bucket_size)
+        # derived from the persisted bucket count, recomputed on from_state
+        self._bucket_mask = self._buckets - 1  # repro-lint: ignore[snapshot-coverage]
+        self._fingerprint_bits = int(fingerprint_bits)
+        self._fingerprint_mask = (1 << fingerprint_bits) - 1
+        self._max_kicks = int(max_kicks)
+        self._seed = int(seed)
+        # Flat slot array; 0 means empty, fingerprints are 1..mask.
+        self._slots: List[int] = [0] * (self._buckets * self._bucket_size)
+        self._stash: List[int] = []
+        self._kick_cursor = 0
+        self._items = 0
+
+    def _fingerprint(self, hashed: int) -> int:
+        fingerprint = (hashed >> 8) & self._fingerprint_mask
+        # 0 is the empty-slot sentinel; fold it onto 1 (costs one codepoint
+        # of fingerprint space, keeps slot scans branch-free).
+        return fingerprint or 1
+
+    def _alt_index(self, index: int, fingerprint: int) -> int:
+        flip = crc_hash(fingerprint.to_bytes(4, "big"), self._seed ^ 0x5BF03635)
+        return (index ^ flip) & self._bucket_mask
+
+    def _bucket_range(self, index: int) -> range:
+        base = index * self._bucket_size
+        return range(base, base + self._bucket_size)
+
+    def _try_place(self, index: int, fingerprint: int) -> bool:
+        slots = self._slots
+        for slot in self._bucket_range(index):
+            if slots[slot] == 0:
+                slots[slot] = fingerprint
+                return True
+        return False
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key``; never fails (overflow lands in the stash)."""
+        hashed = crc_hash(key, self._seed)
+        fingerprint = self._fingerprint(hashed)
+        index = hashed & self._bucket_mask
+        self._items += 1
+        if self._try_place(index, fingerprint):
+            return
+        alt = self._alt_index(index, fingerprint)
+        if self._try_place(alt, fingerprint):
+            return
+        # Deterministic displacement: the victim slot cycles through a
+        # persistent counter instead of a random draw.
+        slots = self._slots
+        current = alt
+        for _ in range(self._max_kicks):
+            slot_offset = self._kick_cursor % self._bucket_size
+            self._kick_cursor += 1
+            slot = current * self._bucket_size + slot_offset
+            fingerprint, slots[slot] = slots[slot], fingerprint
+            current = self._alt_index(current, fingerprint)
+            if self._try_place(current, fingerprint):
+                return
+        self._stash.append(fingerprint)
+
+    def remove(self, key: bytes) -> bool:
+        """Remove one stored copy of ``key``'s fingerprint.
+
+        Returns ``True`` when a copy was found.  Callers must only remove
+        keys they previously added (standard cuckoo-deletion contract).
+        """
+        hashed = crc_hash(key, self._seed)
+        fingerprint = self._fingerprint(hashed)
+        index = hashed & self._bucket_mask
+        slots = self._slots
+        for candidate in (index, self._alt_index(index, fingerprint)):
+            for slot in self._bucket_range(candidate):
+                if slots[slot] == fingerprint:
+                    slots[slot] = 0
+                    self._items -= 1
+                    return True
+        try:
+            self._stash.remove(fingerprint)
+        except ValueError:
+            return False
+        self._items -= 1
+        return True
+
+    def might_contain(self, key: bytes) -> bool:
+        """Return ``False`` only when ``key`` was definitely never added."""
+        hashed = crc_hash(key, self._seed)
+        fingerprint = self._fingerprint(hashed)
+        index = hashed & self._bucket_mask
+        slots = self._slots
+        for slot in self._bucket_range(index):
+            if slots[slot] == fingerprint:
+                return True
+        alt = self._alt_index(index, fingerprint)
+        for slot in self._bucket_range(alt):
+            if slots[slot] == fingerprint:
+                return True
+        if self._stash:
+            return fingerprint in self._stash
+        return False
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self._slots = [0] * (self._buckets * self._bucket_size)
+        self._stash = []
+        self._kick_cursor = 0
+        self._items = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total slot count (excluding the stash)."""
+        return self._buckets * self._bucket_size
+
+    @property
+    def stash_size(self) -> int:
+        """Number of overflowed fingerprints currently stashed."""
+        return len(self._stash)
+
+    def __len__(self) -> int:
+        return self._items
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise the filter; slot layout and stash captured verbatim.
+
+        The raw arrays (not a rebuild recipe) are persisted because the slot
+        layout depends on the full add/remove interleaving: a filter rebuilt
+        from surviving keys alone could place fingerprints differently and
+        diverge in future false-positive counters, breaking the byte-exact
+        resume contract.
+        """
+        return {
+            "buckets": self._buckets,
+            "bucket_size": self._bucket_size,
+            "fingerprint_bits": self._fingerprint_bits,
+            "max_kicks": self._max_kicks,
+            "seed": self._seed,
+            "slots": list(self._slots),
+            "stash": list(self._stash),
+            "kick_cursor": self._kick_cursor,
+            "items": self._items,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "CuckooFilter":
+        """Rebuild a filter slot-for-slot identical to the source."""
+        filt = cls(
+            buckets=int(state["buckets"]),
+            bucket_size=int(state["bucket_size"]),
+            fingerprint_bits=int(state["fingerprint_bits"]),
+            max_kicks=int(state["max_kicks"]),
+            seed=int(state["seed"]),
+        )
+        slots = [int(slot) for slot in state["slots"]]
+        if len(slots) != filt.capacity:
+            raise ValueError(
+                f"CuckooFilter state has {len(slots)} slots, expected {filt.capacity}"
+            )
+        filt._slots = slots
+        filt._stash = [int(fingerprint) for fingerprint in state["stash"]]
+        filt._kick_cursor = int(state["kick_cursor"])
+        filt._items = int(state["items"])
+        return filt

@@ -1,0 +1,291 @@
+"""Count-min-backed label and signature counters for high cardinality.
+
+Drop-in (duck-typed) replacements for :class:`~repro.stats.labels.LabelDistribution`
+and :class:`~repro.stats.labels.SignatureDistribution`, selected by
+``EngineConfig(sketch_stats=True)``.  The exact counters grow with the number
+of *distinct* labels/signatures in the stream; these keep memory fixed at
+``width * depth`` count-min cells plus a small heavy-hitter table, which is
+what lets the planner keep consuming live selectivity at millions of
+distinct keys.
+
+Approximation contract (what the planner sees):
+
+* ``count`` / ``frequency`` are **one-sided**: never below the true value,
+  above it only by count-min collision error.  Overestimates can shift plan
+  *choice*, never correctness -- the emitted event stream is
+  plan-independent (pinned by the replan-conformance suite).
+* ``total`` is exact (maintained as a plain counter).
+* Wildcard signature counts (``None`` components) are served as point
+  queries: every observation inserts all eight masked projections of the
+  signature, so ``count((None, label, None))`` reads one cell row instead of
+  scanning all keys.
+* ``labels()`` / ``signatures()`` / ``most_common()`` / ``rarest()`` are
+  bounded heavy-hitter views (top ``heavy_capacity`` keys by estimate,
+  deterministic insertion-order tie-breaks) -- they feed ``describe()`` and
+  diagnostics; the planner only issues point queries.
+
+Everything round-trips through ``state_dict()`` / ``from_state()``
+cell-for-cell, keeping checkpoint/restore byte-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..graph.types import Edge
+from ..sketch import CountMinSketch
+from .labels import EdgeSignature
+
+__all__ = ["SketchLabelDistribution", "SketchSignatureDistribution"]
+
+
+class _HeavyHitters:
+    """Bounded top-K table of (key, estimate) with deterministic eviction.
+
+    Keys are kept in insertion order; when the table is full, a new key only
+    enters by evicting the smallest current estimate (first-inserted wins
+    ties).  This is the standard count-min heavy-hitter companion structure:
+    approximate membership for *display*, while the sketch itself answers
+    the point queries that matter.
+    """
+
+    __slots__ = ("capacity", "entries")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: Dict[object, int] = {}
+
+    def update(self, key: object, estimate: int) -> None:
+        if estimate <= 0:
+            self.entries.pop(key, None)
+            return
+        if key in self.entries or len(self.entries) < self.capacity:
+            self.entries[key] = estimate
+            return
+        smallest_key = None
+        smallest = estimate
+        for candidate, value in self.entries.items():
+            if value < smallest:
+                smallest = value
+                smallest_key = candidate
+        if smallest_key is not None:
+            del self.entries[smallest_key]
+            self.entries[key] = estimate
+
+    def ranked(self, reverse: bool) -> List[Tuple[object, int]]:
+        # sorted() is stable, so equal counts keep insertion order -- the
+        # same tie-break Counter.most_common gives the exact distributions
+        return sorted(self.entries.items(), key=lambda item: (-item[1] if reverse else item[1]))
+
+
+class SketchLabelDistribution:
+    """Count-min-backed frequency distribution over labels."""
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        seed: int = 101,
+        heavy_capacity: int = 64,
+    ):
+        self._sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._heavy = _HeavyHitters(heavy_capacity)
+        self._total = 0
+
+    @staticmethod
+    def _key(label: str) -> bytes:
+        return repr(label).encode("utf-8")
+
+    def observe(self, label: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``label``."""
+        self._sketch.add(self._key(label), count)
+        self._total += count
+        self._heavy.update(label, self._sketch.estimate(self._key(label)))
+
+    def retract(self, label: str, count: int = 1) -> None:
+        """Remove ``count`` occurrences of ``label``."""
+        self._sketch.retract(self._key(label), count)
+        self._total = max(0, self._total - count)
+        self._heavy.update(label, self._sketch.estimate(self._key(label)))
+
+    def count(self, label: str) -> int:
+        """Return a one-sided (never-under) estimate of ``label``'s count."""
+        if self._total == 0:
+            return 0
+        return self._sketch.estimate(self._key(label))
+
+    def total(self) -> int:
+        """Return the exact total number of observations."""
+        return self._total
+
+    def frequency(self, label: str) -> float:
+        """Return the estimated relative frequency of ``label`` in [0, 1]."""
+        if self._total == 0:
+            return 0.0
+        return min(1.0, self.count(label) / self._total)
+
+    def labels(self) -> Iterable[str]:
+        """Return the tracked heavy-hitter labels (bounded view)."""
+        return list(self._heavy.entries)
+
+    def most_common(self, k: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Return up to ``k`` heavy hitters as ``(label, estimate)`` pairs."""
+        ranked = self._heavy.ranked(reverse=True)
+        return ranked if k is None else ranked[:k]
+
+    def rarest(self, k: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Return up to ``k`` tracked labels with the smallest estimates."""
+        ranked = self._heavy.ranked(reverse=False)
+        return ranked if k is None else ranked[:k]
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return the heavy-hitter table as ``{label: estimate}``."""
+        return dict(self._heavy.entries)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise sketch cells, heavy-hitter table, and the exact total."""
+        return {
+            "sketch": self._sketch.state_dict(),
+            "heavy_capacity": self._heavy.capacity,
+            "heavy": [[label, count] for label, count in self._heavy.entries.items()],
+            "total_count": self._total,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SketchLabelDistribution":
+        """Rebuild a distribution cell-for-cell identical to the source."""
+        distribution = cls(heavy_capacity=int(state["heavy_capacity"]))
+        distribution._sketch = CountMinSketch.from_state(state["sketch"])
+        distribution._heavy.entries = {label: int(count) for label, count in state["heavy"]}
+        distribution._total = int(state["total_count"])
+        return distribution
+
+    def __len__(self) -> int:
+        return len(self._heavy.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SketchLabelDistribution(total={self._total}, tracked={len(self._heavy.entries)})"
+
+
+class SketchSignatureDistribution:
+    """Count-min-backed counts of typed relationship signatures.
+
+    Every observation inserts all eight masked projections of
+    ``(source label, edge label, target label)`` so that wildcarded
+    :meth:`count` queries -- which the selectivity estimator issues with any
+    combination of ``None`` components -- are served as point queries.
+    """
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 4,
+        seed: int = 103,
+        heavy_capacity: int = 64,
+    ):
+        self._sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._heavy = _HeavyHitters(heavy_capacity)
+        self._total = 0
+
+    @staticmethod
+    def _key(signature: EdgeSignature) -> bytes:
+        return repr(signature).encode("utf-8")
+
+    @staticmethod
+    def _projections(
+        source_label: str, edge_label: str, target_label: str
+    ) -> List[EdgeSignature]:
+        projections: List[EdgeSignature] = []
+        for mask in range(8):
+            projections.append(
+                (
+                    source_label if mask & 4 else None,
+                    edge_label if mask & 2 else None,
+                    target_label if mask & 1 else None,
+                )
+            )
+        return projections
+
+    def observe(
+        self, source_label: str, edge_label: str, target_label: str, count: int = 1
+    ) -> None:
+        """Record occurrences of a fully-typed relationship."""
+        for projection in self._projections(source_label, edge_label, target_label):
+            self._sketch.add(self._key(projection), count)
+        self._total += count
+        full = (source_label, edge_label, target_label)
+        self._heavy.update(full, self._sketch.estimate(self._key(full)))
+
+    def observe_edge(self, edge: Edge, source_label: str, target_label: str) -> None:
+        """Record a data edge given its endpoint labels."""
+        self.observe(source_label, edge.label, target_label)
+
+    def retract(
+        self, source_label: str, edge_label: str, target_label: str, count: int = 1
+    ) -> None:
+        """Remove occurrences of a fully-typed relationship."""
+        for projection in self._projections(source_label, edge_label, target_label):
+            self._sketch.retract(self._key(projection), count)
+        self._total = max(0, self._total - count)
+        full = (source_label, edge_label, target_label)
+        self._heavy.update(full, self._sketch.estimate(self._key(full)))
+
+    def count(self, signature: EdgeSignature) -> int:
+        """Return a one-sided estimate for a (possibly wildcarded) signature."""
+        if self._total == 0:
+            return 0
+        return self._sketch.estimate(self._key(tuple(signature)))
+
+    def total(self) -> int:
+        """Return the exact total number of observed edges."""
+        return self._total
+
+    def frequency(self, signature: EdgeSignature) -> float:
+        """Return the estimated relative frequency of a signature in [0, 1]."""
+        if self._total == 0:
+            return 0.0
+        return min(1.0, self.count(signature) / self._total)
+
+    def signatures(self) -> Iterable[Tuple[str, str, str]]:
+        """Return the tracked heavy-hitter signatures (bounded view)."""
+        return list(self._heavy.entries)
+
+    def most_common(self, k: Optional[int] = None) -> List[Tuple[Tuple[str, str, str], int]]:
+        """Return up to ``k`` heavy hitters as ``(signature, estimate)`` pairs."""
+        ranked = self._heavy.ranked(reverse=True)
+        return ranked if k is None else ranked[:k]
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return heavy hitters as ``{"src|label|dst": estimate}``."""
+        return {"|".join(key): count for key, count in self._heavy.entries.items()}
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialise sketch cells, heavy-hitter table, and the exact total."""
+        return {
+            "sketch": self._sketch.state_dict(),
+            "heavy_capacity": self._heavy.capacity,
+            "heavy": [
+                [list(signature), count] for signature, count in self._heavy.entries.items()
+            ],
+            "total_count": self._total,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SketchSignatureDistribution":
+        """Rebuild a distribution cell-for-cell identical to the source."""
+        distribution = cls(heavy_capacity=int(state["heavy_capacity"]))
+        distribution._sketch = CountMinSketch.from_state(state["sketch"])
+        distribution._heavy.entries = {
+            tuple(signature): int(count) for signature, count in state["heavy"]
+        }
+        distribution._total = int(state["total_count"])
+        return distribution
+
+    def __len__(self) -> int:
+        return len(self._heavy.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchSignatureDistribution(total={self._total}, "
+            f"tracked={len(self._heavy.entries)})"
+        )

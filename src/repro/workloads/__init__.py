@@ -9,7 +9,7 @@
 * :mod:`~repro.workloads.planted` -- embed arbitrary query instances as ground truth.
 """
 
-from .attacks import AttackInjector, SmurfCascadePlan
+from .attacks import AttackInjector, SmurfCascadePlan, high_cardinality_flood
 from .drifting import DriftingConfig, DriftingGenerator
 from .netflow import NetflowConfig, NetflowGenerator
 from .nyt import NewsStreamConfig, NewsStreamGenerator, PlantedNewsEvent
@@ -32,6 +32,7 @@ __all__ = [
     "SmurfCascadePlan",
     "SocialStreamConfig",
     "SocialStreamGenerator",
+    "high_cardinality_flood",
     "instances_detected",
     "plant_query_instances",
 ]

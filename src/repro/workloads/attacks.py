@@ -28,7 +28,59 @@ from typing import Dict, List, Optional, Sequence
 from ..streaming.edge_stream import EdgeStream, StreamEdge
 from .netflow import NetflowGenerator
 
-__all__ = ["AttackInjector", "SmurfCascadePlan"]
+__all__ = ["AttackInjector", "SmurfCascadePlan", "high_cardinality_flood"]
+
+
+def high_cardinality_flood(
+    count: int,
+    seed: int = 41,
+    signal_every: Optional[int] = None,
+    start_time: float = 0.0,
+    spacing: float = 0.001,
+) -> List[StreamEdge]:
+    """Adversarial stream: (almost) every record carries a brand-new label.
+
+    The attacker's cheapest way to defeat a membership cache is cardinality:
+    endless distinct edge labels blow up any per-key state the engine keeps.
+    Every flood record here uses a fresh label and fresh endpoint vertices,
+    so each one is (a) a guaranteed dispatch-index miss -- the workload the
+    Bloom front must answer from its counting cells -- and (b) a distinct
+    key in any per-label statistics structure.
+
+    ``signal_every`` interleaves one matchable record (fixed ``signal``
+    label over a small host pool) every N records, keeping registered
+    queries and their duplicate-suppression memories active in the flood so
+    bounded-memory tests can assert recall *while* under attack.
+    """
+    rng = random.Random(seed)
+    records: List[StreamEdge] = []
+    for index in range(count):
+        timestamp = start_time + index * spacing
+        if signal_every and index % signal_every == 0:
+            records.append(
+                StreamEdge(
+                    f"S{rng.randrange(4)}",
+                    f"T{rng.randrange(4)}",
+                    "signal",
+                    timestamp,
+                    None,
+                    "Host",
+                    "Host",
+                )
+            )
+        else:
+            records.append(
+                StreamEdge(
+                    f"n{index}",
+                    f"m{index}",
+                    f"flood{index}",
+                    timestamp,
+                    None,
+                    "Noise",
+                    "Noise",
+                )
+            )
+    return records
 
 
 class SmurfCascadePlan:

@@ -35,7 +35,14 @@ import pytest
 from repro.core import EngineConfig, ShardConfig, ShardedStreamEngine, StreamWorksEngine
 from repro.query.query_graph import QueryGraph
 from repro.streaming import Routing, StreamEdge
-from repro.workloads import NetflowConfig, NetflowGenerator, RmatConfig, RmatGenerator
+from repro.workloads import (
+    DriftingConfig,
+    DriftingGenerator,
+    NetflowConfig,
+    NetflowGenerator,
+    RmatConfig,
+    RmatGenerator,
+)
 
 SHARD_COUNTS = (1, 2, 4)
 BATCH_SIZE = 50
@@ -316,6 +323,83 @@ def test_worker_pool_unusable_after_close():
     serial.process_batch([StreamEdge("x", "y", "rel_a", 1.0)])
     serial.close()
     assert serial.process_batch([StreamEdge("y", "z", "rel_b", 1.1)])  # completes the chain
+
+
+def drifting_queries():
+    return [
+        ("ab", chain_query("ab", ["alpha", "beta"]), 0.5),
+        ("ggg", chain_query("ggg", ["gamma", "gamma", "gamma"]), 0.5),
+    ]
+
+
+def drifting_records(count=400, seed=7, drift_at=180):
+    generator = DriftingGenerator(DriftingConfig(seed=seed, drift_at=drift_at))
+    return list(generator.stream(count))
+
+
+SKETCH_CASES = {
+    "rmat": (lambda: rmat_records(300), rmat_queries),
+    "netflow": (lambda: netflow_records(300), netflow_queries),
+    "drifting": (drifting_records, drifting_queries),
+}
+
+
+def sketch_config():
+    return EngineConfig(sketch_dispatch=True, dedup_memory_budget=4096, sketch_stats=True)
+
+
+@pytest.mark.parametrize("case", sorted(SKETCH_CASES))
+class TestSketchShardedConformance:
+    """Sketch axis: every sketch switch on vs. the sketch-off single engine.
+
+    The reference runs with exact statistics and no sketches; the candidate
+    runs with the Bloom-fronted dispatch, bounded dedup memory, and count-min
+    statistics all enabled -- at every shard count and under both schedulers.
+    Byte-identical events prove the sketch layer is pure acceleration.
+    """
+
+    def test_sketch_on_identical_across_shard_counts(self, case):
+        make_records, query_specs = SKETCH_CASES[case]
+        records = make_records()
+        single = StreamWorksEngine(config=EngineConfig())
+        register_all(single, query_specs())
+        reference = canonical(replay_batched(single, records))
+        assert reference, f"case {case} produced no events -- not exercising the engines"
+
+        sketch_single = StreamWorksEngine(config=sketch_config())
+        register_all(sketch_single, query_specs())
+        assert canonical(replay_batched(sketch_single, records)) == reference
+        sketch = sketch_single.metrics()["sketch"]
+        assert sketch["dedup_memory"]["probes"] > 0  # not vacuously bypassed
+        assert sketch["stats_backend"] == "countmin"
+
+        for shard_count in SHARD_COUNTS:
+            sharded = ShardedStreamEngine(
+                config=ShardConfig(shard_count=shard_count, engine=sketch_config())
+            )
+            register_all(sharded, query_specs())
+            assert canonical(replay_batched(sharded, records)) == reference, (
+                f"case {case}: {shard_count}-shard sketch-on run diverged"
+            )
+            assert sharded.match_counts() == single.match_counts()
+            assert sharded.metrics()["sketch"]["dedup_memory"]["probes"] > 0
+
+    @pytest.mark.skipif(
+        not ShardedStreamEngine.fork_available(), reason="multiprocessing fork unavailable"
+    )
+    def test_sketch_on_identical_under_worker_pool(self, case):
+        make_records, query_specs = SKETCH_CASES[case]
+        records = make_records()
+        single = StreamWorksEngine(config=EngineConfig())
+        register_all(single, query_specs())
+        reference = canonical(replay_batched(single, records))
+
+        with ShardedStreamEngine(
+            config=ShardConfig(shard_count=3, workers=2, engine=sketch_config())
+        ) as pooled:
+            register_all(pooled, query_specs())
+            assert canonical(replay_batched(pooled, records)) == reference
+            assert pooled.metrics()["sketch"]["dedup_memory"]["probes"] > 0
 
 
 class TestShardedEngineBehaviour:
