@@ -1,0 +1,94 @@
+"""E18 / compiled columnar hot path: conformance at every scale, speedup at full.
+
+``query_count`` chain queries share one hot edge-label alphabet and differ
+only in per-edge predicate bands, so every hot record reaches a leaf of
+every query and predicate evaluation dominates the per-record cost.  The
+columnar engine answers that workload with interned label columns, per-run
+memoised dispatch, compiled predicate closures and leaf pruning; the
+interpreted engine walks the predicate trees per record.
+
+Assertions are split by determinism:
+
+* **conformance** -- asserted at *every* scale, including the CI smoke:
+  both engines emit byte-for-byte identical events, and the columnar run
+  actually exercised the compiled path (vectorized batches, memo hits,
+  pruned leaves all non-zero);
+* **speedup** -- the >= 2x wall-clock multiple is a full-scale property of
+  the design-point workload and is only thresholded when this file runs at
+  ``scale >= 1.0`` (tiny runs report it without asserting).
+
+The result is written to ``BENCH_columnar.json`` at the repository root
+for later diffing.
+
+Runnable standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py --tiny
+"""
+
+import json
+from pathlib import Path
+
+from repro.harness.experiments import experiment_columnar_hot_path
+from repro.harness.reporting import format_report
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+#: The wall-clock multiple the full-scale design-point workload must show.
+SPEEDUP_THRESHOLD = 2.0
+
+
+def check_result(result, *, full_scale):
+    """Shared assertions for the pytest and CLI entry points."""
+    assert result["events_identical"], (
+        "columnar and interpreted runs emitted different events -- the "
+        "execution-strategy-equivalence contract is broken"
+    )
+    assert result["events"] > 0, "no matches at all (vacuous conformance check)"
+    assert result["batches_vectorized"] > 0, "columnar run never vectorized a batch"
+    assert result["compiled_queries"] == result["query_count"]
+    assert result["dispatch_memo_hits"] > 0, "per-run dispatch memo never hit"
+    assert result["leaves_pruned"] > 0, "compiled leaf prefilter never pruned"
+    if full_scale:
+        assert result["speedup_columnar"] >= SPEEDUP_THRESHOLD, (
+            f"columnar speedup x{result['speedup_columnar']:.2f} below the "
+            f"x{SPEEDUP_THRESHOLD:.1f} full-scale threshold"
+        )
+
+
+def test_columnar_hot_path(run_experiment, repro_scale):
+    result = run_experiment(
+        experiment_columnar_hot_path,
+        "E18 -- compiled columnar hot path (interned + compiled + pruned)",
+    )
+    check_result(result, full_scale=repro_scale >= 1.0)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test scale (CI): the deterministic conformance "
+        "assertions still run; the wall-clock threshold does not",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    args = parser.parse_args()
+
+    scale = 0.1 if args.tiny else args.scale
+    result = experiment_columnar_hot_path(scale=scale)
+    print(
+        format_report(
+            "E18 -- compiled columnar hot path (interned + compiled + pruned)", result
+        )
+    )
+    check_result(result, full_scale=scale >= 1.0)
+    OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(
+        f"conformance OK ({result['events']} events identical); columnar "
+        f"x{result['speedup_columnar']:.2f} over interpreted on "
+        f"{result['stream_edges']} records ({result['records_prefiltered']} "
+        f"prefiltered, {result['leaves_pruned']} leaves pruned, "
+        f"{result['dispatch_memo_hits']} memo hits); wrote {OUTPUT.name}"
+    )

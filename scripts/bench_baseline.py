@@ -5,9 +5,12 @@ The static-analysis PR touches hot modules (triads, dispatch, the async
 front-end), so it snapshots the two benchmark-sensitive paths -- E11
 (multi-query dispatch) and E13 (out-of-order event-time ingestion) -- at
 small scale, plus the lint suite's own runtime, into
-``BENCH_analysis_baseline.json`` at the repository root.  A later PR that
-suspects a regression reruns this script and diffs the JSON instead of
-guessing what the numbers used to be.
+``BENCH_analysis_baseline.json`` at the repository root.  Each experiment
+is recorded under both ingest strategies (the columnar hot path and the
+interpreted oracle), so a regression in either -- or a shrinking gap
+between them -- shows up as a diff.  A later PR that suspects a
+regression reruns this script and diffs the JSON instead of guessing what
+the numbers used to be.
 
 Run from the repository root::
 
@@ -50,10 +53,21 @@ def _throughputs(result: dict) -> dict:
 
 
 def main() -> int:
-    e11 = experiment_multiquery_dispatch(scale=SCALE, query_count=QUERY_COUNT)
-    assert e11["match_sets_identical"], "E11 correctness gate failed"
-    e13 = experiment_out_of_order_throughput(scale=SCALE, query_count=QUERY_COUNT)
-    assert e13["reordered_exact"], "E13 conformance gate failed"
+    # both experiments run once per ingest strategy: the columnar hot path
+    # (the default) and the interpreted oracle it must stay byte-identical
+    # to, so a regression in either shows up as a diff against this file
+    e11 = {}
+    e13 = {}
+    for columnar in (True, False):
+        key = "columnar" if columnar else "interpreted"
+        e11[key] = experiment_multiquery_dispatch(
+            scale=SCALE, query_count=QUERY_COUNT, columnar=columnar
+        )
+        assert e11[key]["match_sets_identical"], "E11 correctness gate failed"
+        e13[key] = experiment_out_of_order_throughput(
+            scale=SCALE, query_count=QUERY_COUNT, columnar=columnar
+        )
+        assert e13[key]["reordered_exact"], "E13 conformance gate failed"
 
     lint = run_analysis([str(REPO_ROOT / "src" / "repro")])
     assert lint.clean, "repro-lint must be clean when the baseline is captured"
@@ -76,13 +90,17 @@ def main() -> int:
         "scale": SCALE,
         "query_count": QUERY_COUNT,
         "E11_multiquery_dispatch": {
-            "stream_edges": e11["stream_edges"],
-            "throughput": _throughputs(e11),
+            "stream_edges": e11["columnar"]["stream_edges"],
+            "throughput": {
+                key: _throughputs(result) for key, result in e11.items()
+            },
         },
         "E13_out_of_order_throughput": {
-            "stream_edges": e13["stream_edges"],
-            "allowed_lateness": e13["allowed_lateness"],
-            "throughput": _throughputs(e13),
+            "stream_edges": e13["columnar"]["stream_edges"],
+            "allowed_lateness": e13["columnar"]["allowed_lateness"],
+            "throughput": {
+                key: _throughputs(result) for key, result in e13.items()
+            },
         },
         "repro_lint": {
             "files": lint.files_analyzed,
@@ -98,8 +116,12 @@ def main() -> int:
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
     for name in ("E11_multiquery_dispatch", "E13_out_of_order_throughput"):
-        for mode, row in payload[name]["throughput"].items():
-            print(f"  {name} {mode:>24}: {row['edges_per_s']:>10.1f} edges/s")
+        for strategy, modes in payload[name]["throughput"].items():
+            for mode, row in modes.items():
+                print(
+                    f"  {name} {strategy}/{mode:>24}: "
+                    f"{row['edges_per_s']:>10.1f} edges/s"
+                )
     print(
         f"  repro-lint: {payload['repro_lint']['files']} files, "
         f"{payload['repro_lint']['duration_s']}s "

@@ -149,6 +149,9 @@ def check_metrics_coverage(errors: list) -> None:
             **sketch["dispatch_front"],
             **sketch["dedup_memory"],
         },
+        # flat already, but enforced as its own surface so a new columnar
+        # counter cannot ship undocumented
+        "columnar stats": single.metrics()["columnar"],
     }
     for surface, payload in surfaces.items():
         for key in payload:

@@ -49,12 +49,23 @@ __all__ = [
 #: Subpackages whose code can influence event output (see module docstring).
 DETERMINISM_SCOPES = ("core", "streaming", "graph", "isomorphism", "stats", "sketch")
 
+#: Individual modules outside the scoped subpackages whose code still
+#: influences event output.  ``query/`` is mostly declarative (predicate
+#: and query-graph definitions evaluated per call), but the predicate
+#: compiler bakes iteration decisions into closures at registration, so
+#: hash-order leaks there become permanent plan artefacts.
+DETERMINISM_MODULES = (("query", "compile.py"),)
+
 
 def in_determinism_scope(source: SourceFile) -> bool:
     parts = source.path.parts
     if "repro" in parts:
         parts = parts[parts.index("repro") + 1 :]
-    return bool(parts) and parts[0] in DETERMINISM_SCOPES
+    if not parts:
+        return False
+    if parts[0] in DETERMINISM_SCOPES:
+        return True
+    return tuple(parts) in DETERMINISM_MODULES
 
 
 def _call_name(func: ast.AST) -> Optional[str]:

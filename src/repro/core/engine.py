@@ -48,9 +48,11 @@ from time import perf_counter
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..graph.dynamic_graph import DynamicGraph
+from ..graph.interning import InternTable
 from ..graph.types import Edge, Timestamp, VertexId
 from ..graph.window import TimeWindow
 from ..isomorphism.match import Match
+from ..query.compile import referenced_attr_names
 from ..query.query_graph import QueryGraph
 from ..stats.plan_monitor import PlanMonitor
 from ..stats.summarizer import StreamSummarizer
@@ -72,6 +74,27 @@ from .matcher import ContinuousQueryMatcher
 from .planner import PlannerConfig, QueryPlan, QueryPlanner
 
 __all__ = ["EngineConfig", "RegisteredQuery", "StreamWorksEngine", "required_retention"]
+
+
+def intern_query_vocabulary(table: InternTable, query: QueryGraph) -> None:
+    """Intern a query's label/attribute vocabulary at the stream boundary.
+
+    Deterministic order -- edge labels, then vertex labels, then predicate
+    attribute names in first-mention order -- so every engine that registers
+    the same queries in the same order assigns the same dense ids.  The
+    sharded parent relies on this when pushing its table to every shard, and
+    pre-columnar snapshot restores rely on it to rebuild ids.
+    """
+    for query_edge in query.edges():
+        if query_edge.label is not None:
+            table.intern(query_edge.label)
+    for query_vertex in query.vertices():
+        if query_vertex.label is not None:
+            table.intern(query_vertex.label)
+    for query_edge in query.edges():
+        table.intern_all(referenced_attr_names(query_edge.predicate))
+    for query_vertex in query.vertices():
+        table.intern_all(referenced_attr_names(query_vertex.predicate))
 
 
 def _canonical_match_key(match: Match) -> str:
@@ -165,6 +188,7 @@ class EngineConfig:
         sketch_dispatch: bool = False,
         dedup_memory_budget: Optional[int] = None,
         sketch_stats: bool = False,
+        columnar: bool = True,
     ):
         self.default_window = self.validate_default_window(default_window)
         self.collect_statistics = collect_statistics
@@ -334,6 +358,16 @@ class EngineConfig:
                 "sketch_stats requires collect_statistics=True: there is no "
                 "summarizer to back with sketches otherwise"
             )
+        #: Compiled, columnar ingest hot path.  Labels are interned to dense
+        #: ints at the stream boundary, each batch run is decomposed into
+        #: struct-of-arrays columns whose label-id column drives a vectorized
+        #: leaf prefilter (with per-run dispatch memoisation), registered
+        #: predicates are compiled once into flat closures, and window-expiry
+        #: / adjacency enumeration use sorted-timestamp range scans.  Purely
+        #: an execution-strategy switch: ``False`` restores the interpreted
+        #: per-record path verbatim, and the two produce byte-identical event
+        #: streams (``tests/test_columnar_conformance.py``).
+        self.columnar = bool(columnar)
 
     @staticmethod
     def validate_default_window(value: Optional[float]) -> Optional[float]:
@@ -457,6 +491,25 @@ class StreamWorksEngine:
             )
         self.queries: Dict[str, RegisteredQuery] = {}
         self.dispatch = DispatchIndex(sketch=config.sketch_dispatch)
+        #: Stream-boundary intern table: vertex/edge labels and predicate
+        #: attribute names to dense ints.  Query vocabulary is interned at
+        #: registration (deterministic: label order within the query, then
+        #: attribute first-mention order); stream labels are admitted on
+        #: first sight by the columnar fast path.  Ids are engine-internal
+        #: -- snapshots persist the table, and pre-columnar snapshots
+        #: rebuild it deterministically from registration + insertion order.
+        self.interning = InternTable()
+        #: Columnar hot-path observability: ordered runs decomposed into
+        #: struct-of-arrays columns, records rejected by the label-id
+        #: prefilter before any matcher work, and per-run dispatch-memo
+        #: replays that skipped a full routing probe.
+        self.batches_vectorized = 0
+        self.records_prefiltered = 0
+        self.dispatch_memo_hits = 0
+        #: SJ-tree leaves skipped per record because every label-compatible
+        #: compiled edge check rejected the record's attrs (local search
+        #: over such a leaf provably finds nothing).
+        self.leaves_pruned = 0
         self.collector = CollectingSink()
         self._sinks = MultiSink([self.collector])
         self._sequence = 0
@@ -547,6 +600,7 @@ class StreamWorksEngine:
             ),
             store_complete_matches=self.config.store_complete_matches,
             dedup_memory_budget=self.config.dedup_memory_budget,
+            columnar=self.config.columnar,
         )
         registration = RegisteredQuery(query_name, query, query_window, plan, matcher)
         self.queries[query_name] = registration
@@ -557,6 +611,7 @@ class StreamWorksEngine:
             registration.sinks.append(sink)
             self._sinks.add(sink)
         self.dispatch.register(query_name, matcher.tree.leaves())
+        intern_query_vocabulary(self.interning, query)
         self._update_retention()
         return registration
 
@@ -650,6 +705,10 @@ class StreamWorksEngine:
             store_complete_matches=old_matcher.store_complete_matches,
             expiry_min_interval=old_matcher.expiry_min_interval,
             dedup_memory_budget=old_matcher.dedup_memory_budget,
+            # matcher construction is the compile point, so a migrated plan
+            # always runs on freshly compiled predicate tables -- never the
+            # old plan's closures
+            columnar=old_matcher.columnar,
         )
         # carry the duplicate-suppression memory (the same store objects) so
         # re-planning never causes an already-delivered event to be delivered
@@ -1292,13 +1351,183 @@ class StreamWorksEngine:
                 positions[edge.id] = index
         deferred: Dict[int, List] = {}
         start_edges_processed = self.edges_processed
+        columnar = self.config.columnar
+        if columnar:
+            self.batches_vectorized += 1
+            interner = self.interning
+            graph = self.graph
+            dispatch = self.dispatch
+            # Struct-of-arrays decomposition of the run: parallel source /
+            # target / label-id / timestamp columns (dead-on-arrival slots
+            # hold sentinels).  The label-id column drives the leaf
+            # prefilter: dispatch fate is resolved once per distinct label
+            # id (admitting unseen stream labels into the intern table),
+            # then replayed per record.
+            src_col: List[Optional[VertexId]] = []
+            dst_col: List[Optional[VertexId]] = []
+            lid_col: List[int] = []
+            ts_col: List[Timestamp] = []
+            for edge in ingested:
+                if edge is None:
+                    src_col.append(None)
+                    dst_col.append(None)
+                    lid_col.append(-1)
+                    ts_col.append(0.0)
+                else:
+                    src_col.append(edge.source)
+                    dst_col.append(edge.target)
+                    lid_col.append(interner.intern(edge.label))
+                    ts_col.append(edge.timestamp)
+            # Per-run dispatch memos, all keyed on dense ints.  Safe because
+            # everything they cache is constant between run boundaries:
+            # registrations and replans happen only between runs, matching
+            # never mutates the graph, and dead-on-arrival evictions all
+            # precede the match loop.  Each entry carries the
+            # dispatch-counter deltas of the probe it replaces and a hit
+            # replays them, so ``metrics()["dispatch"]`` stays byte-identical
+            # to the interpreted path.
+            front_memo: Dict[int, tuple] = {}
+            route_memo: Dict[tuple, tuple] = {}
+            vertex_memo: Dict[Optional[VertexId], tuple] = {}
         for index, edge in enumerate(ingested):
             if edge is None:  # dead on arrival: counted, never matched
                 self.edges_processed += 1
                 continue
             stopwatch_start = perf_counter() if record_latency else None
             found: List = []
-            self._collect_matches(edge, found, expire=False)
+            if columnar:
+                lid = lid_col[index]
+                fate = front_memo.get(lid)
+                if fate is None:
+                    probes0 = dispatch.front_probes
+                    rejections0 = dispatch.front_rejections
+                    lookups0 = dispatch.lookups
+                    rejected = dispatch.front_rejects(edge.label)
+                    fate = (
+                        rejected,
+                        dispatch.front_probes - probes0,
+                        dispatch.front_rejections - rejections0,
+                        dispatch.lookups - lookups0,
+                    )
+                    front_memo[lid] = fate
+                else:
+                    self.dispatch_memo_hits += 1
+                    dispatch.front_probes += fate[1]
+                    dispatch.front_rejections += fate[2]
+                    dispatch.lookups += fate[3]
+                if fate[0]:
+                    self.records_prefiltered += 1
+                else:
+                    src_vertex = src_col[index]
+                    entry = vertex_memo.get(src_vertex)
+                    if entry is None:
+                        if src_vertex is not None and graph.has_vertex(src_vertex):
+                            label = graph.vertex(src_vertex).label
+                            entry = (
+                                interner.intern(label) if label is not None else -1,
+                                label,
+                            )
+                        else:
+                            entry = (-1, None)
+                        vertex_memo[src_vertex] = entry
+                    sid, source_label = entry
+                    dst_vertex = dst_col[index]
+                    entry = vertex_memo.get(dst_vertex)
+                    if entry is None:
+                        if dst_vertex is not None and graph.has_vertex(dst_vertex):
+                            label = graph.vertex(dst_vertex).label
+                            entry = (
+                                interner.intern(label) if label is not None else -1,
+                                label,
+                            )
+                        else:
+                            entry = (-1, None)
+                        vertex_memo[dst_vertex] = entry
+                    tid, target_label = entry
+                    route_key = (lid, sid, tid)
+                    route = route_memo.get(route_key)
+                    if route is None:
+                        lookups0 = dispatch.lookups
+                        matched0 = dispatch.entries_matched
+                        skipped0 = dispatch.entries_skipped
+                        false0 = dispatch.front_false_positives
+                        groups: List = []
+                        for owner, leaf_ids in dispatch.candidates(
+                            edge.label, source_label, target_label
+                        ):
+                            owner_registration = self.queries.get(owner)
+                            if owner_registration is None:  # pragma: no cover - defensive
+                                continue
+                            matcher = owner_registration.matcher
+                            tree = matcher.tree
+                            compiled = matcher.compiled
+                            # Per-leaf compiled prefilter plan: the checks of
+                            # the leaf's label-compatible query edges.  Local
+                            # search only finds embeddings *containing* the
+                            # new edge, so a leaf where every such check
+                            # rejects the edge's attrs provably yields no
+                            # primitive and can be skipped per record.
+                            # ``None`` in place of the list = never prunable
+                            # (an always-true check, or no compiled table).
+                            leaf_checks: List = []
+                            for leaf_id in leaf_ids:
+                                leaf = tree.node(leaf_id)
+                                checks: Optional[List] = None
+                                if compiled is not None:
+                                    checks = []
+                                    for query_edge in leaf.subgraph.edges():
+                                        if (
+                                            query_edge.label is None
+                                            or query_edge.label == edge.label
+                                        ):
+                                            check = compiled.edge_checks[query_edge.id]
+                                            if check is None:
+                                                checks = None
+                                                break
+                                            checks.append(check)
+                                leaf_checks.append((leaf, checks))
+                            groups.append((owner_registration, leaf_checks))
+                        route = (
+                            groups,
+                            dispatch.lookups - lookups0,
+                            dispatch.entries_matched - matched0,
+                            dispatch.entries_skipped - skipped0,
+                            dispatch.front_false_positives - false0,
+                        )
+                        route_memo[route_key] = route
+                    else:
+                        self.dispatch_memo_hits += 1
+                        dispatch.lookups += route[1]
+                        dispatch.entries_matched += route[2]
+                        dispatch.entries_skipped += route[3]
+                        dispatch.front_false_positives += route[4]
+                    route_groups = route[0]
+                    if not route_groups:
+                        self.records_prefiltered += 1
+                    for owner_registration, leaf_checks in route_groups:
+                        matcher = owner_registration.matcher
+                        survivors: List = []
+                        for leaf, checks in leaf_checks:
+                            if checks is None:
+                                survivors.append(leaf)
+                                continue
+                            attrs = edge.attrs
+                            for check in checks:
+                                if check(attrs):
+                                    survivors.append(leaf)
+                                    break
+                            else:
+                                self.leaves_pruned += 1
+                        if survivors:
+                            for match in matcher.process_edge_leaves(edge, survivors):
+                                found.append((owner_registration, match))
+                        else:
+                            # a fully-pruned visit's only observable effect
+                            # is the per-matcher edge counter; replay it so
+                            # matcher stats stay byte-identical
+                            matcher.stats.edges_processed += 1
+            else:
+                self._collect_matches(edge, found, expire=False)
             for registration, match in found:
                 target = index  # every completion contains the current edge
                 for match_edge in match.edge_map.values():
@@ -1308,7 +1537,12 @@ class StreamWorksEngine:
                 deferred.setdefault(target, []).append((registration, match))
             due = deferred.pop(index, None)
             if due:
-                self._emit_trigger(due, edge.timestamp, self.edges_processed, events)
+                self._emit_trigger(
+                    due,
+                    ts_col[index] if columnar else edge.timestamp,
+                    self.edges_processed,
+                    events,
+                )
             self.edges_processed += 1
             if stopwatch_start is not None:
                 self.latency.record(perf_counter() - stopwatch_start)
@@ -1455,8 +1689,40 @@ class StreamWorksEngine:
                 },
             ),
             "sketch": self._sketch_metrics(),
+            "columnar": self._columnar_metrics(),
         }
         return result
+
+    def _columnar_metrics(self) -> Dict[str, Any]:
+        """Aggregate columnar hot-path counters for ``metrics()["columnar"]``.
+
+        Always present (zeros when ``EngineConfig(columnar=False)``) so
+        dashboards and the sharded parent's rollup see a uniform shape.
+        ``range_scans`` / ``range_scan_fallbacks`` are process-local like
+        the latency samples: they restart from zero after a restore.
+        """
+        range_stats = self.graph.range_scan_stats()
+        compiled_checks = sum(
+            registration.matcher.compiled.compiled_checks
+            for registration in self.queries.values()
+            if registration.matcher.compiled is not None
+        )
+        return {
+            "enabled": self.config.columnar,
+            "interned_labels": len(self.interning),
+            "compiled_queries": sum(
+                1
+                for registration in self.queries.values()
+                if registration.matcher.compiled is not None
+            ),
+            "compiled_checks": compiled_checks,
+            "batches_vectorized": self.batches_vectorized,
+            "records_prefiltered": self.records_prefiltered,
+            "dispatch_memo_hits": self.dispatch_memo_hits,
+            "leaves_pruned": self.leaves_pruned,
+            "range_scans": range_stats["range_scans"],
+            "range_scan_fallbacks": range_stats["range_scan_fallbacks"],
+        }
 
     def _sketch_metrics(self) -> Dict[str, Any]:
         """Aggregate sketch counters for ``metrics()["sketch"]``.

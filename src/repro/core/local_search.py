@@ -25,35 +25,64 @@ from ..graph.window import TimeWindow
 from ..isomorphism.candidates import edge_orientations, edge_satisfies, vertex_satisfies
 from ..isomorphism.match import Match, MatchConflictError
 from ..isomorphism.vf2 import SubgraphMatcher
-from ..query.query_graph import QueryGraph
+from ..query.compile import CompiledQuery
+from ..query.query_graph import QueryGraph, QueryVertex
 
 __all__ = ["LocalSearcher", "find_primitive_matches"]
 
 
 class LocalSearcher:
-    """Enumerates primitive matches anchored on new edges against one data graph."""
+    """Enumerates primitive matches anchored on new edges against one data graph.
 
-    def __init__(self, graph, window: Optional[TimeWindow] = None):
+    ``compiled`` carries the owning query's pre-compiled predicate tables
+    (the columnar hot path); ``None`` keeps the interpreted path verbatim.
+    The primitives searched here share the original query's ``QueryVertex``
+    / ``QueryEdge`` objects, so one compiled table serves every primitive.
+    """
+
+    def __init__(
+        self,
+        graph,
+        window: Optional[TimeWindow] = None,
+        compiled: Optional[CompiledQuery] = None,
+    ):
         self.graph = graph
         self.window = window if window is not None else TimeWindow(None)
-        self._matcher = SubgraphMatcher(graph, self.window)
+        self.compiled = compiled
+        self._matcher = SubgraphMatcher(graph, self.window, compiled=compiled)
         #: Number of seeded backtracking searches performed (benchmark counter).
         self.searches_started = 0
         #: Number of primitive matches produced (benchmark counter).
         self.matches_found = 0
 
+    def _vertex_ok(self, query_vertex: QueryVertex, vertex_id) -> bool:
+        """Compiled-table vertex check (only called when ``compiled`` is set)."""
+        if not self.graph.has_vertex(vertex_id):
+            return False
+        vertex = self.graph.vertex(vertex_id)
+        return self.compiled.vertex_ok(query_vertex, vertex.label, vertex.attrs)
+
     def seeds(self, primitive: QueryGraph, new_edge: Edge) -> Iterator[Match]:
         """Yield one-edge matches binding ``new_edge`` to each compatible query edge."""
+        compiled = self.compiled
         for query_edge in primitive.edges():
-            if not edge_satisfies(new_edge, query_edge):
+            if compiled is not None:
+                if not compiled.edge_ok(query_edge, new_edge.label, new_edge.attrs):
+                    continue
+            elif not edge_satisfies(new_edge, query_edge):
                 continue
             source_var, target_var = query_edge.source, query_edge.target
             for source_vertex, target_vertex in edge_orientations(new_edge, query_edge):
                 if (source_var == target_var) != (source_vertex == target_vertex):
                     continue
-                if not vertex_satisfies(self.graph, source_vertex, primitive.vertex(source_var)):
+                if compiled is not None:
+                    if not self._vertex_ok(primitive.vertex(source_var), source_vertex):
+                        continue
+                    if not self._vertex_ok(primitive.vertex(target_var), target_vertex):
+                        continue
+                elif not vertex_satisfies(self.graph, source_vertex, primitive.vertex(source_var)):
                     continue
-                if not vertex_satisfies(self.graph, target_vertex, primitive.vertex(target_var)):
+                elif not vertex_satisfies(self.graph, target_vertex, primitive.vertex(target_var)):
                     continue
                 try:
                     yield Match().with_binding(

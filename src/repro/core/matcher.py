@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from ..graph.types import Edge
 from ..graph.window import TimeWindow
 from ..isomorphism.match import Match
+from ..query.compile import CompiledQuery
 from ..query.query_graph import QueryGraph
 from ..sketch import DedupMemory
 from .decomposition import Decomposition
@@ -140,6 +141,15 @@ class ContinuousQueryMatcher:
         inside the graph retention horizon -- the common case -- suppression
         is exact; under adversarial cardinality the store stays bounded and
         the oldest-horizon entries are evicted first, deterministically.
+    columnar:
+        Compile the query's predicate trees into flat closures
+        (:class:`~repro.query.compile.CompiledQuery`) once, here at
+        construction, and hand them to the local search -- which also
+        enables the graph's sorted-array timestamp range scans during
+        candidate enumeration.  Construction is the single compile point:
+        registration, replanning and snapshot restore all build a fresh
+        matcher, so each of them recompiles against the current plan.
+        ``False`` (default) is the interpreted path, verbatim.
     """
 
     def __init__(
@@ -152,6 +162,7 @@ class ContinuousQueryMatcher:
         store_complete_matches: bool = True,
         expiry_min_interval: float = 0.0,
         dedup_memory_budget: Optional[int] = None,
+        columnar: bool = False,
     ):
         self.query = query
         self.decomposition = decomposition
@@ -163,9 +174,16 @@ class ContinuousQueryMatcher:
         #: call); see :meth:`SJTree.expire_matches` for why skipping is safe.
         self.expiry_min_interval = expiry_min_interval
         self.dedup_memory_budget = dedup_memory_budget
+        self.columnar = bool(columnar)
+        #: Per-query compiled predicate tables (``None`` on the interpreted
+        #: path).  Never serialised: snapshots carry only a shape marker and
+        #: restore recompiles by rebuilding the matcher.
+        self.compiled: Optional[CompiledQuery] = (
+            CompiledQuery(query) if self.columnar else None
+        )
         self.tree: SJTree = decomposition.build_tree()
         self.tree.validate()
-        self.local_searcher = LocalSearcher(graph, self.window)
+        self.local_searcher = LocalSearcher(graph, self.window, compiled=self.compiled)
         self.stats = MatcherStats()
         self._dedup_identities = DedupMemory(budget=dedup_memory_budget, seed=31)
         self._dedup_edge_sets = DedupMemory(budget=dedup_memory_budget, seed=37)
@@ -206,14 +224,22 @@ class ContinuousQueryMatcher:
         """
         self.stats.edges_processed += 1
         new_matches: List[Match] = []
+        found_any = False
         for leaf in leaves:
             primitive_matches = self.local_searcher.find(leaf.subgraph, edge)
+            if not primitive_matches:
+                continue
+            found_any = True
             self.stats.leaf_matches_found += len(primitive_matches)
             for match in primitive_matches:
                 self._insert(leaf, match, new_matches)
-        stored = self.tree.total_stored_matches()
-        if stored > self.stats.peak_stored_matches:
-            self.stats.peak_stored_matches = stored
+        # stored counts only grow inside _insert, and expiry between calls
+        # only shrinks them, so a call that found nothing cannot set a new
+        # peak -- skip the whole-tree recount on the (dominant) miss path
+        if found_any:
+            stored = self.tree.total_stored_matches()
+            if stored > self.stats.peak_stored_matches:
+                self.stats.peak_stored_matches = stored
         return new_matches
 
     def process_edge(self, edge: Edge) -> List[Match]:

@@ -74,6 +74,7 @@ import multiprocessing
 import traceback
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..graph.interning import InternTable
 from ..graph.window import TimeWindow
 from ..query.query_graph import QueryGraph
 from ..stats.plan_cost import plan_cost
@@ -100,6 +101,7 @@ from .engine import (
     EngineConfig,
     StreamWorksEngine,
     _make_reorder_buffer,
+    intern_query_vocabulary,
     required_retention,
 )
 from .planner import PlannerConfig, QueryPlanner
@@ -457,6 +459,12 @@ class ShardedStreamEngine:
         routing_mode = config.routing if config.engine.use_dispatch_index else Routing.BROADCAST
         self.router = BatchRouter(config.shard_count, mode=routing_mode)
         self.queries: Dict[str, ShardedQuery] = {}
+        #: Parent intern table: the full registered vocabulary, pushed to
+        #: every shard at registration (:meth:`InternTable.adopt`) so the
+        #: per-shard tables agree on query-label ids regardless of which
+        #: shard a query landed on.  Stream labels admitted mid-stream may
+        #: still differ per shard -- harmless, ids are engine-internal.
+        self.interning = InternTable()
         self._shard_loads: List[float] = [0.0] * config.shard_count
         self._registration_seq = 0
         self.collector = CollectingSink()
@@ -554,6 +562,13 @@ class ShardedStreamEngine:
             dedupe_structural=dedupe_structural,
         )
         self.router.add_query(shard, query)
+        # registration precedes any pool start (enforced above), so the
+        # shard engines are still in-process: push the parent table to ALL
+        # shards, not just the owner, keeping query-label ids aligned
+        intern_query_vocabulary(self.interning, query)
+        adopted = self.interning.labels()
+        for shard_engine in self.shards:
+            shard_engine.interning.adopt(adopted)
         registration = ShardedQuery(
             query_name, query, shard, self._registration_seq, cost,
             window=shard_registration.window,
@@ -1328,6 +1343,32 @@ class ShardedStreamEngine:
             ),
             "stats_backend": "countmin" if self.config.engine.sketch_stats else "exact",
         }
+        # columnar rollup: the hot-path counters sum cleanly over shards
+        # (each shard owns a private intern table and dispatch memos);
+        # interned_labels reports the PARENT table -- the registered
+        # vocabulary every shard agrees on -- not a sum, because the same
+        # label interned on four shards is one label, not four
+        shard_columnars = [m["columnar"] for m in shard_metrics.values()]
+        columnar_keys = (
+            "compiled_queries",
+            "compiled_checks",
+            "batches_vectorized",
+            "records_prefiltered",
+            "dispatch_memo_hits",
+            "leaves_pruned",
+            "range_scans",
+            "range_scan_fallbacks",
+        )
+        columnar = dict(
+            {
+                "enabled": self.config.engine.columnar,
+                "interned_labels": len(self.interning),
+            },
+            **{
+                key: sum(c[key] for c in shard_columnars)
+                for key in columnar_keys
+            },
+        )
         totals = {
             "shard_edges_processed": sum(m["edges_processed"] for m in shard_metrics.values()),
             "graph_vertices": sum(m["graph_vertices"] for m in shard_metrics.values()),
@@ -1349,6 +1390,7 @@ class ShardedStreamEngine:
             "assignments": self.assignments(),
             "replan": replan,
             "sketch": sketch,
+            "columnar": columnar,
             "totals": totals,
             "shards": {shard_id: shard_metrics[shard_id] for shard_id in sorted(shard_metrics)},
         }

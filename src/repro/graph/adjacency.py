@@ -10,12 +10,88 @@ whole graph -- the graph store maintains an :class:`AdjacencyIndex` keyed by
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from .types import Direction, Edge, EdgeId, VertexId
+from .types import Direction, Edge, EdgeId, Timestamp, VertexId
 
-__all__ = ["AdjacencyIndex"]
+__all__ = ["AdjacencyIndex", "EdgeTimeRuns"]
+
+
+class EdgeTimeRuns:
+    """Sorted-array timestamp sidecar over one insertion-ordered edge bucket.
+
+    Parallel ``times`` / ``ids`` arrays mirror a bucket's insertion order, so
+    while the times are non-decreasing (the overwhelmingly common case -- the
+    engine's batched fast path ingests non-decreasing runs) a timestamp range
+    resolves to one contiguous slice via binary search, *in insertion order*.
+    The moment an out-of-order append lands, :attr:`is_sorted` trips and
+    range queries return ``None`` -- the caller falls back to the plain
+    linear enumeration, which is always correct -- until a compaction finds
+    the surviving entries sorted again.  Removals are lazy (a dead counter;
+    liveness is re-checked against the owning bucket at query time) with
+    periodic compaction so the arrays track the live bucket's size.
+    """
+
+    __slots__ = ("times", "ids", "is_sorted", "dead")
+
+    def __init__(self) -> None:
+        self.times: List[Timestamp] = []
+        self.ids: List[EdgeId] = []
+        self.is_sorted = True
+        self.dead = 0
+
+    @classmethod
+    def from_bucket(
+        cls, bucket: Iterable[EdgeId], resolve_ts: Callable[[EdgeId], Timestamp]
+    ) -> "EdgeTimeRuns":
+        """Build a sidecar from an existing bucket (lazy first-query path)."""
+        runs = cls()
+        for edge_id in bucket:
+            runs.append(edge_id, resolve_ts(edge_id))
+        return runs
+
+    def append(self, edge_id: EdgeId, timestamp: Timestamp) -> None:
+        """Mirror a bucket insertion."""
+        if self.times and timestamp < self.times[-1]:
+            self.is_sorted = False
+        self.times.append(timestamp)
+        self.ids.append(edge_id)
+
+    def discard(self, live: Iterable[EdgeId]) -> None:
+        """Mirror a bucket removal; ``live`` is the bucket's surviving ids."""
+        self.dead += 1
+        if self.dead * 2 > len(self.ids):
+            self.compact(live)
+
+    def compact(self, live: Iterable[EdgeId]) -> None:
+        """Drop dead entries (and re-detect sortedness of the survivors)."""
+        live_set = live if isinstance(live, (dict, set, frozenset)) else set(live)
+        pairs = [
+            (timestamp, edge_id)
+            for timestamp, edge_id in zip(self.times, self.ids)
+            if edge_id in live_set
+        ]
+        self.times = [timestamp for timestamp, _ in pairs]
+        self.ids = [edge_id for _, edge_id in pairs]
+        self.dead = 0
+        self.is_sorted = all(
+            earlier <= later for earlier, later in zip(self.times, self.times[1:])
+        )
+
+    def range_ids(self, low: Timestamp, high: Timestamp) -> Optional[List[EdgeId]]:
+        """Ids with ``low <= ts <= high`` in insertion order; ``None`` = unsorted.
+
+        May include ids already removed from the bucket -- callers filter by
+        bucket membership.  Inclusive on both bounds (callers use this as a
+        superset prefilter ahead of an exact span check).
+        """
+        if not self.is_sorted:
+            return None
+        start = bisect_left(self.times, low)
+        stop = bisect_right(self.times, high)
+        return self.ids[start:stop]
 
 
 class AdjacencyIndex:
@@ -39,6 +115,11 @@ class AdjacencyIndex:
         self._by_vertex: Dict[VertexId, Dict[str, Dict[str, Dict[EdgeId, None]]]] = {}
         # vertex -> total incident edge count (in + out, self loops count twice)
         self._degree: Dict[VertexId, int] = defaultdict(int)
+        # lazily-built timestamp sidecars for range-scanned slots, keyed
+        # vertex -> (direction, label); a sidecar only exists for slots the
+        # columnar hot path has actually range-queried, so the common ingest
+        # path pays at most one empty-dict probe per endpoint
+        self._times: Dict[VertexId, Dict[Tuple[str, str], EdgeTimeRuns]] = {}
 
     # ------------------------------------------------------------------
     # mutation
@@ -49,6 +130,9 @@ class AdjacencyIndex:
         self._slot(edge.target, Direction.IN, edge.label)[edge.id] = None
         self._degree[edge.source] += 1
         self._degree[edge.target] += 1
+        if self._times:
+            self._times_append(edge.source, Direction.OUT, edge)
+            self._times_append(edge.target, Direction.IN, edge)
 
     def remove_edge(self, edge: Edge) -> None:
         """Remove ``edge`` from the index; missing entries are ignored."""
@@ -59,6 +143,9 @@ class AdjacencyIndex:
                 self._degree[endpoint] -= 1
                 if self._degree[endpoint] <= 0:
                     del self._degree[endpoint]
+        if self._times:
+            self._times_discard(edge.source, Direction.OUT, edge.label)
+            self._times_discard(edge.target, Direction.IN, edge.label)
 
     def remove_vertex(self, vertex_id: VertexId) -> None:
         """Drop all index entries rooted at ``vertex_id``.
@@ -68,11 +155,49 @@ class AdjacencyIndex:
         """
         self._by_vertex.pop(vertex_id, None)
         self._degree.pop(vertex_id, None)
+        self._times.pop(vertex_id, None)
 
     def clear(self) -> None:
         """Remove every entry from the index."""
         self._by_vertex.clear()
         self._degree.clear()
+        self._times.clear()
+
+    def _times_append(self, vertex_id: VertexId, direction: str, edge: Edge) -> None:
+        per_slot = self._times.get(vertex_id)
+        if per_slot is None:
+            return
+        runs = per_slot.get((direction, edge.label))
+        if runs is not None:
+            runs.append(edge.id, edge.timestamp)
+
+    def _times_discard(self, vertex_id: VertexId, direction: str, label: str) -> None:
+        per_slot = self._times.get(vertex_id)
+        if per_slot is None:
+            return
+        runs = per_slot.get((direction, label))
+        if runs is None:
+            return
+        bucket = self._bucket(vertex_id, direction, label)
+        if bucket is None:
+            # the slot emptied out entirely; the sidecar dies with it (a
+            # recreated slot gets a fresh lazy build on its next range query)
+            del per_slot[(direction, label)]
+            if not per_slot:
+                del self._times[vertex_id]
+        else:
+            runs.discard(bucket)
+
+    def _bucket(
+        self, vertex_id: VertexId, direction: str, label: str
+    ) -> Optional[Dict[EdgeId, None]]:
+        per_direction = self._by_vertex.get(vertex_id)
+        if not per_direction:
+            return None
+        per_label = per_direction.get(direction)
+        if not per_label:
+            return None
+        return per_label.get(label)
 
     # ------------------------------------------------------------------
     # queries
@@ -111,6 +236,48 @@ class AdjacencyIndex:
                     yield from edge_ids
             else:
                 yield from per_label.get(label, ())
+
+    def incident_ids_in_range(
+        self,
+        vertex_id: VertexId,
+        direction: str,
+        label: str,
+        low: Timestamp,
+        high: Timestamp,
+        resolve_ts: Callable[[EdgeId], Timestamp],
+    ) -> Optional[List[EdgeId]]:
+        """Ids of ``label`` edges at ``vertex_id`` with timestamp in ``[low, high]``.
+
+        The sorted-array fast path for timestamp-bounded adjacency
+        enumeration: per (direction, label) slot a lazily-built
+        :class:`EdgeTimeRuns` sidecar answers the range with binary search
+        over one contiguous slice, preserving the slot's insertion order
+        exactly.  ``Direction.BOTH`` concatenates OUT then IN -- the same
+        order :meth:`incident_edge_ids` enumerates.  Returns ``None`` when
+        any touched sidecar is unsorted (heavily disordered ingest at this
+        slot); the caller must fall back to the plain enumeration.
+        ``resolve_ts`` resolves an edge id to its timestamp for the lazy
+        first build (the index itself stores only ids).
+        """
+        if direction == Direction.BOTH:
+            directions: Tuple[str, ...] = (Direction.OUT, Direction.IN)
+        else:
+            directions = (direction,)
+        result: List[EdgeId] = []
+        for d in directions:
+            bucket = self._bucket(vertex_id, d, label)
+            if not bucket:
+                continue
+            per_slot = self._times.setdefault(vertex_id, {})
+            runs = per_slot.get((d, label))
+            if runs is None:
+                runs = EdgeTimeRuns.from_bucket(bucket, resolve_ts)
+                per_slot[(d, label)] = runs
+            ids = runs.range_ids(low, high)
+            if ids is None:
+                return None
+            result.extend(edge_id for edge_id in ids if edge_id in bucket)
+        return result
 
     def degree(self, vertex_id: VertexId) -> int:
         """Return the total number of incident edges (in + out)."""

@@ -15,7 +15,7 @@ it would only slow the local searches down.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
 
 from .property_graph import PropertyGraph
 from .types import Direction, Edge, EdgeId, Timestamp, Vertex, VertexId
@@ -236,6 +236,25 @@ class DynamicGraph:
     def vertices(self, label: Optional[str] = None) -> Iterator[Vertex]:
         """Iterate over retained vertices."""
         return self.graph.vertices(label)
+
+    def edges_in_range(self, label: str, low: float, high: float) -> Optional[List[Edge]]:
+        """Sorted-array label range scan (see :meth:`PropertyGraph.edges_in_range`)."""
+        return self.graph.edges_in_range(label, low, high)
+
+    def incident_edges_in_range(
+        self,
+        vertex_id: VertexId,
+        direction: str,
+        label: str,
+        low: float,
+        high: float,
+    ) -> Optional[List[Edge]]:
+        """Timestamp-bounded adjacency scan (see :meth:`PropertyGraph.incident_edges_in_range`)."""
+        return self.graph.incident_edges_in_range(vertex_id, direction, label, low, high)
+
+    def range_scan_stats(self) -> Dict[str, int]:
+        """Return the store's columnar range-scan counters."""
+        return self.graph.range_scan_stats()
 
     def incident_edges(
         self,

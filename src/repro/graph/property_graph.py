@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
-from .adjacency import AdjacencyIndex
+from .adjacency import AdjacencyIndex, EdgeTimeRuns
 from .types import (
     Direction,
     DuplicateEdgeError,
@@ -56,6 +56,14 @@ class PropertyGraph:
         self._edges_by_label: Dict[str, Dict[EdgeId, None]] = defaultdict(dict)
         self._vertices_by_label: Dict[str, Dict[VertexId, None]] = defaultdict(dict)
         self._next_edge_id: int = 0
+        # columnar range-scan sidecars: per-label timestamp arrays, built
+        # lazily on first range query and rebuilt the same way after a
+        # restore -- deliberately derived state, never serialised
+        self._label_times: Dict[str, EdgeTimeRuns] = {}  # repro-lint: ignore[snapshot-coverage]
+        #: Range-scan observability (process-local, like wall-clock latency:
+        #: reset by construction and restore, not part of the resume contract)
+        self.range_scans = 0  # repro-lint: ignore[snapshot-coverage]
+        self.range_scan_fallbacks = 0  # repro-lint: ignore[snapshot-coverage]
 
     # ------------------------------------------------------------------
     # vertices
@@ -182,6 +190,10 @@ class PropertyGraph:
         self._edges[edge_id] = edge
         self._edges_by_label[label][edge_id] = None
         self._adjacency.add_edge(edge)
+        if self._label_times:
+            runs = self._label_times.get(label)
+            if runs is not None:
+                runs.append(edge_id, timestamp)
         return edge
 
     def insert_edge(self, edge: Edge, source_label: str = "node", target_label: str = "node") -> Edge:
@@ -247,6 +259,11 @@ class PropertyGraph:
         self._edges_by_label[edge.label].pop(edge_id, None)
         if not self._edges_by_label[edge.label]:
             del self._edges_by_label[edge.label]
+            self._label_times.pop(edge.label, None)
+        elif self._label_times:
+            runs = self._label_times.get(edge.label)
+            if runs is not None:
+                runs.discard(self._edges_by_label[edge.label])
         self._adjacency.remove_edge(edge)
         return edge
 
@@ -269,6 +286,73 @@ class PropertyGraph:
                 if edge.source == target:
                     result.append(edge)
         return result
+
+    # ------------------------------------------------------------------
+    # columnar range scans
+    # ------------------------------------------------------------------
+    def edges_in_range(
+        self, label: str, low: Timestamp, high: Timestamp
+    ) -> Optional[List[Edge]]:
+        """Edges with ``label`` and timestamp in ``[low, high]``, insertion order.
+
+        Sorted-array range scan over a lazily-built per-label timestamp
+        sidecar: while the label's ingest order is time-sorted (the normal
+        case -- the batched fast path ingests non-decreasing runs) the range
+        is one binary-searched contiguous slice whose order equals the plain
+        ``edges(label)`` enumeration restricted to the range.  Returns
+        ``None`` when the sidecar is unsorted (heavily disordered ingest for
+        this label); callers fall back to ``edges(label)``, which is always
+        correct.  Bounds are inclusive -- callers use the scan as a superset
+        prefilter ahead of their exact window checks.
+        """
+        bucket = self._edges_by_label.get(label)
+        if not bucket:
+            self.range_scans += 1
+            return []
+        runs = self._label_times.get(label)
+        if runs is None:
+            edges = self._edges
+            runs = EdgeTimeRuns.from_bucket(bucket, lambda eid: edges[eid].timestamp)
+            self._label_times[label] = runs
+        ids = runs.range_ids(low, high)
+        if ids is None:
+            self.range_scan_fallbacks += 1
+            return None
+        self.range_scans += 1
+        edges = self._edges
+        return [edges[edge_id] for edge_id in ids if edge_id in bucket]
+
+    def incident_edges_in_range(
+        self,
+        vertex_id: VertexId,
+        direction: str,
+        label: str,
+        low: Timestamp,
+        high: Timestamp,
+    ) -> Optional[List[Edge]]:
+        """Incident ``label`` edges with timestamp in ``[low, high]``, ingest order.
+
+        Timestamp-bounded adjacency enumeration backed by the adjacency
+        index's per-(vertex, direction, label) sorted-array sidecars; order
+        and fallback semantics mirror :meth:`edges_in_range` (``None`` =
+        unsorted slot, fall back to :meth:`incident_edges`).
+        """
+        edges = self._edges
+        ids = self._adjacency.incident_ids_in_range(
+            vertex_id, direction, label, low, high, lambda eid: edges[eid].timestamp
+        )
+        if ids is None:
+            self.range_scan_fallbacks += 1
+            return None
+        self.range_scans += 1
+        return [edges[edge_id] for edge_id in ids]
+
+    def range_scan_stats(self) -> Dict[str, int]:
+        """Return the columnar range-scan counters (process-local)."""
+        return {
+            "range_scans": self.range_scans,
+            "range_scan_fallbacks": self.range_scan_fallbacks,
+        }
 
     # ------------------------------------------------------------------
     # adjacency
@@ -391,6 +475,7 @@ class PropertyGraph:
         self._adjacency.clear()
         self._edges_by_label.clear()
         self._vertices_by_label.clear()
+        self._label_times.clear()
         self._next_edge_id = 0
 
     def to_networkx(self):  # pragma: no cover - optional interoperability helper

@@ -77,6 +77,7 @@ __all__ = [
     "experiment_multisource_ingest",
     "experiment_adaptive_replan",
     "experiment_sketch_membership",
+    "experiment_columnar_hot_path",
     "ALL_EXPERIMENTS",
 ]
 
@@ -845,6 +846,7 @@ def experiment_multiquery_dispatch(
     query_count: int = 20,
     chain_length: int = 6,
     batch_size: int = 200,
+    columnar: bool = True,
 ) -> Dict[str, object]:
     """Measure the cross-query dispatch index under heavy multi-query load.
 
@@ -860,7 +862,9 @@ def experiment_multiquery_dispatch(
 
     All three must report the identical set of complete matches; the indexed
     configurations should be several times faster since they only touch the
-    one query an edge can affect.
+    one query an edge can affect.  ``columnar`` selects the ingest execution
+    strategy for every mode (compiled columnar vs. interpreted, identical
+    events either way), so baseline tooling can record both.
     """
     edge_count = max(400, int(4000 * scale))
     window = 10.0
@@ -873,6 +877,7 @@ def experiment_multiquery_dispatch(
                 collect_statistics=False,
                 record_latency=False,
                 use_dispatch_index=use_index,
+                columnar=columnar,
             )
         )
         for index, query in enumerate(queries):
@@ -1102,6 +1107,7 @@ def experiment_out_of_order_throughput(
     batch_size: int = 200,
     max_displacement: int = 64,
     shard_count: int = 2,
+    columnar: bool = True,
 ) -> Dict[str, object]:
     """Measure event-time ingestion (reorder buffer + watermark) under disorder.
 
@@ -1136,6 +1142,8 @@ def experiment_out_of_order_throughput(
     part of the claim: the reordered engine pushed every record through the
     batched fast path (``ingest_paths`` counters), where the old behaviour
     pushed every record of a disordered batch down the per-record path.
+    ``columnar`` selects the ingest execution strategy for every mode
+    (identical events either way), so baseline tooling can record both.
     """
     edge_count = max(400, int(4000 * scale))
     window = 10.0
@@ -1152,6 +1160,7 @@ def experiment_out_of_order_throughput(
                 record_latency=False,
                 use_dispatch_index=use_index,
                 allowed_lateness=allowed_lateness,
+                columnar=columnar,
             )
         )
         for index, query in enumerate(queries):
@@ -1166,6 +1175,7 @@ def experiment_out_of_order_throughput(
                     collect_statistics=False,
                     record_latency=False,
                     allowed_lateness=allowed_lateness,
+                    columnar=columnar,
                 ),
             )
         )
@@ -2017,6 +2027,225 @@ def experiment_sketch_membership(
     }
 
 
+# ----------------------------------------------------------------------
+# E18: compiled columnar hot path vs. the interpreted per-record path
+# ----------------------------------------------------------------------
+def _predicate_banded_chain_queries(query_count: int, chain_length: int) -> List[QueryGraph]:
+    """Chain queries sharing one hot label alphabet, separated by predicates.
+
+    Every query uses the same edge labels ``hot_0..hot_{L-1}``, so label
+    routing alone cannot tell them apart: each hot record reaches a leaf of
+    every query and the *predicate* decides.  Query ``i`` accepts only
+    ``bytes`` inside its private band ``[i*1000, i*1000+60]``, wrapped in a
+    composition deep enough that the interpreted walk pays generator and
+    dispatch overhead per node -- the exact work the compiler flattens.
+    """
+    from ..query.predicates import And, AttrCompare, AttrExists, AttrIn, AttrRange, Or
+
+    queries = []
+    for index in range(query_count):
+        low = index * 1000
+        query = QueryGraph(f"band{index}")
+        for position in range(chain_length + 1):
+            query.add_vertex(f"v{position}", "Host")
+        for position in range(chain_length):
+            predicate = And(
+                [
+                    AttrExists("bytes"),
+                    AttrIn("proto", ["tcp", "udp"]),
+                    AttrCompare("port", ">=", 1),
+                    AttrRange("port", low=0, high=65535),
+                    Or(
+                        [
+                            AttrRange("bytes", low=low, high=low + 60),
+                            AttrCompare("port", "<", 0),
+                        ]
+                    ),
+                    AttrCompare("port", "<=", 1024),
+                ]
+            )
+            query.add_edge(f"v{position}", f"v{position + 1}", f"hot_{position}", predicate=predicate)
+        queries.append(query)
+    return queries
+
+
+def _columnar_hot_path_stream(
+    query_count: int,
+    edge_count: int,
+    seed: int,
+    chain_length: int,
+    vertex_pool: int = 60,
+    plant_probability: float = 0.02,
+    noise_label_probability: float = 0.25,
+    interarrival: float = 0.002,
+) -> List[StreamEdge]:
+    """Generate the stream E18's predicate-heavy design point calls for.
+
+    Three record populations, all deterministic from ``seed``:
+
+    * **inert noise** -- labels no query references (``cold*``): the
+      vectorized prefilter answers these from the memoised label column;
+    * **predicate misses** -- hot labels with ``bytes`` outside every
+      query's band: they reach a leaf of every query and die in the
+      predicate, the compiled-check win;
+    * **plants** -- complete chain instances with in-band ``bytes`` for one
+      query: real matches, keeping the conformance check non-vacuous.
+    """
+    rng = random.Random(seed)
+    records: List[StreamEdge] = []
+    timestamp = 0.0
+    miss_low = query_count * 1000 + 500  # above every band
+    while len(records) < edge_count:
+        timestamp += interarrival
+        roll = rng.random()
+        if roll < plant_probability:
+            query_index = rng.randrange(query_count)
+            vertices = [f"p{rng.randrange(vertex_pool)}" for _ in range(chain_length + 1)]
+            band_low = query_index * 1000
+            for position in range(chain_length):
+                timestamp += interarrival
+                records.append(
+                    StreamEdge(
+                        vertices[position],
+                        vertices[position + 1],
+                        f"hot_{position}",
+                        timestamp,
+                        attrs={
+                            "bytes": band_low + rng.randrange(61),
+                            "proto": "tcp",
+                            "port": rng.randrange(1, 1025),
+                        },
+                        source_label="Host",
+                        target_label="Host",
+                    )
+                )
+        elif roll < plant_probability + noise_label_probability:
+            records.append(
+                StreamEdge(
+                    f"n{rng.randrange(vertex_pool)}",
+                    f"n{rng.randrange(vertex_pool)}",
+                    f"cold{rng.randrange(40)}",
+                    timestamp,
+                    attrs={"bytes": rng.randrange(1_000_000), "proto": "udp"},
+                    source_label="Host",
+                    target_label="Host",
+                )
+            )
+        else:
+            records.append(
+                StreamEdge(
+                    f"h{rng.randrange(vertex_pool)}",
+                    f"h{rng.randrange(vertex_pool)}",
+                    f"hot_{rng.randrange(chain_length)}",
+                    timestamp,
+                    attrs={
+                        "bytes": miss_low + rng.randrange(1_000_000),
+                        "proto": rng.choice(["tcp", "udp"]),
+                        "port": rng.randrange(1, 1025),
+                    },
+                    source_label="Host",
+                    target_label="Host",
+                )
+            )
+    return records[:edge_count]
+
+
+def experiment_columnar_hot_path(
+    scale: float = 1.0,
+    seed: int = 71,
+    query_count: int = 24,
+    chain_length: int = 4,
+    batch_size: int = 200,
+    window: float = 2.0,
+) -> Dict[str, object]:
+    """Measure the compiled columnar hot path on its design-point workload.
+
+    ``query_count`` chain queries share one hot label alphabet and differ
+    only in per-edge predicate bands, so every hot record reaches a leaf of
+    every query and predicate evaluation dominates the per-record cost --
+    the work the one-time compiler (and the vectorized prefilter in front
+    of it) exists to remove.  The identical stream is replayed through:
+
+    * ``interpreted`` -- ``EngineConfig(columnar=False)``: per-record
+      predicate-tree walks, the pre-columnar semantics verbatim;
+    * ``columnar`` -- ``columnar=True`` (the default): struct-of-arrays
+      batches, memoised label prefiltering, compiled predicate closures.
+
+    **Asserted at every scale** (deterministic, so the CI smoke checks it
+    too): both runs emit byte-for-byte identical events -- same matches,
+    order, detection timestamps and sequence numbers.  The wall-clock
+    multiple (``speedup_columnar``) is reported at every scale but only
+    *thresholded* at full scale, by ``benchmarks/bench_columnar.py``.
+    """
+    edge_count = max(600, int(8000 * scale))
+    queries = _predicate_banded_chain_queries(query_count, chain_length)
+    records = _columnar_hot_path_stream(query_count, edge_count, seed, chain_length)
+
+    def build_engine(columnar: bool) -> StreamWorksEngine:
+        engine = StreamWorksEngine(
+            config=EngineConfig(
+                collect_statistics=False,
+                record_latency=False,
+                columnar=columnar,
+            )
+        )
+        for index, query in enumerate(queries):
+            engine.register_query(query, name=f"band{index}", window=window)
+        return engine
+
+    def canonical(events) -> List[tuple]:
+        return [
+            (event.query_name, event.match.portable_identity(), event.detected_at, event.sequence)
+            for event in events
+        ]
+
+    rows = []
+    event_lists: Dict[str, List[tuple]] = {}
+    columnar_stats: Dict[str, object] = {}
+    for mode_name, columnar in (("interpreted", False), ("columnar", True)):
+        engine = build_engine(columnar)
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        for start in range(0, len(records), batch_size):
+            engine.process_batch(records[start : start + batch_size])
+        elapsed = stopwatch.stop()
+        event_lists[mode_name] = canonical(engine.collector.events)
+        if columnar:
+            columnar_stats = engine.metrics()["columnar"]
+        rows.append(
+            {
+                "mode": mode_name,
+                "edges": len(records),
+                "elapsed_s": elapsed,
+                "edges_per_s": len(records) / elapsed if elapsed > 0 else float("inf"),
+                "events": len(event_lists[mode_name]),
+            }
+        )
+    by_mode = {row["mode"]: row for row in rows}
+    interpreted_elapsed = by_mode["interpreted"]["elapsed_s"]
+    columnar_elapsed = by_mode["columnar"]["elapsed_s"]
+    return {
+        "experiment": "E18_columnar_hot_path",
+        "query_count": query_count,
+        "chain_length": chain_length,
+        "stream_edges": len(records),
+        "batch_size": batch_size,
+        "events": len(event_lists["columnar"]),
+        "events_identical": event_lists["interpreted"] == event_lists["columnar"],
+        "speedup_columnar": (
+            interpreted_elapsed / columnar_elapsed if columnar_elapsed > 0 else float("inf")
+        ),
+        "compiled_queries": columnar_stats.get("compiled_queries", 0),
+        "compiled_checks": columnar_stats.get("compiled_checks", 0),
+        "batches_vectorized": columnar_stats.get("batches_vectorized", 0),
+        "records_prefiltered": columnar_stats.get("records_prefiltered", 0),
+        "dispatch_memo_hits": columnar_stats.get("dispatch_memo_hits", 0),
+        "leaves_pruned": columnar_stats.get("leaves_pruned", 0),
+        "range_scans": columnar_stats.get("range_scans", 0),
+        "rows": rows,
+    }
+
+
 #: Experiment id -> callable, used by the CLI runner and the benchmarks.
 ALL_EXPERIMENTS = {
     "E1": experiment_fig2_news_decomposition,
@@ -2036,4 +2265,5 @@ ALL_EXPERIMENTS = {
     "E15": experiment_multisource_ingest,
     "E16": experiment_adaptive_replan,
     "E17": experiment_sketch_membership,
+    "E18": experiment_columnar_hot_path,
 }

@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph.types import Direction, Edge, VertexId
 from ..graph.window import TimeWindow
+from ..query.compile import CompiledQuery
 from ..query.query_graph import QueryEdge, QueryGraph
 from .candidates import (
     count_label_candidates,
@@ -50,11 +51,27 @@ class SubgraphMatcher:
     window:
         Optional time window; matches whose temporal extent is inadmissible
         are pruned during search.
+    compiled:
+        Optional :class:`~repro.query.compile.CompiledQuery` for the query
+        being searched (the columnar hot path).  When set, predicate checks
+        go through the pre-compiled closures instead of interpreting the
+        predicate trees, and candidate enumeration for partially-bound
+        matches under a bounded window uses the graph's sorted-array
+        timestamp range scans (a superset prefilter -- the exact span check
+        in :meth:`_try_bind` is unchanged, so the match set and enumeration
+        order are byte-identical to the interpreted path).  ``None``
+        (default) is the interpreted path, verbatim.
     """
 
-    def __init__(self, graph, window: Optional[TimeWindow] = None):
+    def __init__(
+        self,
+        graph,
+        window: Optional[TimeWindow] = None,
+        compiled: Optional[CompiledQuery] = None,
+    ):
         self.graph = graph
         self.window = window if window is not None else TimeWindow(None)
+        self._compiled = compiled
 
     # ------------------------------------------------------------------
     # public API
@@ -166,11 +183,15 @@ class SubgraphMatcher:
         if source_binding is not None and target_binding is not None:
             candidates = self._edges_between(source_binding, target_binding, query_edge)
         elif source_binding is not None:
-            candidates = self._edges_from_anchor(source_binding, query_edge, anchored_on_source=True)
+            candidates = self._edges_from_anchor(
+                source_binding, query_edge, anchored_on_source=True, match=match
+            )
         elif target_binding is not None:
-            candidates = self._edges_from_anchor(target_binding, query_edge, anchored_on_source=False)
+            candidates = self._edges_from_anchor(
+                target_binding, query_edge, anchored_on_source=False, match=match
+            )
         else:
-            candidates = self._all_label_edges(query_edge)
+            candidates = self._all_label_edges(query_edge, match)
 
         for data_edge in candidates:
             yield from self._try_bind(query, query_edge, data_edge, match)
@@ -183,7 +204,11 @@ class SubgraphMatcher:
         match: Match,
     ) -> Iterator[Match]:
         """Attempt all admissible orientations of ``data_edge`` for ``query_edge``."""
-        if not edge_satisfies(data_edge, query_edge):
+        compiled = self._compiled
+        if compiled is not None:
+            if not compiled.edge_ok(query_edge, data_edge.label, data_edge.attrs):
+                return
+        elif not edge_satisfies(data_edge, query_edge):
             return
         if any(bound.id == data_edge.id for bound in match.edge_map.values()):
             return
@@ -205,9 +230,9 @@ class SubgraphMatcher:
                 continue
             if existing_target is not None and existing_target != target_vertex:
                 continue
-            if not vertex_satisfies(self.graph, source_vertex, query.vertex(source_var)):
+            if not self._vertex_ok(query, source_var, source_vertex):
                 continue
-            if not vertex_satisfies(self.graph, target_vertex, query.vertex(target_var)):
+            if not self._vertex_ok(query, target_var, target_vertex):
                 continue
             bindings = {source_var: source_vertex, target_var: target_vertex}
             try:
@@ -215,9 +240,34 @@ class SubgraphMatcher:
             except MatchConflictError:
                 continue
 
+    def _vertex_ok(self, query: QueryGraph, var: str, vertex_id: VertexId) -> bool:
+        """Check a candidate vertex binding (compiled tables when available)."""
+        compiled = self._compiled
+        if compiled is None:
+            return vertex_satisfies(self.graph, vertex_id, query.vertex(var))
+        if not self.graph.has_vertex(vertex_id):
+            return False
+        vertex = self.graph.vertex(vertex_id)
+        return compiled.vertex_ok(query.vertex(var), vertex.label, vertex.attrs)
+
     # ------------------------------------------------------------------
     # candidate edge enumeration
     # ------------------------------------------------------------------
+    def _time_bounds(self, match: Match) -> Optional[Tuple[float, float]]:
+        """Return the admissible candidate timestamp range for extending ``match``.
+
+        Any edge joining a non-empty partial under a bounded window must have
+        ``max(latest, ts) - min(earliest, ts)`` admissible, so its timestamp
+        lies inside ``[latest - W, earliest + W]``.  The bounds are inclusive
+        -- a *superset* of the admissible range for strict windows -- because
+        the exact span check in :meth:`_try_bind` still runs on every
+        candidate; the range only skips edges that could never pass it.
+        """
+        if not self.window.bounded or not match.edge_map:
+            return None
+        duration = self.window.duration
+        return (match.latest - duration, match.earliest + duration)
+
     def _edges_between(self, source: VertexId, target: VertexId, query_edge: QueryEdge) -> Iterator[Edge]:
         if not self.graph.has_vertex(source):
             return
@@ -230,7 +280,11 @@ class SubgraphMatcher:
                     yield edge
 
     def _edges_from_anchor(
-        self, anchor: VertexId, query_edge: QueryEdge, anchored_on_source: bool
+        self,
+        anchor: VertexId,
+        query_edge: QueryEdge,
+        anchored_on_source: bool,
+        match: Match,
     ) -> Iterator[Edge]:
         if not self.graph.has_vertex(anchor):
             return
@@ -238,7 +292,23 @@ class SubgraphMatcher:
             direction = Direction.OUT if anchored_on_source else Direction.IN
         else:
             direction = Direction.BOTH
+        if self._compiled is not None and query_edge.label is not None:
+            bounds = self._time_bounds(match)
+            if bounds is not None:
+                scanned = self.graph.incident_edges_in_range(
+                    anchor, direction, query_edge.label, bounds[0], bounds[1]
+                )
+                if scanned is not None:
+                    yield from scanned
+                    return
         yield from self.graph.incident_edges(anchor, direction, query_edge.label)
 
-    def _all_label_edges(self, query_edge: QueryEdge) -> Iterator[Edge]:
+    def _all_label_edges(self, query_edge: QueryEdge, match: Match) -> Iterator[Edge]:
+        if self._compiled is not None and query_edge.label is not None:
+            bounds = self._time_bounds(match)
+            if bounds is not None:
+                scanned = self.graph.edges_in_range(query_edge.label, bounds[0], bounds[1])
+                if scanned is not None:
+                    yield from scanned
+                    return
         yield from self.graph.edges(query_edge.label)

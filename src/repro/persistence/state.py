@@ -46,11 +46,17 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping
 
 from ..core.decomposition import Decomposition
 from ..core.dispatch import DispatchIndex
-from ..core.engine import EngineConfig, RegisteredQuery, StreamWorksEngine
+from ..core.engine import (
+    EngineConfig,
+    RegisteredQuery,
+    StreamWorksEngine,
+    intern_query_vocabulary,
+)
 from ..core.matcher import ContinuousQueryMatcher
 from ..core.planner import QueryPlan
 from ..query.query_graph import QueryGraph
 from ..graph.dynamic_graph import DynamicGraph
+from ..graph.interning import InternTable
 from ..graph.window import TimeWindow
 from ..isomorphism.match import Match
 from ..query.serialize import QuerySerializationError, query_from_dict, query_to_dict
@@ -102,6 +108,7 @@ _CONFIG_FIELDS = (
     "sketch_dispatch",
     "dedup_memory_budget",
     "sketch_stats",
+    "columnar",
 )
 
 
@@ -224,11 +231,19 @@ def engine_sections(engine: StreamWorksEngine) -> Dict[str, Any]:
                 "store_complete_matches": matcher.store_complete_matches,
                 "match_count": registration.match_count,
                 "plan_version": registration.plan_version,
+                # shape marker only: compiled closures are never serialised.
+                # Restore rebuilds the matcher, and matcher construction is
+                # the compile point, so the loader recompiles and checks the
+                # fresh tables against this marker.
+                "compiled_plan": (
+                    matcher.compiled.marker() if matcher.compiled is not None else None
+                ),
                 "matcher": matcher.state_dict(),
             }
         )
     return {
         "config": _config_state(engine.config),
+        "interning": engine.interning.state_dict(),
         "graph": engine.graph.state_dict(),
         "summarizer": engine.summarizer.state_dict() if engine.summarizer is not None else None,
         # `is not None`, not truthiness: an EMPTY reorder buffer is falsy
@@ -251,6 +266,10 @@ def engine_sections(engine: StreamWorksEngine) -> Dict[str, Any]:
             "dispatch": _dispatch_counters(engine.dispatch),
             "plan_monitor": engine.plan_monitor.state_dict(),
             "replan_next_check": engine._next_replan_check,
+            "batches_vectorized": engine.batches_vectorized,
+            "records_prefiltered": engine.records_prefiltered,
+            "dispatch_memo_hits": engine.dispatch_memo_hits,
+            "leaves_pruned": engine.leaves_pruned,
         },
     }
 
@@ -286,7 +305,18 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
                 dedupe_structural=payload["dedupe_structural"],
                 store_complete_matches=payload["store_complete_matches"],
                 dedup_memory_budget=config.dedup_memory_budget,
+                # construction is the compile point: the restored matcher
+                # runs on freshly compiled tables, never deserialised ones
+                columnar=config.columnar,
             )
+            marker = payload.get("compiled_plan")
+            if marker is not None and matcher.compiled is not None:
+                if matcher.compiled.marker() != marker:
+                    raise SnapshotCorruptError(
+                        f"query {payload['name']!r}: recompiled predicate "
+                        f"tables {matcher.compiled.marker()} do not match the "
+                        f"snapshot's compiled-plan marker {marker}"
+                    )
             matcher.load_state(payload["matcher"])
             registration = RegisteredQuery(payload["name"], query, window, plan, matcher)
             registration.match_count = payload["match_count"]
@@ -294,6 +324,21 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
             registration.plan_version = payload.get("plan_version", 0)
             engine.queries[payload["name"]] = registration
             engine.dispatch.register(payload["name"], matcher.tree.leaves())
+            intern_query_vocabulary(engine.interning, query)
+        interning_state = sections.get("interning")
+        if interning_state is not None:
+            # authoritative: includes stream-admitted labels with the exact
+            # ids the pre-crash engine assigned
+            engine.interning = InternTable.from_state(interning_state)
+        else:
+            # pre-columnar snapshot: no table was persisted.  Ids are
+            # engine-internal (never serialised into events or matcher
+            # state), so they need not match what a columnar engine would
+            # have assigned live -- they only need to be deterministic,
+            # which query vocabulary in registration order (above) plus
+            # graph edge labels in insertion order gives.
+            for edge in engine.graph.edges():
+                engine.interning.intern(edge.label)
         counters = sections["counters"]
         engine._sequence = counters["sequence"]
         engine.edges_processed = counters["edges_processed"]
@@ -321,6 +366,11 @@ def load_engine_sections(sections: Mapping[str, Any]) -> StreamWorksEngine:
             engine.plan_monitor = PlanMonitor.from_state(counters["plan_monitor"])
         if "replan_next_check" in counters:
             engine._next_replan_check = counters["replan_next_check"]
+        # pre-columnar snapshots: the hot path started from zero there too
+        engine.batches_vectorized = counters.get("batches_vectorized", 0)
+        engine.records_prefiltered = counters.get("records_prefiltered", 0)
+        engine.dispatch_memo_hits = counters.get("dispatch_memo_hits", 0)
+        engine.leaves_pruned = counters.get("leaves_pruned", 0)
         engine.collector.events.extend(
             _event_from_state(payload) for payload in sections["events"]
         )
@@ -422,6 +472,10 @@ def load_sharded_sections(sections: Mapping[str, Any]) -> "ShardedStreamEngine":
             registration.match_count = payload["match_count"]
             engine.queries[payload["name"]] = registration
             engine.router.add_query(payload["shard_id"], query)
+            # the parent table holds only query vocabulary (never stream
+            # labels), so re-interning in registration order rebuilds it
+            # exactly; the shards' own tables were restored verbatim above
+            intern_query_vocabulary(engine.interning, query)
         engine.reorder = (
             reorder_buffer_from_state(sections["reorder"])
             if sections["reorder"] is not None
